@@ -1,0 +1,149 @@
+(* Benchmark harness: one Bechamel test per paper artefact (Table 2,
+   Figure 4 per benchmark suite, Figure 5, the scaling sweep and the
+   area model), measuring the wall-clock cost of regenerating each one
+   at a reduced scale — then a full quick-scale regeneration of every
+   table so the run also reproduces the paper's rows (bench_output.txt
+   carries both).
+
+     dune exec bench/main.exe
+*)
+
+open Bechamel
+open Toolkit
+module E = Alveare_harness.Experiments
+module A = Alveare_harness.Ablation
+module X = Alveare_harness.Extended
+module T = Alveare_harness.Table
+module Benchmark_suite = Alveare_workloads.Benchmark
+
+(* A very small evaluation scale so each bechamel iteration is cheap. *)
+let bench_scale : E.scale =
+  { E.suite_spec =
+      (fun kind ->
+         { (Benchmark_suite.quick_spec ~seed:13 kind) with
+           Benchmark_suite.n_patterns = 4;
+           stream_bytes = 256 * 1024 });
+    sim_sample_bytes = 4 * 1024;
+    gpu_sample_bytes = 1024 }
+
+let table2_test =
+  Test.make ~name:"table2-isa-primitives" (Staged.stage (fun () -> E.table2 ()))
+
+let figure4_test kind =
+  Test.make
+    ~name:(Printf.sprintf "figure4-exec-time-%s" (Benchmark_suite.kind_name kind))
+    (Staged.stage (fun () -> E.evaluate_benchmark ~scale:bench_scale kind))
+
+let figure5_test =
+  (* Figure 5 = Figure 4 results through the energy model; benchmark the
+     efficiency computation on one suite. *)
+  Test.make ~name:"figure5-energy-efficiency"
+    (Staged.stage (fun () ->
+         let r = E.evaluate_benchmark ~scale:bench_scale Benchmark_suite.Powren in
+         List.map (fun e -> e.E.avg_efficiency) r.E.engines))
+
+let scaling_test =
+  Test.make ~name:"scaling-1-to-10-cores"
+    (Staged.stage (fun () ->
+         E.scaling ~core_counts:[ 1; 10 ] ~scale:bench_scale
+           Benchmark_suite.Protomata))
+
+let area_test =
+  Test.make ~name:"area-model" (Staged.stage (fun () -> E.area_table ()))
+
+let tiny_study = { A.n_patterns = 4; sample_bytes = 4 * 1024; seed = 13 }
+
+let counters_test =
+  Test.make ~name:"ablation-counters" (Staged.stage (fun () -> A.counters ()))
+
+let fabric_test =
+  Test.make ~name:"ablation-fabric"
+    (Staged.stage (fun () -> A.fabric ~scale:tiny_study ()))
+
+let breakdown_test =
+  Test.make ~name:"extended-energy-breakdown"
+    (Staged.stage (fun () -> X.energy_breakdown ~scale:tiny_study ()))
+
+(* Micro-benchmarks of the core library itself, one per pipeline stage. *)
+let compile_test =
+  Test.make ~name:"micro-compile-snort-rule"
+    (Staged.stage (fun () ->
+         Alveare_compiler.Compile.compile_exn
+           "Host: [a-z0-9.-]{4,24}\\.(com|net|org)"))
+
+let sim_scan_test =
+  let program =
+    (Alveare_compiler.Compile.compile_exn "ab+c").Alveare_compiler.Compile.program
+  in
+  let rng = Alveare_workloads.Rng.create 5 in
+  let input =
+    String.init 16384 (fun _ -> Alveare_workloads.Streams.lowercase_text rng)
+  in
+  Test.make ~name:"micro-simulate-16KiB-scan"
+    (Staged.stage (fun () -> Alveare_arch.Core.find_all program input))
+
+let tests =
+  Test.make_grouped ~name:"alveare"
+    [ table2_test;
+      figure4_test Benchmark_suite.Powren;
+      figure4_test Benchmark_suite.Protomata;
+      figure4_test Benchmark_suite.Snort;
+      figure5_test;
+      scaling_test;
+      area_test;
+      counters_test;
+      fabric_test;
+      breakdown_test;
+      compile_test;
+      sim_scan_test ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+
+let print_results results =
+  Fmt.pr "== Bechamel timings (host wall clock per regeneration) ==@.";
+  List.iter
+    (fun (name, ols) ->
+       match Analyze.OLS.estimates ols with
+       | Some [ run_ns ] ->
+         let pretty =
+           if run_ns >= 1e9 then Printf.sprintf "%8.3f s " (run_ns /. 1e9)
+           else if run_ns >= 1e6 then Printf.sprintf "%8.3f ms" (run_ns /. 1e6)
+           else Printf.sprintf "%8.3f us" (run_ns /. 1e3)
+         in
+         Fmt.pr "  %-42s %s/run@." name pretty
+       | Some _ | None -> Fmt.pr "  %-42s (no estimate)@." name)
+    results;
+  Fmt.pr "@."
+
+let () =
+  print_results (benchmark ());
+  (* Regenerate every paper artefact at quick scale. *)
+  let scale = E.quick_scale () in
+  T.print (E.table2_table (E.table2 ()));
+  let results = E.evaluate ~scale () in
+  T.print (E.figure4_table results);
+  T.print (E.figure5_table results);
+  let scaling =
+    List.map (fun kind -> E.scaling ~scale kind) Benchmark_suite.all_kinds
+  in
+  T.print (E.scaling_table scaling);
+  T.print (E.area_table ());
+  T.print (A.counters_table (A.counters ()));
+  T.print (A.fabric_table (A.fabric ()));
+  T.print (A.vector_width_table (A.vector_width ()));
+  T.print (A.optimizer_table (A.optimizer_study ()));
+  T.print (A.fusion_table (A.fusion_study ()));
+  T.print (X.energy_breakdown_table (X.energy_breakdown ()));
+  T.print (X.csa_table (X.csa_comparison ()));
+  T.print (X.capacity_table (X.capacity ()))

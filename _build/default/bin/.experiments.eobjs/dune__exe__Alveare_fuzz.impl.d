@@ -1,0 +1,1 @@
+bin/alveare_fuzz.ml: Alveare_arch Alveare_compiler Alveare_engine Alveare_frontend Alveare_multicore Alveare_workloads Arg Char Cmd Cmdliner Fmt List String Term

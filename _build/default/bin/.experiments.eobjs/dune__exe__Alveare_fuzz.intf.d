@@ -1,0 +1,1 @@
+bin/alveare_fuzz.mli:

@@ -1,0 +1,1 @@
+bin/alveare_run.ml: Alveare_arch Alveare_compiler Alveare_engine Alveare_isa Alveare_multicore Alveare_platform Arg Array Cmd Cmdliner Fmt Fun List String Term

@@ -1,0 +1,1 @@
+bin/alvearec.ml: Alveare_compiler Alveare_frontend Alveare_ir Alveare_isa Arg Array Bytes Cmd Cmdliner Fmt Term

@@ -1,0 +1,1 @@
+bin/experiments.ml: Alveare_harness Alveare_workloads Arg Cmd Cmdliner List Term

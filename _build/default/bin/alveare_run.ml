@@ -1,0 +1,169 @@
+(* Run a pattern or a compiled ALVEARE binary over data on the simulated
+   DSA, reporting matches, cycle counts and modelled wall-clock time.
+
+     alveare_run 'ab+c' --text 'xxabbbcxx'
+     alveare_run --binary pattern.bin --file data.bin --cores 10
+     alveare_run '([^A-Z])+' --file input.txt --quiet --stats
+*)
+
+module Compile = Alveare_compiler.Compile
+module Core = Alveare_arch.Core
+module Multicore = Alveare_multicore.Multicore
+module Fpga = Alveare_platform.Alveare_fpga
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_program pattern binary =
+  match pattern, binary with
+  | Some p, None ->
+    (match Compile.compile p with
+     | Ok c -> Ok (c.Compile.program, Some c.Compile.ast)
+     | Error e -> Error (Compile.error_message e))
+  | None, Some path ->
+    (match Alveare_isa.Binary.read_file path with
+     | Ok prog -> Ok (prog, None)
+     | Error e -> Error (Alveare_isa.Binary.error_message e))
+  | Some _, Some _ -> Error "give either PATTERN or --binary, not both"
+  | None, None -> Error "give a PATTERN or --binary FILE"
+
+(* Mini Figure-4 for a user's own pattern and data: every engine's
+   modelled time on this input. Needs the AST, so pattern-only. *)
+let compare_engines ast program data =
+  let module M = Alveare_platform.Measure in
+  let rows =
+    [ ( "RE2 (A53)",
+        (Alveare_platform.A53_re2.run ast data).Alveare_platform.A53_re2.run )
+    ; ( "BF-2 DPU",
+        (Alveare_platform.Dpu.run ast data).Alveare_platform.Dpu.run )
+    ; ( "OBAT (V100)",
+        (Alveare_platform.Gpu.run Alveare_platform.Gpu.Obat ast data)
+          .Alveare_platform.Gpu.run )
+    ; ( "ALVEARE x1",
+        (Fpga.run ~cores:1 program data).Fpga.run )
+    ; ( "ALVEARE x10",
+        (Fpga.run ~cores:10 program data).Fpga.run ) ]
+  in
+  Fmt.pr "@.engine comparison (modelled, this input):@.";
+  List.iter
+    (fun (name, (r : M.run)) ->
+       Fmt.pr "  %-12s %10.3f ms  (%d matches)@." name (r.M.seconds *. 1e3)
+         r.M.match_count)
+    rows
+
+let run pattern binary text file cores quiet stats_flag trace_path compare =
+  let input =
+    match text, file with
+    | Some t, None -> Ok t
+    | None, Some path ->
+      (try Ok (read_file path) with Sys_error m -> Error m)
+    | Some _, Some _ -> Error "give either --text or --file, not both"
+    | None, None -> Error "give --text or --file input"
+  in
+  match load_program pattern binary, input with
+  | Error m, _ | _, Error m ->
+    Fmt.epr "alveare_run: %s@." m;
+    1
+  | Ok (program, ast), Ok data ->
+    let overlap =
+      match ast with
+      | Some ast -> Multicore.overlap_for_ast ast
+      | None -> Multicore.default_overlap
+    in
+    (* Tracing runs a dedicated single-core pass (per-core waveforms of a
+       multi-core run would interleave meaninglessly). *)
+    (match trace_path with
+     | None -> ()
+     | Some path ->
+       let trace = Alveare_arch.Trace.create () in
+       ignore (Core.find_all ~trace program data);
+       Alveare_arch.Vcd.write_file path trace;
+       Fmt.pr "wrote VCD trace (%d events%s) to %s@."
+         (Alveare_arch.Trace.length trace)
+         (if Alveare_arch.Trace.truncated trace then ", truncated" else "")
+         path);
+    let outcome = Fpga.run ~cores ~overlap program data in
+    let result = outcome.Fpga.result in
+    if not quiet then
+      List.iter
+        (fun (m : Alveare_engine.Semantics.span) ->
+           let shown = min 40 (m.stop - m.start) in
+           Fmt.pr "%d-%d: %S%s@." m.start m.stop
+             (String.sub data m.start shown)
+             (if m.stop - m.start > shown then "..." else ""))
+        result.Multicore.matches;
+    Fmt.pr "%d match(es) in %d bytes on %d core(s)@."
+      (List.length result.Multicore.matches)
+      (String.length data) cores;
+    Fmt.pr "wall cycles: %d (%.3f ms at 300 MHz, %.3f ms with dispatch)@."
+      outcome.Fpga.wall_cycles
+      (float_of_int outcome.Fpga.wall_cycles
+       /. Alveare_platform.Calibration.alveare_clock_hz *. 1e3)
+      (outcome.Fpga.run.Alveare_platform.Measure.seconds *. 1e3);
+    (match compare, ast with
+     | true, Some ast -> compare_engines ast program data
+     | true, None ->
+       Fmt.epr "alveare_run: --compare needs a PATTERN (baselines need the AST)@."
+     | false, _ -> ());
+    if stats_flag then
+      Array.iteri
+        (fun k (c : Multicore.core_result) ->
+           let s = c.Multicore.stats in
+           Fmt.pr
+             "core %d [%d,%d): cycles %d, instr %d, rollbacks %d, attempts \
+              %d, max stack %d, matches %d@."
+             k c.Multicore.slice_start c.Multicore.slice_stop s.Core.cycles
+             s.Core.instructions s.Core.rollbacks s.Core.attempts
+             s.Core.max_stack_depth (List.length c.Multicore.owned))
+        result.Multicore.per_core;
+    0
+
+let pattern_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"PATTERN" ~doc:"Regular expression to compile and run.")
+
+let binary_arg =
+  Arg.(value & opt (some string) None
+       & info [ "binary" ] ~docv:"FILE" ~doc:"Run a compiled ALVEARE binary.")
+
+let text_arg =
+  Arg.(value & opt (some string) None
+       & info [ "text" ] ~docv:"STRING" ~doc:"Inline input data.")
+
+let file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "file" ] ~docv:"FILE" ~doc:"Input data file.")
+
+let cores_arg =
+  Arg.(value & opt int 1
+       & info [ "cores" ] ~doc:"Core count, 1..10 (paper's FPGA limit).")
+
+let quiet_flag =
+  Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Do not list matches.")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Per-core statistics.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE.vcd"
+           ~doc:"Dump a single-core cycle trace as a VCD waveform.")
+
+let compare_flag =
+  Arg.(value & flag
+       & info [ "compare" ]
+           ~doc:"Print every engine's modelled time on this input (a                  mini Figure 4 for your own pattern).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "alveare_run" ~version:"1.0"
+       ~doc:"Match a pattern over data on the simulated ALVEARE DSA.")
+    Term.(
+      const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
+      $ quiet_flag $ stats_flag $ trace_arg $ compare_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,121 @@
+(* CLI driver regenerating the paper's tables and figures.
+
+     experiments table2
+     experiments figure4 [--full] [--seed N]
+     experiments figure5 [--full]
+     experiments scaling [--full]
+     experiments area
+     experiments all [--full]
+*)
+
+module E = Alveare_harness.Experiments
+module A = Alveare_harness.Ablation
+module X = Alveare_harness.Extended
+module T = Alveare_harness.Table
+open Cmdliner
+
+let scale_of ~full ~seed =
+  if full then E.full_scale ~seed () else E.quick_scale ~seed ()
+
+let run_table2 () = T.print (E.table2_table (E.table2 ()))
+
+let run_figures ~full ~seed ~fig4 ~fig5 =
+  let results = E.evaluate ~scale:(scale_of ~full ~seed) () in
+  if fig4 then T.print (E.figure4_table results);
+  if fig5 then T.print (E.figure5_table results)
+
+let run_scaling ~full ~seed =
+  let scale = scale_of ~full ~seed in
+  let results =
+    List.map
+      (fun kind -> E.scaling ~scale kind)
+      Alveare_workloads.Benchmark.all_kinds
+  in
+  T.print (E.scaling_table results)
+
+let run_area () = T.print (E.area_table ())
+
+let run_counters () = T.print (A.counters_table (A.counters ()))
+
+let run_ablation () =
+  T.print (A.counters_table (A.counters ()));
+  T.print (A.fabric_table (A.fabric ()));
+  T.print (A.vector_width_table (A.vector_width ()));
+  T.print (A.optimizer_table (A.optimizer_study ()));
+  T.print (A.fusion_table (A.fusion_study ()))
+
+let run_extended () =
+  T.print (X.energy_breakdown_table (X.energy_breakdown ()));
+  T.print (X.csa_table (X.csa_comparison ()));
+  T.print (X.capacity_table (X.capacity ()))
+
+let full_flag =
+  Arg.(value & flag
+       & info [ "full" ]
+           ~doc:"Paper scale: 200 REs, 1 MiB streams (slow). Default is a \
+                 reduced quick scale.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload generator seed.")
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ full_flag $ seed_arg)
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Table 2: ISA primitive reductions.")
+    Term.(const run_table2 $ const ())
+
+let area_cmd =
+  Cmd.v (Cmd.info "area" ~doc:"FPGA resource scaling (\xc2\xa77.2).")
+    Term.(const run_area $ const ())
+
+let counters_cmd =
+  Cmd.v
+    (Cmd.info "counters"
+       ~doc:"Counter-representation comparison: NFA unfolding vs \
+             counting-set automata vs the ISA counter primitive.")
+    Term.(const run_counters $ const ())
+
+let ablation_cmd =
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:"All ablation studies: counters, vector width, optimiser, \
+             fusion.")
+    Term.(const run_ablation $ const ())
+
+let extended_cmd =
+  Cmd.v
+    (Cmd.info "extended"
+       ~doc:"Extended studies: energy breakdown, counting-set automata \
+             baseline, instruction-memory capacity.")
+    Term.(const run_extended $ const ())
+
+let figure4_cmd =
+  cmd "figure4" "Figure 4: execution time comparison." (fun full seed ->
+      run_figures ~full ~seed ~fig4:true ~fig5:false)
+
+let figure5_cmd =
+  cmd "figure5" "Figure 5: energy efficiency comparison." (fun full seed ->
+      run_figures ~full ~seed ~fig4:false ~fig5:true)
+
+let scaling_cmd =
+  cmd "scaling" "Multi-core scaling sweep (\xc2\xa77.2)." (fun full seed ->
+      run_scaling ~full ~seed)
+
+let all_cmd =
+  cmd "all" "Every table and figure, plus the ablations." (fun full seed ->
+      run_table2 ();
+      run_figures ~full ~seed ~fig4:true ~fig5:true;
+      run_scaling ~full ~seed;
+      run_area ();
+      run_ablation ();
+      run_extended ())
+
+let main =
+  Cmd.group
+    (Cmd.info "experiments" ~version:"1.0"
+       ~doc:"Regenerate the ALVEARE paper's evaluation (DAC'24).")
+    [ table2_cmd; figure4_cmd; figure5_cmd; scaling_cmd; area_cmd;
+      counters_cmd; ablation_cmd; extended_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/binary_patterns.ml: Alveare_arch Alveare_compiler Alveare_engine Alveare_workloads Bytes Char Fmt List Printf String

@@ -1,0 +1,1 @@
+examples/log_scanner.ml: Alveare_compiler Fmt List String

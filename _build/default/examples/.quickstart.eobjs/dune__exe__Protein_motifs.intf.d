@@ -1,0 +1,1 @@
+examples/protein_motifs.mli:

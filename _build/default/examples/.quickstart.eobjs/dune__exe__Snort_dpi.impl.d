@@ -1,0 +1,1 @@
+examples/snort_dpi.ml: Alveare_arch Alveare_compiler Alveare_engine Alveare_platform Fmt List String

@@ -1,0 +1,1 @@
+examples/snort_dpi.mli:

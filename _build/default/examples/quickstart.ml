@@ -1,0 +1,58 @@
+(* Quickstart: compile a pattern, inspect every compilation stage, run it
+   on the simulated single-core DSA, and scale out to ten cores.
+
+     dune exec examples/quickstart.exe
+*)
+
+module Compile = Alveare_compiler.Compile
+module Core = Alveare_arch.Core
+module Fpga = Alveare_platform.Alveare_fpga
+
+let () =
+  (* 1. Compile the paper's worked example through the three-stage
+        flow: front-end (lexer/parser) -> mid-end (IR, optimisation) ->
+        back-end (fusion, binary). *)
+  let pattern = "([^A-Z])+" in
+  let c = Compile.compile_exn pattern in
+  Fmt.pr "pattern:     %s@." pattern;
+  Fmt.pr "AST:         %a@." Alveare_frontend.Ast.pp c.Compile.ast;
+  Fmt.pr "IR:          %a@." Alveare_ir.Ir.pp c.Compile.ir;
+  Fmt.pr "disassembly:@.%s@." (Compile.disassemble c);
+
+  (* 2. The binary is bit-exact with the paper's Figure 1/2 example. *)
+  Array.iteri
+    (fun k i ->
+       Fmt.pr "  word %d: %a@." k Alveare_isa.Encoding.pp_word
+         (Alveare_isa.Encoding.encode_exn i))
+    c.Compile.program;
+
+  (* 3. Run it on one simulated core and look at the matches and the
+        microarchitectural counters. *)
+  let input = "Take THE lowercase Spans OF this LINE" in
+  let stats = Core.fresh_stats () in
+  let matches = Core.find_all ~stats c.Compile.program input in
+  Fmt.pr "@.input:   %S@." input;
+  List.iter
+    (fun (m : Alveare_engine.Semantics.span) ->
+       Fmt.pr "  match [%2d,%2d): %S@." m.start m.stop
+         (String.sub input m.start (m.stop - m.start)))
+    matches;
+  Fmt.pr
+    "cycles %d = %d instructions + %d rollbacks + %d scan; stack depth %d@."
+    stats.Core.cycles stats.Core.instructions stats.Core.rollbacks
+    stats.Core.scan_cycles stats.Core.max_stack_depth;
+
+  (* 4. Scale out: same pattern over a 256 KiB stream on 1 and 10 cores
+        (the FPGA fits at most ten, paper section 7.2). *)
+  let rng = Alveare_workloads.Rng.create 1 in
+  let stream =
+    String.init (256 * 1024) (fun _ ->
+        Alveare_workloads.Streams.lowercase_text rng)
+  in
+  let time cores =
+    (Fpga.run ~cores c.Compile.program stream).Fpga.run
+      .Alveare_platform.Measure.seconds
+  in
+  let t1 = time 1 and t10 = time 10 in
+  Fmt.pr "@.256 KiB stream:  1 core %.3f ms,  10 cores %.3f ms  (%.2fx)@."
+    (t1 *. 1e3) (t10 *. 1e3) (t1 /. t10)

@@ -1,0 +1,123 @@
+(* Top-level façade: one module tying the whole framework together for
+   library users. Sub-libraries remain available for fine-grained use
+   (alveare.isa, alveare.compiler, alveare.arch, ...); this module
+   re-exports them under short names and offers one-call helpers for the
+   common path: compile a pattern, run it on the simulated DSA. *)
+
+module Isa = struct
+  module Instruction = Alveare_isa.Instruction
+  module Encoding = Alveare_isa.Encoding
+  module Program = Alveare_isa.Program
+  module Binary = Alveare_isa.Binary
+  module Assembler = Alveare_isa.Assembler
+end
+
+module Frontend = struct
+  module Charset = Alveare_frontend.Charset
+  module Ast = Alveare_frontend.Ast
+  module Lexer = Alveare_frontend.Lexer
+  module Parser = Alveare_frontend.Parser
+  module Desugar = Alveare_frontend.Desugar
+end
+
+module Engine = struct
+  module Semantics = Alveare_engine.Semantics
+  module Backtrack = Alveare_engine.Backtrack
+  module Nfa = Alveare_engine.Nfa
+  module Pike_vm = Alveare_engine.Pike_vm
+  module Lazy_dfa = Alveare_engine.Lazy_dfa
+  module Counting = Alveare_engine.Counting
+  module Dfa_offline = Alveare_engine.Dfa_offline
+end
+
+module Compile = Alveare_compiler.Compile
+module Ruleset = Alveare_compiler.Ruleset
+module Opt = Alveare_ir.Opt
+module Core = Alveare_arch.Core
+module Trace = Alveare_arch.Trace
+module Vcd = Alveare_arch.Vcd
+module Multicore = Alveare_multicore.Multicore
+module Stream_runner = Alveare_multicore.Stream_runner
+
+module Platform = struct
+  module Calibration = Alveare_platform.Calibration
+  module Measure = Alveare_platform.Measure
+  module Energy = Alveare_platform.Energy
+  module Energy_breakdown = Alveare_platform.Energy_breakdown
+  module Area = Alveare_platform.Area
+  module A53_re2 = Alveare_platform.A53_re2
+  module Dpu = Alveare_platform.Dpu
+  module Gpu = Alveare_platform.Gpu
+  module Alveare_fpga = Alveare_platform.Alveare_fpga
+end
+
+module Workloads = struct
+  module Rng = Alveare_workloads.Rng
+  module Sampler = Alveare_workloads.Sampler
+  module Streams = Alveare_workloads.Streams
+  module Benchmark = Alveare_workloads.Benchmark
+  module Microbench = Alveare_workloads.Microbench
+end
+
+type span = Alveare_engine.Semantics.span = {
+  start : int;
+  stop : int;
+}
+
+type compiled = Compile.compiled
+
+(* --- One-call helpers --------------------------------------------------- *)
+
+let compile pattern = Compile.compile pattern
+let compile_exn pattern = Compile.compile_exn pattern
+
+(* Compiled-pattern cache for the string-level helpers below: matching
+   many inputs against the same pattern should not recompile it. *)
+let cache : (string, compiled) Hashtbl.t = Hashtbl.create 16
+let cache_limit = 256
+
+let cached pattern =
+  match Hashtbl.find_opt cache pattern with
+  | Some c -> Ok c
+  | None ->
+    (match compile pattern with
+     | Error _ as e -> e
+     | Ok c ->
+       if Hashtbl.length cache >= cache_limit then Hashtbl.reset cache;
+       Hashtbl.replace cache pattern c;
+       Ok c)
+
+let string_error r = Result.map_error Compile.error_message r
+
+let find_all ?(cores = 1) pattern input : (span list, string) result =
+  string_error
+    (Result.map
+       (fun (c : compiled) ->
+          if cores = 1 then Core.find_all c.Compile.program input
+          else Multicore.find_all ~cores c.Compile.program input)
+       (cached pattern))
+
+let search pattern input : (span option, string) result =
+  string_error
+    (Result.map
+       (fun (c : compiled) -> Core.search c.Compile.program input)
+       (cached pattern))
+
+let matches pattern input : (bool, string) result =
+  Result.map Option.is_some (search pattern input)
+
+let disassemble pattern : (string, string) result =
+  string_error (Result.map Compile.disassemble (cached pattern))
+
+(* Modelled execution time on the paper's FPGA configuration. *)
+let simulate ?(cores = 1) pattern input
+  : (span list * float, string) result =
+  string_error
+    (Result.map
+       (fun (c : compiled) ->
+          let o =
+            Platform.Alveare_fpga.run ~cores c.Compile.program input
+          in
+          ( o.Alveare_platform.Alveare_fpga.result.Multicore.matches,
+            o.Alveare_platform.Alveare_fpga.run.Alveare_platform.Measure.seconds ))
+       (cached pattern))

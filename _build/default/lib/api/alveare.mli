@@ -1,0 +1,96 @@
+(** ALVEARE — top-level façade.
+
+    One module tying the framework together: compile POSIX-ERE/PCRE
+    patterns to 43-bit ISA binaries and run them on the cycle-level
+    simulator of the paper's speculative microarchitecture. The
+    sub-libraries are re-exported for fine-grained use. *)
+
+(** {1 Re-exported sub-libraries} *)
+
+module Isa : sig
+  module Instruction = Alveare_isa.Instruction
+  module Encoding = Alveare_isa.Encoding
+  module Program = Alveare_isa.Program
+  module Binary = Alveare_isa.Binary
+  module Assembler = Alveare_isa.Assembler
+end
+
+module Frontend : sig
+  module Charset = Alveare_frontend.Charset
+  module Ast = Alveare_frontend.Ast
+  module Lexer = Alveare_frontend.Lexer
+  module Parser = Alveare_frontend.Parser
+  module Desugar = Alveare_frontend.Desugar
+end
+
+module Engine : sig
+  module Semantics = Alveare_engine.Semantics
+  module Backtrack = Alveare_engine.Backtrack
+  module Nfa = Alveare_engine.Nfa
+  module Pike_vm = Alveare_engine.Pike_vm
+  module Lazy_dfa = Alveare_engine.Lazy_dfa
+  module Counting = Alveare_engine.Counting
+  module Dfa_offline = Alveare_engine.Dfa_offline
+end
+
+module Compile = Alveare_compiler.Compile
+module Ruleset = Alveare_compiler.Ruleset
+module Opt = Alveare_ir.Opt
+module Core = Alveare_arch.Core
+module Trace = Alveare_arch.Trace
+module Vcd = Alveare_arch.Vcd
+module Multicore = Alveare_multicore.Multicore
+module Stream_runner = Alveare_multicore.Stream_runner
+
+module Platform : sig
+  module Calibration = Alveare_platform.Calibration
+  module Measure = Alveare_platform.Measure
+  module Energy = Alveare_platform.Energy
+  module Energy_breakdown = Alveare_platform.Energy_breakdown
+  module Area = Alveare_platform.Area
+  module A53_re2 = Alveare_platform.A53_re2
+  module Dpu = Alveare_platform.Dpu
+  module Gpu = Alveare_platform.Gpu
+  module Alveare_fpga = Alveare_platform.Alveare_fpga
+end
+
+module Workloads : sig
+  module Rng = Alveare_workloads.Rng
+  module Sampler = Alveare_workloads.Sampler
+  module Streams = Alveare_workloads.Streams
+  module Benchmark = Alveare_workloads.Benchmark
+  module Microbench = Alveare_workloads.Microbench
+end
+
+(** {1 One-call helpers}
+
+    String-pattern helpers compile through a small internal cache, so
+    matching many inputs against the same pattern compiles once. Errors
+    are rendered messages. *)
+
+(** A match: [start] inclusive, [stop] exclusive. *)
+type span = Alveare_engine.Semantics.span = {
+  start : int;
+  stop : int;
+}
+
+type compiled = Compile.compiled
+
+val compile : string -> (compiled, Compile.error) result
+val compile_exn : string -> compiled
+
+val find_all : ?cores:int -> string -> string -> (span list, string) result
+(** [find_all pattern input] — all non-overlapping matches on the
+    simulated DSA ([cores] > 1 uses the multi-core scale-out). *)
+
+val search : string -> string -> (span option, string) result
+(** Leftmost match. *)
+
+val matches : string -> string -> (bool, string) result
+
+val disassemble : string -> (string, string) result
+
+val simulate :
+  ?cores:int -> string -> string -> (span list * float, string) result
+(** Matches plus the modelled wall-clock seconds on the paper's FPGA
+    configuration (300 MHz + PYNQ dispatch). *)

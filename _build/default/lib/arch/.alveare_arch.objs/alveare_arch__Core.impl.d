@@ -1,0 +1,1 @@
+lib/arch/core.ml: Alveare_engine Alveare_isa Array Char List Option Printf String Trace

@@ -1,0 +1,1 @@
+lib/arch/core.mli: Alveare_engine Alveare_isa Trace

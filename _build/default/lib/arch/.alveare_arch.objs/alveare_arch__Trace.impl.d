@@ -1,0 +1,1 @@
+lib/arch/trace.ml: Alveare_isa Fmt List

@@ -1,0 +1,1 @@
+lib/arch/vcd.ml: Buffer Fun Hashtbl List Printf String Trace

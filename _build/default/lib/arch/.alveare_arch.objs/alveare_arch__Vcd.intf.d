@@ -1,0 +1,1 @@
+lib/arch/vcd.mli: Trace

@@ -1,0 +1,53 @@
+(** Cycle-level model of one ALVEARE core (paper §6, Fig. 3): memories
+    with triple prefetch, decode with backup register, 4-wide vector unit
+    with aggregator, and the speculative controller with its rollback
+    stack. Matching semantics are PCRE backtracking order (differentially
+    tested against {!Alveare_engine.Backtrack}). *)
+
+type config = {
+  compute_units : int;          (** CUs in the vector unit (paper: 4) *)
+  stack_capacity : int option;  (** [None] = unbounded speculation stack *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable cycles : int;        (** instructions + rollbacks + scan pruning *)
+  mutable instructions : int;
+  mutable rollbacks : int;
+  mutable stack_pushes : int;
+  mutable max_stack_depth : int;
+  mutable scan_cycles : int;   (** vector-unit start-offset pruning cycles *)
+  mutable attempts : int;
+  mutable offsets_scanned : int;
+  mutable match_count : int;
+}
+
+val fresh_stats : unit -> stats
+
+type error =
+  | Stack_overflow of int
+  | Malformed of { pc : int; reason : string }
+
+val error_message : error -> string
+
+exception Exec_error of error
+
+val match_at :
+  ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  Alveare_isa.Program.t -> string -> int -> int option
+(** Anchored attempt at an offset; returns the match end. *)
+
+val search :
+  ?config:config -> ?stats:stats -> ?trace:Trace.t -> ?from:int ->
+  Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span option
+(** Leftmost match at or after [from]. *)
+
+val find_all :
+  ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
+(** All non-overlapping matches, left to right. [trace] records one
+    {!Trace.event} per cycle for waveform inspection ({!Vcd}). *)
+
+val matches :
+  ?config:config -> ?stats:stats -> Alveare_isa.Program.t -> string -> bool

@@ -1,0 +1,77 @@
+(* Cycle-by-cycle execution trace of one ALVEARE core. The controller
+   emits one event per cycle (instruction executed, rollback, vector-scan
+   skip); the trace can be rendered as text or dumped as a VCD waveform
+   (see {!Vcd}) for inspection in a wave viewer — the view an RTL
+   designer would get from the real core. *)
+
+module I = Alveare_isa.Instruction
+
+type kind =
+  | Exec_base of {
+      op : I.base_op;
+      neg : bool;
+      matched : bool;
+      consumed : int;
+    }
+  | Exec_open
+  | Exec_close of I.close_op
+  | Exec_eor            (* match completed at [cursor] *)
+  | Rollback            (* speculation-stack pop on mismatch *)
+  | Scan_skip of int    (* offsets pruned by the vector unit this cycle *)
+  | Attempt_start       (* controller (re)starts from the backup register *)
+
+type event = {
+  cycle : int;
+  pc : int;
+  cursor : int;
+  stack_depth : int;
+  kind : kind;
+}
+
+type t = {
+  mutable events : event list; (* newest first *)
+  mutable count : int;
+  limit : int;
+}
+
+let create ?(limit = 1_000_000) () = { events = []; count = 0; limit }
+
+let record t ev =
+  if t.count < t.limit then begin
+    t.events <- ev :: t.events;
+    t.count <- t.count + 1
+  end
+
+let events t = List.rev t.events
+
+let length t = t.count
+
+let truncated t = t.count >= t.limit
+
+let kind_name = function
+  | Exec_base _ -> "base"
+  | Exec_open -> "open"
+  | Exec_close _ -> "close"
+  | Exec_eor -> "eor"
+  | Rollback -> "rollback"
+  | Scan_skip _ -> "scan"
+  | Attempt_start -> "attempt"
+
+let pp_event ppf ev =
+  Fmt.pf ppf "#%-6d pc=%-4d cur=%-6d stk=%-3d %s" ev.cycle ev.pc ev.cursor
+    ev.stack_depth
+    (match ev.kind with
+     | Exec_base { op; neg; matched; consumed } ->
+       Fmt.str "%s%a %s (%d chars)"
+         (if neg then "NOT " else "")
+         I.pp_base_op op
+         (if matched then "match" else "MISS")
+         consumed
+     | Exec_open -> "OPEN (push context)"
+     | Exec_close c -> Fmt.str "close %a" I.pp_close_op c
+     | Exec_eor -> "EOR: match"
+     | Rollback -> "rollback (pop snapshot)"
+     | Scan_skip n -> Fmt.str "vector scan: %d offsets pruned" n
+     | Attempt_start -> "attempt start")
+
+let pp ppf t = List.iter (fun ev -> Fmt.pf ppf "%a@." pp_event ev) (events t)

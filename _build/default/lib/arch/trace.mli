@@ -1,0 +1,40 @@
+(** Cycle-by-cycle execution trace of one core — the view an RTL designer
+    gets from the real hardware. Render as text ({!pp}) or as a VCD
+    waveform ({!Vcd}). *)
+
+type kind =
+  | Exec_base of {
+      op : Alveare_isa.Instruction.base_op;
+      neg : bool;
+      matched : bool;
+      consumed : int;
+    }
+  | Exec_open
+  | Exec_close of Alveare_isa.Instruction.close_op
+  | Exec_eor            (** match completed at [cursor] *)
+  | Rollback            (** speculation-stack pop on mismatch *)
+  | Scan_skip of int    (** offsets pruned by the vector unit this cycle *)
+  | Attempt_start       (** controller (re)starts from the backup register *)
+
+type event = {
+  cycle : int;
+  pc : int;
+  cursor : int;
+  stack_depth : int;
+  kind : kind;
+}
+
+type t
+
+val create : ?limit:int -> unit -> t
+(** Recording stops silently at [limit] events (default 1M). *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** In execution order. *)
+
+val length : t -> int
+val truncated : t -> bool
+val kind_name : kind -> string
+val pp_event : event Fmt.t
+val pp : t Fmt.t

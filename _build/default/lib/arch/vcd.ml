@@ -1,0 +1,94 @@
+(* Value-change-dump writer for execution traces: renders a {!Trace.t} as
+   a VCD waveform viewable in GTKWave & co., with one timestep per core
+   cycle at the paper's 300 MHz (3333 ps). Signals:
+
+     pc[15:0]       program counter
+     cursor[31:0]   data-stream position
+     stack[15:0]    speculation-stack depth
+     state[2:0]     controller state (see the encoding below)
+     match          1-bit pulse on EoR
+     mismatch       1-bit pulse on rollback *)
+
+let ps_per_cycle = 3333 (* 300 MHz *)
+
+let state_code = function
+  | Trace.Exec_base _ -> 1
+  | Trace.Exec_open -> 2
+  | Trace.Exec_close _ -> 3
+  | Trace.Exec_eor -> 4
+  | Trace.Rollback -> 5
+  | Trace.Scan_skip _ -> 6
+  | Trace.Attempt_start -> 7
+
+let binary_of_int width v =
+  String.init width (fun k -> if (v lsr (width - 1 - k)) land 1 = 1 then '1' else '0')
+
+type signal = {
+  id : string;
+  width : int;
+  name : string;
+  value_of : Trace.event -> int;
+}
+
+let signals =
+  [ { id = "!"; width = 16; name = "pc"; value_of = (fun e -> e.Trace.pc) };
+    { id = "\""; width = 32; name = "cursor"; value_of = (fun e -> e.Trace.cursor) };
+    { id = "#"; width = 16; name = "stack"; value_of = (fun e -> e.Trace.stack_depth) };
+    { id = "$"; width = 3; name = "state"; value_of = (fun e -> state_code e.Trace.kind) };
+    { id = "%"; width = 1; name = "match";
+      value_of = (fun e -> match e.Trace.kind with Trace.Exec_eor -> 1 | _ -> 0) };
+    { id = "&"; width = 1; name = "mismatch";
+      value_of = (fun e -> match e.Trace.kind with Trace.Rollback -> 1 | _ -> 0) } ]
+
+let emit buf (trace : Trace.t) =
+  let out fmt = Printf.bprintf buf fmt in
+  out "$date ALVEARE core trace $end\n";
+  out "$version alveare simulator $end\n";
+  out "$timescale 1ps $end\n";
+  out "$scope module alveare_core $end\n";
+  List.iter
+    (fun s ->
+       if s.width = 1 then out "$var wire 1 %s %s $end\n" s.id s.name
+       else out "$var wire %d %s %s [%d:0] $end\n" s.width s.id s.name (s.width - 1))
+    signals;
+  out "$upscope $end\n";
+  out "$enddefinitions $end\n";
+  out "$dumpvars\n";
+  List.iter
+    (fun s ->
+       if s.width = 1 then out "0%s\n" s.id
+       else out "b0 %s\n" s.id)
+    signals;
+  out "$end\n";
+  let last = Hashtbl.create 8 in
+  List.iter
+    (fun (ev : Trace.event) ->
+       out "#%d\n" (ev.Trace.cycle * ps_per_cycle);
+       List.iter
+         (fun s ->
+            let v = s.value_of ev in
+            let changed =
+              match Hashtbl.find_opt last s.id with
+              | Some prev -> prev <> v
+              | None -> true
+            in
+            if changed then begin
+              Hashtbl.replace last s.id v;
+              if s.width = 1 then out "%d%s\n" v s.id
+              else out "b%s %s\n" (binary_of_int s.width v) s.id
+            end)
+         signals)
+    (Trace.events trace)
+
+let to_string trace =
+  let buf = Buffer.create 4096 in
+  emit buf trace;
+  Buffer.contents buf
+
+let write_channel oc trace = output_string oc (to_string trace)
+
+let write_file path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> write_channel oc trace)

@@ -1,0 +1,10 @@
+(** VCD waveform writer for execution traces (GTKWave-compatible): one
+    timestep per core cycle at 300 MHz. Signals: [pc], [cursor],
+    [stack] depth, controller [state], and [match]/[mismatch] pulses. *)
+
+val ps_per_cycle : int
+(** 3333 (300 MHz). *)
+
+val to_string : Trace.t -> string
+val write_channel : out_channel -> Trace.t -> unit
+val write_file : string -> Trace.t -> unit

@@ -1,0 +1,1 @@
+lib/backend/emit.ml: Alveare_ir Alveare_isa Array Hashtbl List Printf

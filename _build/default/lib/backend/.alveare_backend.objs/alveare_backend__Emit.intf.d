@@ -1,0 +1,1 @@
+lib/backend/emit.mli: Alveare_ir Alveare_isa

@@ -1,0 +1,1 @@
+lib/compiler/compile.ml: Alveare_backend Alveare_frontend Alveare_ir Alveare_isa Fmt

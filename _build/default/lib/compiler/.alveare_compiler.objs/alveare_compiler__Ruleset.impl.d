@@ -1,0 +1,1 @@
+lib/compiler/ruleset.ml: Alveare_arch Alveare_engine Alveare_ir Alveare_multicore Alveare_platform Array Compile List Printf

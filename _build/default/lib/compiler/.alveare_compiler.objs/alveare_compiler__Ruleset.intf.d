@@ -1,0 +1,1 @@
+lib/compiler/ruleset.mli: Alveare_engine Alveare_ir Compile

@@ -1,0 +1,73 @@
+(* Compiler driver (paper §5): pattern -> AST -> IR -> ISA program.
+
+   The result bundles every stage so tools (disassembler, simulator,
+   harness) can inspect intermediate forms, plus the statistics the
+   evaluation reports (code size excluding EoR, operator histogram). *)
+
+type compiled = {
+  pattern : string;
+  ast : Alveare_frontend.Ast.t;         (* normalised *)
+  ir : Alveare_ir.Ir.t;
+  program : Alveare_isa.Program.t;
+  options : Alveare_ir.Lower.options;
+}
+
+type error =
+  | Frontend_error of string
+  | Backend_error of Alveare_backend.Emit.error
+
+let error_message = function
+  | Frontend_error m -> m
+  | Backend_error e -> Alveare_backend.Emit.error_message e
+
+let compile_ast ?(options = Alveare_ir.Lower.default_options)
+    ?(pattern = "<ast>") ast : (compiled, error) result =
+  let ast = Alveare_frontend.Desugar.normalize ast in
+  let ir = Alveare_ir.Lower.lower ~options ast in
+  match Alveare_backend.Emit.program_of_ir ir with
+  | Ok program -> Ok { pattern; ast; ir; program; options }
+  | Error e -> Error (Backend_error e)
+
+let compile ?options pattern : (compiled, error) result =
+  match Alveare_frontend.Desugar.pattern pattern with
+  | Error m -> Error (Frontend_error m)
+  | Ok ast -> compile_ast ?options ~pattern ast
+
+let compile_exn ?options pattern =
+  match compile ?options pattern with
+  | Ok c -> c
+  | Error e -> invalid_arg ("Compile.compile: " ^ error_message e)
+
+(* Code size as in Table 2: instructions excluding the EoR terminator. *)
+let code_size c = Alveare_isa.Program.code_size c.program
+
+type stats = {
+  code_size : int;
+  total_instructions : int;
+  histogram : Alveare_isa.Program.histogram;
+  binary_bytes : int;
+  ast_size : int;
+  ast_depth : int;
+}
+
+let stats c =
+  { code_size = code_size c;
+    total_instructions = Alveare_isa.Program.length c.program;
+    histogram = Alveare_isa.Program.histogram c.program;
+    binary_bytes = Alveare_isa.Binary.size_of_program c.program;
+    ast_size = Alveare_frontend.Ast.size c.ast;
+    ast_depth = Alveare_frontend.Ast.depth c.ast }
+
+let disassemble c = Alveare_isa.Program.to_string c.program
+
+let to_binary ?strict c = Alveare_isa.Binary.to_bytes ?strict c.program
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "code size (w/o EoR): %d@.total instructions: %d@.binary bytes: %d@.\
+     AST nodes: %d, depth %d@.operators: AND %d, OR %d, RANGE %d, NOT %d, \
+     OPEN %d, ')' %d, QUANT %d, QUANT? %d, ')|' %d@."
+    s.code_size s.total_instructions s.binary_bytes s.ast_size s.ast_depth
+    s.histogram.n_base_and s.histogram.n_base_or s.histogram.n_base_range
+    s.histogram.n_not s.histogram.n_open s.histogram.n_close
+    s.histogram.n_quant_greedy s.histogram.n_quant_lazy s.histogram.n_alt_close

@@ -1,0 +1,46 @@
+(** Compiler driver: pattern → AST → IR → ISA program (paper §5). *)
+
+type compiled = {
+  pattern : string;
+  ast : Alveare_frontend.Ast.t;  (** normalised *)
+  ir : Alveare_ir.Ir.t;
+  program : Alveare_isa.Program.t;
+  options : Alveare_ir.Lower.options;
+}
+
+type error =
+  | Frontend_error of string
+  | Backend_error of Alveare_backend.Emit.error
+
+val error_message : error -> string
+
+val compile :
+  ?options:Alveare_ir.Lower.options -> string -> (compiled, error) result
+
+val compile_ast :
+  ?options:Alveare_ir.Lower.options ->
+  ?pattern:string ->
+  Alveare_frontend.Ast.t ->
+  (compiled, error) result
+
+val compile_exn : ?options:Alveare_ir.Lower.options -> string -> compiled
+
+val code_size : compiled -> int
+(** Instructions excluding EoR (Table 2 metric). *)
+
+type stats = {
+  code_size : int;
+  total_instructions : int;
+  histogram : Alveare_isa.Program.histogram;
+  binary_bytes : int;
+  ast_size : int;
+  ast_depth : int;
+}
+
+val stats : compiled -> stats
+val disassemble : compiled -> string
+
+val to_binary :
+  ?strict:bool -> compiled -> (bytes, Alveare_isa.Binary.error) result
+
+val pp_stats : stats Fmt.t

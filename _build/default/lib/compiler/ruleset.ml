@@ -1,0 +1,122 @@
+(* Rule-set management: the deployment unit of DPI engines like Snort
+   (paper §7.2) is not one RE but hundreds. A ruleset compiles each rule
+   once, keeps per-rule binaries and metadata, and scans a stream
+   through every rule on the simulated DSA — the paper's model, where
+   cores share one compiled RE and iterate the rule set per stream.
+
+   Compilation is all-or-error-list: a production rule set wants to know
+   every ill-formed rule, not just the first. *)
+
+module Core = Alveare_arch.Core
+module Multicore = Alveare_multicore.Multicore
+module Span = Alveare_engine.Semantics
+
+type rule = {
+  id : int;
+  tag : string;
+  pattern : string;
+}
+
+type compiled_rule = {
+  rule : rule;
+  compiled : Compile.compiled;
+  overlap : int;
+}
+
+type t = {
+  rules : compiled_rule array;
+}
+
+type compile_error = {
+  failed_rule : rule;
+  reason : string;
+}
+
+let compile ?(options = Alveare_ir.Lower.default_options)
+    (specs : (string * string) list) : (t, compile_error list) result =
+  let results =
+    List.mapi
+      (fun id (tag, pattern) ->
+         let rule = { id; tag; pattern } in
+         match Compile.compile ~options pattern with
+         | Ok compiled ->
+           Ok
+             { rule;
+               compiled;
+               overlap =
+                 Multicore.overlap_for_ast compiled.Compile.ast }
+         | Error e ->
+           Error { failed_rule = rule; reason = Compile.error_message e })
+      specs
+  in
+  let failures =
+    List.filter_map (function Error e -> Some e | Ok _ -> None) results
+  in
+  if failures <> [] then Error failures
+  else
+    Ok
+      { rules =
+          Array.of_list
+            (List.filter_map (function Ok r -> Some r | Error _ -> None) results) }
+
+let compile_exn ?options specs =
+  match compile ?options specs with
+  | Ok t -> t
+  | Error (e :: _) ->
+    invalid_arg
+      (Printf.sprintf "Ruleset.compile: rule %d (%s): %s" e.failed_rule.id
+         e.failed_rule.tag e.reason)
+  | Error [] -> assert false
+
+let size t = Array.length t.rules
+
+let rules t = Array.to_list (Array.map (fun r -> r.rule) t.rules)
+
+let find_rule t id =
+  match Array.find_opt (fun r -> r.rule.id = id) t.rules with
+  | Some r -> Some r.rule
+  | None -> None
+
+type hit = {
+  hit_rule : rule;
+  span : Span.span;
+}
+
+type report = {
+  hits : hit list;               (* ordered by rule id, then position *)
+  total_wall_cycles : int;       (* sum over rules of per-rule wall cycles *)
+  seconds : float;               (* modelled DSA time incl. dispatch/rule *)
+  per_rule_cycles : (int * int) list;
+}
+
+(* Scan the stream through every rule. Rules run one after another on the
+   DSA (the instruction memory holds one compiled RE at a time, §6), so
+   total time sums per-rule wall cycles plus one dispatch per rule. *)
+let scan ?(cores = 1) (t : t) (input : string) : report =
+  let hits = ref [] in
+  let total = ref 0 in
+  let per_rule = ref [] in
+  Array.iter
+    (fun r ->
+       let config =
+         Multicore.config ~cores ~overlap:r.overlap ()
+       in
+       let result = Multicore.run ~config r.compiled.Compile.program input in
+       total := !total + result.Multicore.cycles;
+       per_rule := (r.rule.id, result.Multicore.cycles) :: !per_rule;
+       List.iter
+         (fun span -> hits := { hit_rule = r.rule; span } :: !hits)
+         result.Multicore.matches)
+    t.rules;
+  let seconds =
+    (float_of_int !total /. Alveare_platform.Calibration.alveare_clock_hz)
+    +. (float_of_int (size t)
+        *. Alveare_platform.Calibration.alveare_job_overhead_s)
+  in
+  { hits = List.rev !hits;
+    total_wall_cycles = !total;
+    seconds;
+    per_rule_cycles = List.rev !per_rule }
+
+let hits_for report id =
+  List.filter (fun h -> h.hit_rule.id = id) report.hits

@@ -1,0 +1,55 @@
+(** Rule-set management — the DPI deployment unit: compile many tagged
+    rules once, scan streams through all of them on the simulated DSA,
+    and report per-rule hits and cycle costs. *)
+
+type rule = {
+  id : int;
+  tag : string;
+  pattern : string;
+}
+
+type compiled_rule = {
+  rule : rule;
+  compiled : Compile.compiled;
+  overlap : int;  (** multi-core boundary window for this rule *)
+}
+
+type t = {
+  rules : compiled_rule array;
+}
+
+type compile_error = {
+  failed_rule : rule;
+  reason : string;
+}
+
+val compile :
+  ?options:Alveare_ir.Lower.options ->
+  (string * string) list ->
+  (t, compile_error list) result
+(** [(tag, pattern)] pairs; reports EVERY ill-formed rule. *)
+
+val compile_exn :
+  ?options:Alveare_ir.Lower.options -> (string * string) list -> t
+
+val size : t -> int
+val rules : t -> rule list
+val find_rule : t -> int -> rule option
+
+type hit = {
+  hit_rule : rule;
+  span : Alveare_engine.Semantics.span;
+}
+
+type report = {
+  hits : hit list;
+  total_wall_cycles : int;
+  seconds : float;  (** modelled DSA time including per-rule dispatch *)
+  per_rule_cycles : (int * int) list;
+}
+
+val scan : ?cores:int -> t -> string -> report
+(** Rules run sequentially on the DSA (one compiled RE in instruction
+    memory at a time); [cores] parallelises each rule over the stream. *)
+
+val hits_for : report -> int -> hit list

@@ -1,0 +1,1 @@
+lib/engine/backtrack.ml: Alveare_frontend Ast Char List Option Semantics String

@@ -1,0 +1,1 @@
+lib/engine/backtrack.mli: Alveare_frontend Semantics

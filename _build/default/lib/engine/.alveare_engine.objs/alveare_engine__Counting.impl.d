@@ -1,0 +1,1 @@
+lib/engine/counting.ml: Alveare_frontend Array Ast Charset Desugar List Option Printf Semantics String

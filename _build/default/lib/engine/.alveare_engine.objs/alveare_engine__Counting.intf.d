@@ -1,0 +1,1 @@
+lib/engine/counting.mli: Alveare_frontend

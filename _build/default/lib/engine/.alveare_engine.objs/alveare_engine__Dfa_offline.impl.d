@@ -1,0 +1,1 @@
+lib/engine/dfa_offline.ml: Alveare_frontend Array Char Charset Hashtbl List Nfa Printf String

@@ -1,0 +1,1 @@
+lib/engine/dfa_offline.mli: Nfa

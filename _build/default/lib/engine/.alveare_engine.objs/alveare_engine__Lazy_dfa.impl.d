@@ -1,0 +1,1 @@
+lib/engine/lazy_dfa.ml: Alveare_frontend Array Char Hashtbl List Nfa Option String

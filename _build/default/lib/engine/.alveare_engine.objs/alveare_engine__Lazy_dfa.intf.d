@@ -1,0 +1,1 @@
+lib/engine/lazy_dfa.mli: Nfa

@@ -1,0 +1,1 @@
+lib/engine/nfa.ml: Alveare_frontend Array Ast Charset Desugar Fmt List Printf Semantics

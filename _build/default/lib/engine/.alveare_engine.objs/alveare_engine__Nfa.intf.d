@@ -1,0 +1,1 @@
+lib/engine/nfa.mli: Alveare_frontend Fmt

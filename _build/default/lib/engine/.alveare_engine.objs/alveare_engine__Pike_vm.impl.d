@@ -1,0 +1,1 @@
+lib/engine/pike_vm.ml: Alveare_frontend Array List Nfa Option Semantics String

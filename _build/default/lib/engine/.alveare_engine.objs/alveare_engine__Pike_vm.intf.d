@@ -1,0 +1,1 @@
+lib/engine/pike_vm.mli: Nfa Semantics

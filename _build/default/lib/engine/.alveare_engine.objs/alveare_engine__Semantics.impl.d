@@ -1,0 +1,1 @@
+lib/engine/semantics.ml: Alveare_frontend Fmt

@@ -1,0 +1,1 @@
+lib/engine/semantics.mli: Alveare_frontend Fmt

@@ -1,0 +1,95 @@
+(* Ground-truth PCRE-style backtracking matcher over the normalised AST.
+
+   This is the semantic oracle for every other engine (including the
+   ALVEARE microarchitecture simulator): leftmost match, greedy/lazy
+   repetition in backtracking order, zero-width iterations terminated as
+   in PCRE (an iteration that consumes nothing ends the loop).
+
+   Implementation is continuation-passing; recursion depth is proportional
+   to the match length, so this engine is intended for oracle duty on
+   test-sized inputs, not for the megabyte benchmark streams. *)
+
+open Alveare_frontend
+
+let match_at (ast : Ast.t) (input : string) (start : int) : int option =
+  let n = String.length input in
+  let rec m node pos (k : int -> int option) : int option =
+    match node with
+    | Ast.Empty -> k pos
+    | Ast.Char c ->
+      if pos < n && Char.equal input.[pos] c then k (pos + 1) else None
+    | Ast.Any ->
+      if pos < n && not (Char.equal input.[pos] '\n') then k (pos + 1) else None
+    | Ast.Class cls ->
+      if pos < n && Semantics.class_mem cls input.[pos] then k (pos + 1)
+      else None
+    | Ast.Group x -> m x pos k
+    | Ast.Concat xs ->
+      let rec seq parts pos =
+        match parts with
+        | [] -> k pos
+        | x :: rest -> m x pos (fun p -> seq rest p)
+      in
+      seq xs pos
+    | Ast.Alt branches ->
+      let rec try_branches = function
+        | [] -> None
+        | b :: rest ->
+          (match m b pos k with
+           | Some _ as r -> r
+           | None -> try_branches rest)
+      in
+      try_branches branches
+    | Ast.Repeat (x, q) ->
+      let rec boundary count pos =
+        if count < q.Ast.qmin then
+          m x pos (fun p -> boundary (count + 1) p)
+        else begin
+          let at_max =
+            match q.Ast.qmax with Some mx -> count >= mx | None -> false
+          in
+          if at_max then k pos
+          else if q.Ast.greedy then
+            (* A zero-width iteration breaks the loop and proceeds with
+               the continuation immediately (PCRE); if that fails, the
+               body's pending alternatives are backtracked into, exactly
+               as the hardware pops its speculation stack. *)
+            match
+              m x pos (fun p -> if p = pos then k p else boundary (count + 1) p)
+            with
+            | Some _ as r -> r
+            | None -> k pos
+          else
+            match k pos with
+            | Some _ as r -> r
+            | None ->
+              (* the continuation already failed at [pos], so an empty
+                 iteration cannot help: require progress *)
+              m x pos (fun p -> if p = pos then None else boundary (count + 1) p)
+        end
+      in
+      boundary 0 pos
+  in
+  if start < 0 || start > n then invalid_arg "Backtrack.match_at: start"
+  else m ast start Option.some
+
+let search ?(from = 0) ast input : Semantics.span option =
+  let n = String.length input in
+  let rec scan start =
+    if start > n then None
+    else
+      match match_at ast input start with
+      | Some stop -> Some { Semantics.start; stop }
+      | None -> scan (start + 1)
+  in
+  scan from
+
+let find_all ast input : Semantics.span list =
+  let rec go from acc =
+    match search ~from ast input with
+    | None -> List.rev acc
+    | Some span -> go (Semantics.next_scan_position span) (span :: acc)
+  in
+  go 0 []
+
+let matches ast input = Option.is_some (search ast input)

@@ -1,0 +1,17 @@
+(** PCRE-style backtracking oracle over the AST — the reference semantics
+    every other engine (Pike VM, lazy DFA, the ALVEARE simulator) is
+    differentially tested against. CPS recursion depth grows with match
+    length; use on test-sized inputs. *)
+
+val match_at : Alveare_frontend.Ast.t -> string -> int -> int option
+(** [match_at ast input start] returns the end position of the
+    backtracking-first match anchored at [start], if any. *)
+
+val search :
+  ?from:int -> Alveare_frontend.Ast.t -> string -> Semantics.span option
+(** Leftmost match at or after [from] (default 0). *)
+
+val find_all : Alveare_frontend.Ast.t -> string -> Semantics.span list
+(** All non-overlapping matches, scanning left to right. *)
+
+val matches : Alveare_frontend.Ast.t -> string -> bool

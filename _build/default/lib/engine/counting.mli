@@ -1,0 +1,69 @@
+(** Counting-set automaton engine (Turoňová et al., OOPSLA'20 — the
+    paper's cited software state of the art for counted repetition, and
+    the motivation for the ISA counter primitive). A bounded repetition
+    of a single-symbol body becomes one counting state carrying a set of
+    active counter values (kept as intervals), instead of an unfolded
+    chain of copies. *)
+
+type node =
+  | Eps of int list
+  | Consume of Alveare_frontend.Charset.t * int
+  | Counted of {
+      set : Alveare_frontend.Charset.t;
+      qmin : int;
+      qmax : int option;   (** [None] = unbounded *)
+      exit_ : int;
+    }
+  | Accept
+
+type t = {
+  nodes : node array;
+  start : int;
+}
+
+(** Counter-value sets as sorted disjoint intervals — all per-symbol
+    operations are linear in the interval count, which stays tiny. *)
+module Counter_set : sig
+  type t = (int * int) list
+
+  val empty : t
+  val is_empty : t -> bool
+  val singleton : int -> t
+  val insert : int -> t -> t
+  val increment : ?limit:int -> t -> t
+  (** Add one to every member, dropping values beyond [limit]. *)
+
+  val exists_at_least : int -> t -> bool
+  val max_value : t -> int
+  val interval_count : t -> int
+  val union : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type error = Too_many_states of int
+
+val error_message : error -> string
+val default_max_states : int
+
+val of_ast :
+  ?max_states:int -> Alveare_frontend.Ast.t -> (t, error) result
+
+val of_ast_exn : ?max_states:int -> Alveare_frontend.Ast.t -> t
+
+val state_count : t -> int
+val counted_states : t -> int
+(** How many repetitions became counting states. *)
+
+type stats = {
+  mutable bytes : int;
+  mutable steps : int;
+  mutable max_intervals : int;  (** peak intervals in any counter set *)
+}
+
+val fresh_stats : unit -> stats
+
+val search_end : ?stats:stats -> ?from:int -> t -> string -> int option
+(** Earliest position at or after [from] where some match ends
+    (unanchored), like {!Lazy_dfa.search_end}. *)
+
+val matches : ?stats:stats -> t -> string -> bool

@@ -1,0 +1,241 @@
+(* Offline DFA construction: full subset determinisation and DFA
+   minimisation (Moore partition refinement) over the Thompson NFA.
+
+   This is the substrate behind the FPGA/in-memory "logic embedding"
+   approaches the paper compares against (Grapefruit [17], the Automata
+   Processor [5], cache automata [20]): those architectures compile the
+   automaton into the fabric, so their area and reconfiguration cost
+   follow the (minimised) automaton size — unlike ALVEARE, which only
+   reloads an instruction memory. The `fabric` experiment uses the sizes
+   computed here.
+
+   To keep the transition tables small the byte alphabet is first
+   partitioned into equivalence classes (bytes no NFA edge ever
+   distinguishes), a standard trick that the minimisation keeps exact. *)
+
+open Alveare_frontend
+
+type t = {
+  n_states : int;
+  n_symbols : int;              (* alphabet equivalence classes *)
+  symbol_of_byte : int array;   (* 256 -> symbol *)
+  transitions : int array;      (* state * n_symbols + symbol -> state *)
+  accepting : bool array;
+  start : int;
+}
+
+type error = Too_many_states of int
+
+let error_message (Too_many_states n) =
+  Printf.sprintf "determinisation exceeds %d states" n
+
+let default_max_states = 4096
+
+(* --- Alphabet equivalence classes -------------------------------------- *)
+
+(* Two bytes are equivalent when every consuming NFA edge treats them the
+   same; boundaries therefore only occur at range endpoints. *)
+let alphabet_classes (nfa : Nfa.t) : int array * int =
+  let boundary = Array.make 257 false in
+  boundary.(0) <- true;
+  Array.iter
+    (fun node ->
+       match node with
+       | Nfa.Consume (set, _) ->
+         List.iter
+           (fun (lo, hi) ->
+              boundary.(lo) <- true;
+              if hi + 1 <= 256 then boundary.(hi + 1) <- true)
+           (Charset.ranges set)
+       | Nfa.Eps _ | Nfa.Accept -> ())
+    nfa.Nfa.nodes;
+  let symbol_of_byte = Array.make 256 0 in
+  let current = ref (-1) in
+  for b = 0 to 255 do
+    if boundary.(b) then incr current;
+    symbol_of_byte.(b) <- !current
+  done;
+  (symbol_of_byte, !current + 1)
+
+(* --- Subset construction ------------------------------------------------ *)
+
+let determinize ?(max_states = default_max_states) (nfa : Nfa.t)
+  : (t, error) result =
+  let symbol_of_byte, n_symbols = alphabet_classes nfa in
+  (* one representative byte per symbol *)
+  let byte_of_symbol = Array.make n_symbols '\000' in
+  for b = 255 downto 0 do
+    byte_of_symbol.(symbol_of_byte.(b)) <- Char.chr b
+  done;
+  let table : (int list, int) Hashtbl.t = Hashtbl.create 64 in
+  let members_of = ref (Array.make 64 []) in
+  let rows = ref (Array.make 64 [||]) in
+  let n = ref 0 in
+  let exception Overflow in
+  let grow arr len = 
+    if len >= Array.length !arr then begin
+      let bigger = Array.make (2 * Array.length !arr) !arr.(0) in
+      Array.blit !arr 0 bigger 0 len;
+      arr := bigger
+    end
+  in
+  let intern members =
+    match Hashtbl.find_opt table members with
+    | Some id -> id
+    | None ->
+      if !n >= max_states then raise Overflow;
+      let id = !n in
+      incr n;
+      Hashtbl.replace table members id;
+      grow members_of id;
+      grow rows id;
+      !members_of.(id) <- members;
+      id
+  in
+  match
+    let start = intern (List.sort_uniq compare (Nfa.eps_closure nfa [ nfa.Nfa.start ])) in
+    let rec process next_unbuilt =
+      if next_unbuilt < !n then begin
+        let members = !members_of.(next_unbuilt) in
+        let row = Array.make n_symbols 0 in
+        for sym = 0 to n_symbols - 1 do
+          let c = byte_of_symbol.(sym) in
+          let moved =
+            List.filter_map
+              (fun s ->
+                 match nfa.Nfa.nodes.(s) with
+                 | Nfa.Consume (set, succ) when Charset.mem c set -> Some succ
+                 | Nfa.Consume _ | Nfa.Eps _ | Nfa.Accept -> None)
+              members
+          in
+          let closed = List.sort_uniq compare (Nfa.eps_closure nfa moved) in
+          row.(sym) <- intern closed
+        done;
+        !rows.(next_unbuilt) <- row;
+        process (next_unbuilt + 1)
+      end
+    in
+    process 0;
+    start
+  with
+  | exception Overflow -> Error (Too_many_states max_states)
+  | start ->
+    let transitions = Array.make (!n * n_symbols) 0 in
+    for st = 0 to !n - 1 do
+      Array.iteri
+        (fun sym target -> transitions.((st * n_symbols) + sym) <- target)
+        !rows.(st)
+    done;
+    let accepting =
+      Array.init !n (fun st ->
+          List.exists (fun s -> nfa.Nfa.nodes.(s) = Nfa.Accept) !members_of.(st))
+    in
+    Ok { n_states = !n; n_symbols; symbol_of_byte; transitions; accepting; start }
+
+let determinize_exn ?max_states nfa =
+  match determinize ?max_states nfa with
+  | Ok d -> d
+  | Error e -> invalid_arg ("Dfa_offline.determinize: " ^ error_message e)
+
+(* --- Execution ------------------------------------------------------------ *)
+
+let step (d : t) state c =
+  d.transitions.((state * d.n_symbols) + d.symbol_of_byte.(Char.code c))
+
+(* Anchored acceptance of a whole string. *)
+let accepts (d : t) (input : string) : bool =
+  let state = ref d.start in
+  let i = ref 0 in
+  let n = String.length input in
+  while !i < n do
+    state := step d !state input.[!i];
+    incr i
+  done;
+  d.accepting.(!state)
+
+(* --- Minimisation by Moore partition refinement (same fixpoint as
+   Hopcroft, simpler bookkeeping; fine at our state counts) ------------- *)
+
+let minimize (d : t) : t =
+  (* block id per state; refine blocks by transition signatures *)
+  let block = Array.make d.n_states 0 in
+  Array.iteri (fun s acc -> block.(s) <- if acc then 1 else 0) d.accepting;
+  let n_blocks = ref 2 in
+  (* degenerate cases: all accepting or none *)
+  let distinct = Array.exists (fun b -> b <> block.(0)) block in
+  if not distinct then n_blocks := 1;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* split each block by transition signatures *)
+    let signature s =
+      Array.init d.n_symbols (fun sym ->
+          block.(d.transitions.((s * d.n_symbols) + sym)))
+    in
+    let assignments = Hashtbl.create 64 in
+    let next_block = ref 0 in
+    let new_block = Array.make d.n_states 0 in
+    Array.iteri
+      (fun s _ ->
+         let key = (block.(s), signature s) in
+         match Hashtbl.find_opt assignments key with
+         | Some b -> new_block.(s) <- b
+         | None ->
+           Hashtbl.replace assignments key !next_block;
+           new_block.(s) <- !next_block;
+           incr next_block)
+      block;
+    if !next_block <> !n_blocks then begin
+      changed := true;
+      n_blocks := !next_block
+    end;
+    Array.blit new_block 0 block 0 d.n_states
+  done;
+  let m = !n_blocks in
+  let transitions = Array.make (m * d.n_symbols) 0 in
+  let accepting = Array.make m false in
+  Array.iteri
+    (fun s b ->
+       accepting.(b) <- accepting.(b) || d.accepting.(s);
+       for sym = 0 to d.n_symbols - 1 do
+         transitions.((b * d.n_symbols) + sym) <-
+           block.(d.transitions.((s * d.n_symbols) + sym))
+       done)
+    block;
+  { d with
+    n_states = m;
+    transitions;
+    accepting;
+    start = block.(d.start) }
+
+(* --- Fabric-embedding cost model --------------------------------------------- *)
+
+(* Resource estimate for embedding the automaton in FPGA logic, after the
+   one-hot NFA style of Grapefruit [17] / REAPR: one flip-flop per state,
+   and per state a next-state OR over its incoming transitions plus its
+   character-class decode (8-bit match -> ~3 LUT6 after sharing). DFA
+   embedding instead stores the transition table in BRAM:
+   states x symbol-classes entries of ceil(log2 states) bits. *)
+type fabric_cost = {
+  nfa_ffs : int;
+  nfa_luts : int;
+  dfa_bram_bits : int;
+  reconfiguration : string;
+}
+
+let bits_needed n =
+  let rec go b v = if v >= n then b else go (b + 1) (v * 2) in
+  go 1 2
+
+let fabric_cost ~(nfa : Nfa.t) (minimized : t) : fabric_cost =
+  let consuming =
+    Array.fold_left
+      (fun acc node -> match node with Nfa.Consume _ -> acc + 1 | _ -> acc)
+      0 nfa.Nfa.nodes
+  in
+  { nfa_ffs = consuming;
+    nfa_luts = consuming * 4; (* decode (~3 LUT) + next-state OR (~1) *)
+    dfa_bram_bits =
+      minimized.n_states * minimized.n_symbols * bits_needed (max 2 minimized.n_states);
+    reconfiguration =
+      "full place-and-route / bitstream reload (minutes-hours)" }

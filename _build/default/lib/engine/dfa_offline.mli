@@ -1,0 +1,45 @@
+(** Offline DFA construction: full subset determinisation over alphabet
+    equivalence classes, DFA minimisation (Moore partition refinement),
+    and the fabric-embedding cost model behind the paper's logic-embedding
+    related work (Grapefruit-style FPGA automata). *)
+
+type t = {
+  n_states : int;
+  n_symbols : int;              (** alphabet equivalence classes *)
+  symbol_of_byte : int array;   (** byte → symbol class *)
+  transitions : int array;      (** [state * n_symbols + symbol] → state *)
+  accepting : bool array;
+  start : int;
+}
+
+type error = Too_many_states of int
+
+val error_message : error -> string
+val default_max_states : int
+
+val alphabet_classes : Nfa.t -> int array * int
+(** Byte → class map and class count: bytes never distinguished by any
+    NFA edge share a class. *)
+
+val determinize : ?max_states:int -> Nfa.t -> (t, error) result
+val determinize_exn : ?max_states:int -> Nfa.t -> t
+
+val step : t -> int -> char -> int
+
+val accepts : t -> string -> bool
+(** Anchored whole-string acceptance (language membership). *)
+
+val minimize : t -> t
+(** Minimal DFA for the same language. *)
+
+(** FPGA resource estimate for embedding the automaton in logic: one-hot
+    NFA style (FF per state, decode+next-state LUTs) and BRAM-table DFA
+    style — contrasted with ALVEARE's reloadable instruction memory. *)
+type fabric_cost = {
+  nfa_ffs : int;
+  nfa_luts : int;
+  dfa_bram_bits : int;
+  reconfiguration : string;
+}
+
+val fabric_cost : nfa:Nfa.t -> t -> fabric_cost

@@ -1,0 +1,147 @@
+(* Lazy-DFA engine: on-the-fly subset construction over the Thompson NFA
+   with a bounded state cache — the algorithm behind RE2's fast path. The
+   scan is unanchored (the NFA start state is folded into every DFA
+   state), so a hit reports the first position at which some match ends.
+
+   When the cache exceeds [max_cached_states] it is flushed and rebuilt,
+   exactly like RE2 under pattern pressure; the flush count feeds the A53
+   cost model, which charges reconstruction work. *)
+
+type stats = {
+  mutable bytes : int;
+  mutable states_built : int;
+  mutable transitions_built : int;
+  mutable flushes : int;
+}
+
+let fresh_stats () =
+  { bytes = 0; states_built = 0; transitions_built = 0; flushes = 0 }
+
+type dstate = {
+  id : int;
+  members : int list;           (* sorted NFA states *)
+  accepting : bool;
+  next : int array;             (* 256 entries, -1 = not yet built *)
+}
+
+type t = {
+  nfa : Nfa.t;
+  max_cached_states : int;
+  mutable table : (int list, dstate) Hashtbl.t;
+  mutable states : dstate list;
+  mutable start_state : dstate option;
+  stats : stats;
+}
+
+let default_max_cached_states = 4096
+
+let create ?(max_cached_states = default_max_cached_states) nfa =
+  { nfa;
+    max_cached_states;
+    table = Hashtbl.create 64;
+    states = [];
+    start_state = None;
+    stats = fresh_stats () }
+
+let stats t = t.stats
+
+let cached_states t = Hashtbl.length t.table
+
+let is_accepting nfa members =
+  List.exists (fun s -> nfa.Nfa.nodes.(s) = Nfa.Accept) members
+
+let flush t =
+  t.table <- Hashtbl.create 64;
+  t.states <- [];
+  t.start_state <- None;
+  t.stats.flushes <- t.stats.flushes + 1
+
+let intern t members =
+  let members = List.sort_uniq compare members in
+  match Hashtbl.find_opt t.table members with
+  | Some d -> d
+  | None ->
+    if Hashtbl.length t.table >= t.max_cached_states then flush t;
+    let d =
+      { id = Hashtbl.length t.table;
+        members;
+        accepting = is_accepting t.nfa members;
+        next = Array.make 256 (-1) }
+    in
+    Hashtbl.replace t.table members d;
+    t.states <- d :: t.states;
+    t.stats.states_built <- t.stats.states_built + 1;
+    d
+
+(* The scanning start state: epsilon closure of the NFA start. *)
+let start_dstate t =
+  match t.start_state with
+  | Some d -> d
+  | None ->
+    let d = intern t (Nfa.eps_closure t.nfa [ t.nfa.Nfa.start ]) in
+    t.start_state <- Some d;
+    d
+
+(* Build the transition for (d, c): move every consuming member over [c],
+   close, and fold in the NFA start (unanchored scan). *)
+let step t (d : dstate) (c : char) : dstate =
+  let moved =
+    List.filter_map
+      (fun s ->
+         match t.nfa.Nfa.nodes.(s) with
+         | Nfa.Consume (set, succ) when Alveare_frontend.Charset.mem c set ->
+           Some succ
+         | Nfa.Consume _ | Nfa.Eps _ | Nfa.Accept -> None)
+      d.members
+  in
+  let closed = Nfa.eps_closure t.nfa (moved @ [ t.nfa.Nfa.start ]) in
+  let d' = intern t closed in
+  d.next.(Char.code c) <- d'.id;
+  t.stats.transitions_built <- t.stats.transitions_built + 1;
+  d'
+
+(* Fast path: follow cached transitions; fall back to [step] on a miss.
+   Because a flush invalidates ids, cached ids are looked up in a direct
+   id-indexed array rebuilt lazily. *)
+let search_end ?(from = 0) t input : int option =
+  let n = String.length input in
+  if from < 0 || from > n then invalid_arg "Lazy_dfa.search_end: from";
+  let by_id = Hashtbl.create 64 in
+  let remember d = Hashtbl.replace by_id d.id d in
+  let rec scan d pos =
+    if d.accepting then Some pos
+    else if pos >= n then None
+    else begin
+      let c = input.[pos] in
+      t.stats.bytes <- t.stats.bytes + 1;
+      let generation = t.stats.flushes in
+      let cached = d.next.(Char.code c) in
+      let d' =
+        match (if cached >= 0 then Hashtbl.find_opt by_id cached else None) with
+        | Some d' -> d'
+        | None ->
+          let d' = step t d c in
+          remember d';
+          d'
+      in
+      (* A flush invalidated every remembered state. *)
+      if t.stats.flushes <> generation then Hashtbl.reset by_id;
+      scan d' (pos + 1)
+    end
+  in
+  let d0 = start_dstate t in
+  remember d0;
+  scan d0 from
+
+let matches t input = Option.is_some (search_end t input)
+
+(* All match end positions under rescan-after-hit (the DFA cannot recover
+   starts; engines that need spans pair this with an NFA pass, as RE2
+   does — for benchmarking we only need the scan work). *)
+let count_matches t input =
+  let rec go from acc =
+    match search_end ~from t input with
+    | None -> acc
+    | Some stop -> go (max (stop + 1) (from + 1)) (acc + 1)
+  in
+  go 0 0

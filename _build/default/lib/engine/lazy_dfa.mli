@@ -1,0 +1,32 @@
+(** Lazy-DFA engine — on-the-fly subset construction with a bounded state
+    cache (RE2's fast path). The scan is unanchored; a hit reports the
+    first position where some match ends. Cache overflow flushes and
+    rebuilds, as RE2 does; the stats feed the A53 cost model. *)
+
+type stats = {
+  mutable bytes : int;
+  mutable states_built : int;
+  mutable transitions_built : int;
+  mutable flushes : int;
+}
+
+val fresh_stats : unit -> stats
+
+type t
+
+val default_max_cached_states : int
+
+val create : ?max_cached_states:int -> Nfa.t -> t
+
+val stats : t -> stats
+
+val cached_states : t -> int
+(** Currently cached DFA states. *)
+
+val search_end : ?from:int -> t -> string -> int option
+(** First position at or after [from] where a match ends, if any. *)
+
+val matches : t -> string -> bool
+
+val count_matches : t -> string -> int
+(** Number of matches under rescan-after-hit. *)

@@ -1,0 +1,141 @@
+(* Thompson NFA construction from the normalised AST.
+
+   The NFA is the substrate for the Pike VM (RE2's NFA fallback and both
+   GPU baseline models) and for the lazy-DFA subset engine (RE2's main
+   path). Bounded repetitions are unfolded into copies — precisely the
+   "compiler-based unfolding" the paper contrasts its counter primitive
+   against (§7.1) — so construction reports an error instead of exploding
+   past [max_states]. *)
+
+open Alveare_frontend
+
+type node =
+  | Eps of int list              (* successors in priority order *)
+  | Consume of Charset.t * int   (* one byte in the set, then successor *)
+  | Accept
+
+type t = {
+  nodes : node array;
+  start : int;
+}
+
+type error = Too_many_states of int
+
+let error_message (Too_many_states n) =
+  Printf.sprintf "NFA exceeds the construction limit of %d states" n
+
+exception Build_error of error
+
+let default_max_states = 100_000
+
+(* Growable node store. *)
+type builder = {
+  mutable store : node array;
+  mutable len : int;
+  limit : int;
+}
+
+let add b node =
+  if b.len >= b.limit then raise (Build_error (Too_many_states b.limit));
+  if b.len = Array.length b.store then begin
+    let bigger = Array.make (max 16 (2 * b.len)) Accept in
+    Array.blit b.store 0 bigger 0 b.len;
+    b.store <- bigger
+  end;
+  b.store.(b.len) <- node;
+  b.len <- b.len + 1;
+  b.len - 1
+
+let set b idx node = b.store.(idx) <- node
+
+let class_of_ast_class cls = Semantics.class_set cls
+
+(* Build backwards: [go node next] returns the entry state of a fragment
+   recognising [node] and continuing to state [next]. *)
+let rec go b (node : Ast.t) (next : int) : int =
+  match node with
+  | Ast.Empty -> next
+  | Ast.Char c -> add b (Consume (Charset.singleton c, next))
+  | Ast.Any ->
+    add b (Consume (class_of_ast_class Desugar.dot_class, next))
+  | Ast.Class cls -> add b (Consume (class_of_ast_class cls, next))
+  | Ast.Group x -> go b x next
+  | Ast.Concat xs -> List.fold_right (fun x acc -> go b x acc) xs next
+  | Ast.Alt branches ->
+    let entries = List.map (fun x -> go b x next) branches in
+    add b (Eps entries)
+  | Ast.Repeat (x, q) ->
+    let tail =
+      match q.Ast.qmax with
+      | Some m ->
+        (* (m - qmin) optional copies, innermost first. *)
+        let rec optional k next =
+          if k = 0 then next
+          else begin
+            let continue_to = optional (k - 1) next in
+            (* reserve the choice state before building the body so the
+               body of each copy is shared-free (true unfolding) *)
+            let entry = go b x continue_to in
+            add b (Eps (if q.Ast.greedy then [ entry; next ] else [ next; entry ]))
+          end
+        in
+        optional (m - q.Ast.qmin) next
+      | None ->
+        (* star loop with a back edge; placeholder patched after the body *)
+        let loop = add b (Eps []) in
+        let entry = go b x loop in
+        set b loop (Eps (if q.Ast.greedy then [ entry; next ] else [ next; entry ]));
+        loop
+    in
+    (* qmin mandatory copies in front. *)
+    let rec mandatory k acc = if k = 0 then acc else mandatory (k - 1) (go b x acc) in
+    mandatory q.Ast.qmin tail
+
+let of_ast ?(max_states = default_max_states) ast : (t, error) result =
+  let b = { store = Array.make 64 Accept; len = 0; limit = max_states } in
+  match
+    let accept = add b Accept in
+    let start = go b ast accept in
+    { nodes = Array.sub b.store 0 b.len; start }
+  with
+  | nfa -> Ok nfa
+  | exception Build_error e -> Error e
+
+let of_ast_exn ?max_states ast =
+  match of_ast ?max_states ast with
+  | Ok nfa -> nfa
+  | Error e -> invalid_arg ("Nfa.of_ast: " ^ error_message e)
+
+let state_count nfa = Array.length nfa.nodes
+
+let accept_states nfa =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n = Accept then acc := i :: !acc) nfa.nodes;
+  !acc
+
+(* Epsilon closure in priority order, visiting each state once. *)
+let eps_closure nfa states =
+  let seen = Array.make (state_count nfa) false in
+  let out = ref [] in
+  let rec visit s =
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      match nfa.nodes.(s) with
+      | Eps succs -> List.iter visit succs
+      | Consume _ | Accept -> out := s :: !out
+    end
+  in
+  List.iter visit states;
+  List.rev !out
+
+let pp ppf nfa =
+  Array.iteri
+    (fun i node ->
+       match node with
+       | Accept -> Fmt.pf ppf "%3d: accept@." i
+       | Eps succs ->
+         Fmt.pf ppf "%3d: eps -> %a@." i Fmt.(list ~sep:comma int) succs
+       | Consume (set, next) ->
+         Fmt.pf ppf "%3d: %a -> %d@." i Charset.pp set next)
+    nfa.nodes;
+  Fmt.pf ppf "start: %d@." nfa.start

@@ -1,0 +1,35 @@
+(** Thompson NFA construction — the substrate shared by the Pike VM, the
+    lazy-DFA engine, and the GPU baseline models. Bounded repetitions are
+    unfolded (the "compiler-based unfolding" of paper §7.1), guarded by a
+    state limit. *)
+
+type node =
+  | Eps of int list              (** successors in priority order *)
+  | Consume of Alveare_frontend.Charset.t * int
+  | Accept
+
+type t = {
+  nodes : node array;
+  start : int;
+}
+
+type error = Too_many_states of int
+
+val error_message : error -> string
+
+val default_max_states : int
+
+val of_ast :
+  ?max_states:int -> Alveare_frontend.Ast.t -> (t, error) result
+
+val of_ast_exn : ?max_states:int -> Alveare_frontend.Ast.t -> t
+
+val state_count : t -> int
+
+val accept_states : t -> int list
+
+val eps_closure : t -> int list -> int list
+(** Priority-ordered epsilon closure restricted to consuming/accepting
+    states. *)
+
+val pp : t Fmt.t

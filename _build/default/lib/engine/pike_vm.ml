@@ -1,0 +1,125 @@
+(* Pike VM: breadth-first NFA simulation with merged threads, linear in
+   input length. This is the algorithmic core of RE2's NFA engine and of
+   the GPU baselines; the step counters feed their platform cost models.
+
+   Reported spans are leftmost-longest (POSIX disambiguation): among all
+   matches the one with the smallest start, and for that start the
+   greatest end. The PCRE-order oracle can disagree on the end position
+   for lazy patterns, so differential tests compare starts and boolean
+   outcomes across engine families, and exact spans only within the
+   PCRE-semantics family (Backtrack vs the ALVEARE simulator). *)
+
+type stats = {
+  mutable steps : int;       (* state visits, the per-byte simulation work *)
+  mutable bytes : int;       (* input bytes consumed *)
+  mutable max_active : int;  (* peak simultaneous threads *)
+}
+
+let fresh_stats () = { steps = 0; bytes = 0; max_active = 0 }
+
+(* Thread sets: for each NFA state the smallest start offset of any thread
+   occupying it, or max_int when vacant. Merging threads by state is what
+   makes the VM linear. *)
+type frontier = {
+  start_of : int array;
+  mutable members : int list;
+}
+
+let make_frontier n = { start_of = Array.make n max_int; members = [] }
+
+let clear f =
+  List.iter (fun s -> f.start_of.(s) <- max_int) f.members;
+  f.members <- []
+
+let add_thread (nfa : Nfa.t) (f : frontier) (stats : stats) state start =
+  (* Depth-first epsilon expansion, keeping the minimal start per state. *)
+  let rec visit state start =
+    if f.start_of.(state) > start then begin
+      if f.start_of.(state) = max_int then f.members <- state :: f.members;
+      f.start_of.(state) <- start;
+      stats.steps <- stats.steps + 1;
+      match nfa.Nfa.nodes.(state) with
+      | Nfa.Eps succs -> List.iter (fun s -> visit s start) succs
+      | Nfa.Consume _ | Nfa.Accept -> ()
+    end
+  in
+  visit state start
+
+let search ?stats (nfa : Nfa.t) (input : string) ?(from = 0) ()
+  : Semantics.span option =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let n = String.length input in
+  let n_states = Nfa.state_count nfa in
+  let current = ref (make_frontier n_states) in
+  let next = ref (make_frontier n_states) in
+  let best = ref None in
+  let better (start, stop) =
+    match !best with
+    | None -> true
+    | Some b ->
+      start < b.Semantics.start
+      || (start = b.Semantics.start && stop > b.Semantics.stop)
+  in
+  let record_accepts pos =
+    List.iter
+      (fun s ->
+         match nfa.Nfa.nodes.(s) with
+         | Nfa.Accept ->
+           let start = (!current).start_of.(s) in
+           if better (start, pos) then
+             best := Some { Semantics.start; stop = pos }
+         | Nfa.Eps _ | Nfa.Consume _ -> ())
+      (!current).members
+  in
+  let pos = ref from in
+  let running = ref true in
+  while !running && !pos <= n do
+    let p = !pos in
+    (* Unanchored search: inject a fresh thread at every offset until a
+       match is known (later starts can no longer be leftmost). *)
+    if !best = None then add_thread nfa !current stats nfa.Nfa.start p;
+    record_accepts p;
+    (* Once a match is found, keep only threads that could still improve
+       it (same leftmost start). *)
+    let live =
+      match !best with
+      | None -> (!current).members <> [] || p < n
+      | Some b ->
+        List.exists (fun s -> (!current).start_of.(s) <= b.Semantics.start)
+          (!current).members
+    in
+    if (not live) || p >= n then running := false
+    else begin
+      let c = input.[p] in
+      stats.bytes <- stats.bytes + 1;
+      let active = List.length (!current).members in
+      if active > stats.max_active then stats.max_active <- active;
+      clear !next;
+      List.iter
+        (fun s ->
+           stats.steps <- stats.steps + 1;
+           match nfa.Nfa.nodes.(s) with
+           | Nfa.Consume (set, succ) ->
+             if Alveare_frontend.Charset.mem c set then
+               add_thread nfa !next stats succ (!current).start_of.(s)
+           | Nfa.Eps _ | Nfa.Accept -> ())
+        (!current).members;
+      let tmp = !current in
+      current := !next;
+      next := tmp;
+      incr pos
+    end
+  done;
+  !best
+
+let find_all ?stats nfa input : Semantics.span list =
+  let rec go from acc =
+    if from > String.length input then List.rev acc
+    else
+      match search ?stats nfa input ~from () with
+      | None -> List.rev acc
+      | Some span -> go (Semantics.next_scan_position span) (span :: acc)
+  in
+  go 0 []
+
+let matches ?stats nfa input = Option.is_some (search ?stats nfa input ())

@@ -1,0 +1,19 @@
+(** Pike VM — breadth-first NFA simulation with thread merging (RE2's NFA
+    engine; also the algorithmic core of the GPU baseline models). Spans
+    are leftmost-longest. *)
+
+type stats = {
+  mutable steps : int;       (** state visits — the per-byte simulation work *)
+  mutable bytes : int;
+  mutable max_active : int;  (** peak simultaneous merged threads *)
+}
+
+val fresh_stats : unit -> stats
+
+val search :
+  ?stats:stats -> Nfa.t -> string -> ?from:int -> unit ->
+  Semantics.span option
+
+val find_all : ?stats:stats -> Nfa.t -> string -> Semantics.span list
+
+val matches : ?stats:stats -> Nfa.t -> string -> bool

@@ -1,0 +1,37 @@
+(* Matching semantics shared by every engine in this repository.
+
+   - A pattern is unanchored: [search] looks for the leftmost position
+     where a match starts.
+   - Negated classes match any byte outside the set (256-byte universe),
+     as in PCRE. The paper's 128-char alphabet only matters for the
+     minimal-mode instruction counting of Table 2 (see Alveare_ir.Lower).
+   - Greedy/lazy repetition follows PCRE backtracking order, which the
+     ALVEARE controller reproduces in hardware via its speculation stack. *)
+
+let byte_universe = 256
+
+let class_mem (cls : Alveare_frontend.Ast.charclass) c =
+  let inside = Alveare_frontend.Charset.mem c cls.set in
+  if cls.negated then not inside else inside
+
+(* Materialise a class as a positive charset over the full byte universe. *)
+let class_set (cls : Alveare_frontend.Ast.charclass) =
+  if cls.negated then
+    Alveare_frontend.Charset.complement ~alphabet_size:byte_universe cls.set
+  else cls.set
+
+(* A reported match: [start] inclusive, [stop] exclusive. *)
+type span = {
+  start : int;
+  stop : int;
+}
+
+let span_length s = s.stop - s.start
+
+let pp_span ppf s = Fmt.pf ppf "[%d,%d)" s.start s.stop
+
+let equal_span (a : span) b = a = b
+
+(* Advance rule for scanning all (non-overlapping) matches: resume after
+   the match, or one past it when the match is empty. *)
+let next_scan_position s = if s.stop > s.start then s.stop else s.start + 1

@@ -1,0 +1,26 @@
+(** Matching semantics shared by all engines: unanchored leftmost search,
+    PCRE negated-class behaviour over the 256-byte universe, and the span
+    type with the non-overlapping scan rule. *)
+
+val byte_universe : int
+(** 256. *)
+
+val class_mem : Alveare_frontend.Ast.charclass -> char -> bool
+
+val class_set : Alveare_frontend.Ast.charclass -> Alveare_frontend.Charset.t
+(** Materialise a (possibly negated) class as a positive set over the full
+    byte universe. *)
+
+(** A match: [start] inclusive, [stop] exclusive. *)
+type span = {
+  start : int;
+  stop : int;
+}
+
+val span_length : span -> int
+val pp_span : span Fmt.t
+val equal_span : span -> span -> bool
+
+val next_scan_position : span -> int
+(** Where a non-overlapping scan resumes after this match (one past an
+    empty match). *)

@@ -1,0 +1,1 @@
+lib/frontend/charset.ml: Char Fmt List

@@ -1,0 +1,1 @@
+lib/frontend/desugar.ml: Ast Charset List Parser Result

@@ -1,0 +1,1 @@
+lib/frontend/lexer.ml: Ast Char Charset Fmt List Printf String

@@ -1,0 +1,215 @@
+(* Abstract syntax tree produced by the front-end (paper §5).
+
+   The supported operator set follows the paper: character alternation and
+   concatenation; character classes, ranges and their negation; shorthand
+   classes; '.'; bounded and unbounded quantifiers with lazy options;
+   character escaping. *)
+
+type charclass = {
+  negated : bool;
+  set : Charset.t;
+}
+
+type quant = {
+  qmin : int;
+  qmax : int option; (* None = unbounded *)
+  greedy : bool;
+}
+
+type t =
+  | Empty
+  | Char of char
+  | Class of charclass
+  | Any                 (* '.', desugars to [^\n] *)
+  | Concat of t list
+  | Alt of t list
+  | Repeat of t * quant
+  | Group of t
+
+let quant ?(greedy = true) qmin qmax =
+  (match qmax with
+   | Some m when m < qmin ->
+     invalid_arg "Ast.quant: max repetition below min"
+   | Some _ | None -> ());
+  if qmin < 0 then invalid_arg "Ast.quant: negative min repetition";
+  { qmin; qmax; greedy }
+
+let star = { qmin = 0; qmax = None; greedy = true }
+let plus = { qmin = 1; qmax = None; greedy = true }
+let opt = { qmin = 0; qmax = Some 1; greedy = true }
+
+let lazy_of q = { q with greedy = false }
+
+let equal_quant (a : quant) b = a = b
+
+let rec equal a b =
+  match a, b with
+  | Empty, Empty | Any, Any -> true
+  | Char c, Char d -> Char.equal c d
+  | Class c, Class d -> c.negated = d.negated && Charset.equal c.set d.set
+  | Concat xs, Concat ys | Alt xs, Alt ys ->
+    List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Repeat (x, q), Repeat (y, r) -> equal_quant q r && equal x y
+  | Group x, Group y -> equal x y
+  | (Empty | Char _ | Class _ | Any | Concat _ | Alt _ | Repeat _ | Group _), _ ->
+    false
+
+let rec size = function
+  | Empty -> 0
+  | Char _ | Class _ | Any -> 1
+  | Concat xs | Alt xs -> List.fold_left (fun acc x -> acc + size x) 1 xs
+  | Repeat (x, _) -> 1 + size x
+  | Group x -> 1 + size x
+
+let rec depth = function
+  | Empty | Char _ | Class _ | Any -> 1
+  | Concat xs | Alt xs ->
+    1 + List.fold_left (fun acc x -> max acc (depth x)) 0 xs
+  | Repeat (x, _) | Group x -> 1 + depth x
+
+(* True when the node can match the empty string — needed by the lowering
+   pass and by zero-width-iteration protection in the engines. *)
+let rec nullable = function
+  | Empty -> true
+  | Char _ | Class _ | Any -> false
+  | Concat xs -> List.for_all nullable xs
+  | Alt xs -> List.exists nullable xs
+  | Repeat (x, q) -> q.qmin = 0 || nullable x
+  | Group x -> nullable x
+
+(* Upper bound on the match length, None if unbounded. Used to size the
+   multi-core overlap window. *)
+let rec max_match_length = function
+  | Empty -> Some 0
+  | Char _ | Class _ | Any -> Some 1
+  | Concat xs ->
+    List.fold_left
+      (fun acc x ->
+         match acc, max_match_length x with
+         | Some a, Some b -> Some (a + b)
+         | None, _ | _, None -> None)
+      (Some 0) xs
+  | Alt xs ->
+    List.fold_left
+      (fun acc x ->
+         match acc, max_match_length x with
+         | Some a, Some b -> Some (max a b)
+         | None, _ | _, None -> None)
+      (Some 0) xs
+  | Repeat (x, q) ->
+    (match q.qmax, max_match_length x with
+     | Some m, Some b -> Some (m * b)
+     | None, Some 0 -> Some 0
+     | None, _ | _, None -> None)
+  | Group x -> max_match_length x
+
+let escape_char buf c =
+  match c with
+  | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
+  | '^' | '$' ->
+    Buffer.add_char buf '\\';
+    Buffer.add_char buf c
+  | '\n' -> Buffer.add_string buf "\\n"
+  | '\t' -> Buffer.add_string buf "\\t"
+  | '\r' -> Buffer.add_string buf "\\r"
+  | c when Char.code c < 0x20 || Char.code c > 0x7e ->
+    Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+  | c -> Buffer.add_char buf c
+
+let escape_class_char buf c =
+  match c with
+  | '\\' | ']' | '^' | '-' ->
+    Buffer.add_char buf '\\';
+    Buffer.add_char buf c
+  | '\n' -> Buffer.add_string buf "\\n"
+  | '\t' -> Buffer.add_string buf "\\t"
+  | '\r' -> Buffer.add_string buf "\\r"
+  | c when Char.code c < 0x20 || Char.code c > 0x7e ->
+    Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+  | c -> Buffer.add_char buf c
+
+let class_to_buf buf { negated; set } =
+  Buffer.add_char buf '[';
+  if negated then Buffer.add_char buf '^';
+  List.iter
+    (fun (lo, hi) ->
+       if lo = hi then escape_class_char buf (Char.chr lo)
+       else if hi = lo + 1 then begin
+         escape_class_char buf (Char.chr lo);
+         escape_class_char buf (Char.chr hi)
+       end
+       else begin
+         escape_class_char buf (Char.chr lo);
+         Buffer.add_char buf '-';
+         escape_class_char buf (Char.chr hi)
+       end)
+    (Charset.ranges set);
+  Buffer.add_char buf ']'
+
+let quant_to_buf buf q =
+  (match q.qmin, q.qmax with
+   | 0, Some 1 -> Buffer.add_char buf '?'
+   | 0, None -> Buffer.add_char buf '*'
+   | 1, None -> Buffer.add_char buf '+'
+   | n, None -> Buffer.add_string buf (Printf.sprintf "{%d,}" n)
+   | n, Some m when n = m -> Buffer.add_string buf (Printf.sprintf "{%d}" n)
+   | n, Some m -> Buffer.add_string buf (Printf.sprintf "{%d,%d}" n m));
+  if not q.greedy then Buffer.add_char buf '?'
+
+(* Render back to pattern syntax. Parenthesisation is conservative: any
+   structured subtree under a repetition or inside a concatenation is
+   grouped, so [parse (to_pattern a)] is semantically [a]. *)
+let to_pattern ast =
+  let buf = Buffer.create 64 in
+  let rec atomic = function
+    | Empty | Char _ | Class _ | Any | Group _ -> true
+    | Concat [ x ] | Alt [ x ] -> atomic x
+    | Concat _ | Alt _ | Repeat _ -> false
+  in
+  let rec go ~in_concat node =
+    match node with
+    | Empty -> ()
+    | Char c -> escape_char buf c
+    | Any -> Buffer.add_char buf '.'
+    | Class c -> class_to_buf buf c
+    | Group x ->
+      Buffer.add_char buf '(';
+      go ~in_concat:false x;
+      Buffer.add_char buf ')'
+    | Concat xs -> List.iter (go ~in_concat:true) xs
+    | Alt xs ->
+      let wrap = in_concat in
+      if wrap then Buffer.add_char buf '(';
+      List.iteri
+        (fun k x ->
+           if k > 0 then Buffer.add_char buf '|';
+           go ~in_concat:false x)
+        xs;
+      if wrap then Buffer.add_char buf ')'
+    | Repeat (x, q) ->
+      if atomic x then go ~in_concat:true x
+      else begin
+        Buffer.add_char buf '(';
+        go ~in_concat:false x;
+        Buffer.add_char buf ')'
+      end;
+      quant_to_buf buf q
+  in
+  go ~in_concat:false ast;
+  Buffer.contents buf
+
+let pp_quant ppf q =
+  let buf = Buffer.create 8 in
+  quant_to_buf buf q;
+  Fmt.string ppf (Buffer.contents buf)
+
+let rec pp ppf = function
+  | Empty -> Fmt.string ppf "Empty"
+  | Char c -> Fmt.pf ppf "Char %C" c
+  | Any -> Fmt.string ppf "Any"
+  | Class { negated; set } ->
+    Fmt.pf ppf "Class%s %a" (if negated then "^" else "") Charset.pp set
+  | Concat xs -> Fmt.pf ppf "Concat(@[%a@])" Fmt.(list ~sep:comma pp) xs
+  | Alt xs -> Fmt.pf ppf "Alt(@[%a@])" Fmt.(list ~sep:comma pp) xs
+  | Repeat (x, q) -> Fmt.pf ppf "Repeat(%a, %a)" pp x pp_quant q
+  | Group x -> Fmt.pf ppf "Group(%a)" pp x

@@ -1,0 +1,59 @@
+(** Abstract syntax tree of the supported POSIX-ERE / PCRE subset
+    (paper §5). *)
+
+type charclass = {
+  negated : bool;
+  set : Charset.t;
+}
+
+type quant = {
+  qmin : int;
+  qmax : int option;  (** [None] = unbounded *)
+  greedy : bool;
+}
+
+type t =
+  | Empty
+  | Char of char
+  | Class of charclass
+  | Any                 (** ['.'], desugars to [[^\n]] *)
+  | Concat of t list
+  | Alt of t list
+  | Repeat of t * quant
+  | Group of t
+
+val quant : ?greedy:bool -> int -> int option -> quant
+(** Raises [Invalid_argument] on negative or inverted bounds. *)
+
+(** [{0,}] greedy *)
+val star : quant
+
+(** [{1,}] greedy *)
+val plus : quant
+
+(** [{0,1}] greedy *)
+val opt : quant
+
+val lazy_of : quant -> quant
+
+val equal : t -> t -> bool
+val equal_quant : quant -> quant -> bool
+
+val size : t -> int
+(** Node count. *)
+
+val depth : t -> int
+
+val nullable : t -> bool
+(** True when the node can match the empty string. *)
+
+val max_match_length : t -> int option
+(** Upper bound on match length in characters, [None] if unbounded. Sizes
+    the multi-core overlap window. *)
+
+val to_pattern : t -> string
+(** Render back to pattern syntax such that re-parsing is semantically
+    equivalent. *)
+
+val pp : t Fmt.t
+val pp_quant : quant Fmt.t

@@ -1,0 +1,65 @@
+(* Front-end normalisation (paper §5 middle-end, first half):
+   - '.' becomes [^\n] ("the . translates into [^\n]");
+   - shorthand classes are already charsets after lexing;
+   - nested Concat/Alt are flattened and Empty units dropped;
+   - single-branch Alt and single-item Concat collapse;
+   - Repeat {1,1} collapses to its body; {0,0} to Empty.
+
+   Groups are preserved here — removing over-parenthesised sub-REs is the
+   lowering pass's job, where quantified groups must still be visible. *)
+
+let dot_class : Ast.charclass = { negated = true; set = Charset.newline }
+
+let rec normalize (ast : Ast.t) : Ast.t =
+  match ast with
+  | Ast.Empty | Ast.Char _ | Ast.Class _ -> ast
+  | Ast.Any -> Ast.Class dot_class
+  | Ast.Group x ->
+    (* Groups carry no capture semantics in this dialect; erasing them
+       entirely lets literal runs merge across parentheses and is the
+       paper's "over-parenthesised sub-RE removal". Quantified groups are
+       safe too: Repeat(Group x) ≡ Repeat x. *)
+    normalize x
+  | Ast.Concat xs ->
+    let parts =
+      List.concat_map
+        (fun x ->
+           match normalize x with
+           | Ast.Empty -> []
+           | Ast.Concat ys -> ys
+           | y -> [ y ])
+        xs
+    in
+    (match parts with
+     | [] -> Ast.Empty
+     | [ one ] -> one
+     | parts -> Ast.Concat parts)
+  | Ast.Alt xs ->
+    let branches =
+      List.concat_map
+        (fun x ->
+           match normalize x with Ast.Alt ys -> ys | y -> [ y ])
+        xs
+    in
+    (match branches with
+     | [] -> Ast.Empty
+     | [ one ] -> one
+     | branches -> Ast.Alt branches)
+  | Ast.Repeat (x, q) ->
+    let body = normalize x in
+    (match q.Ast.qmin, q.Ast.qmax with
+     | 0, Some 0 -> Ast.Empty
+     | 1, Some 1 -> body
+     | _, _ ->
+       (match body with
+        | Ast.Empty -> Ast.Empty
+        | body -> Ast.Repeat (body, q)))
+
+(* Full front-end pipeline: parse then normalise. *)
+let pattern src : (Ast.t, string) result =
+  Result.map normalize (Parser.parse_result src)
+
+let pattern_exn src : Ast.t =
+  match pattern src with
+  | Ok ast -> ast
+  | Error msg -> invalid_arg ("Desugar.pattern: " ^ msg)

@@ -1,0 +1,13 @@
+(** Front-end normalisation: ['.'] to [[^\n]], flattening of nested
+    concatenations/alternations, collapse of trivial repetitions. Groups
+    survive — the mid-end lowering decides which parentheses matter. *)
+
+val dot_class : Ast.charclass
+(** [[^\n]] — what ['.'] desugars to (paper §5). *)
+
+val normalize : Ast.t -> Ast.t
+
+val pattern : string -> (Ast.t, string) result
+(** Parse and normalise a pattern. *)
+
+val pattern_exn : string -> Ast.t

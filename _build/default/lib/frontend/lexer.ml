@@ -1,0 +1,214 @@
+(* Lexical analysis of the supported RE dialect (paper §5 front-end).
+
+   The paper generates its lexer with FLEX; the sealed environment has no
+   lexer generator, so this is the equivalent hand-written scanner: it
+   resolves escapes, folds whole bracket expressions (including shorthand
+   classes and ranges) into single CLASS tokens, and reads brace
+   quantifiers into REPEAT tokens, reporting positions on error. *)
+
+type token =
+  | CHAR of char
+  | DOT
+  | STAR
+  | PLUS
+  | QUESTION
+  | REPEAT of int * int option  (* {n} / {n,} / {n,m} *)
+  | ALTER
+  | LPAR
+  | RPAR
+  | CLASS of Ast.charclass
+
+type error = {
+  pos : int;
+  reason : string;
+}
+
+exception Lex_error of error
+
+let fail pos reason = raise (Lex_error { pos; reason })
+
+let error_message { pos; reason } =
+  Printf.sprintf "lexical error at offset %d: %s" pos reason
+
+let is_digit c = c >= '0' && c <= '9'
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+(* Escape resolution shared between top level and bracket expressions.
+   Returns either a single character or a shorthand character set. *)
+type escape = Esc_char of char | Esc_set of Charset.t * bool (* negated *)
+
+let read_escape src pos =
+  let n = String.length src in
+  if pos >= n then fail (pos - 1) "trailing backslash"
+  else begin
+    let c = src.[pos] in
+    let simple ch = (Esc_char ch, pos + 1) in
+    match c with
+    | 'n' -> simple '\n'
+    | 't' -> simple '\t'
+    | 'r' -> simple '\r'
+    | 'f' -> simple '\x0c'
+    | 'v' -> simple '\x0b'
+    | 'a' -> simple '\x07'
+    | 'e' -> simple '\x1b'
+    | '0' -> simple '\x00'
+    | 'x' ->
+      if pos + 2 >= n then fail pos "\\x needs two hex digits"
+      else begin
+        match hex_value src.[pos + 1], hex_value src.[pos + 2] with
+        | Some h, Some l -> (Esc_char (Char.chr ((h * 16) + l)), pos + 3)
+        | _ -> fail pos "\\x needs two hex digits"
+      end
+    | 'd' -> (Esc_set (Charset.digit, false), pos + 1)
+    | 'D' -> (Esc_set (Charset.digit, true), pos + 1)
+    | 'w' -> (Esc_set (Charset.word, false), pos + 1)
+    | 'W' -> (Esc_set (Charset.word, true), pos + 1)
+    | 's' -> (Esc_set (Charset.space, false), pos + 1)
+    | 'S' -> (Esc_set (Charset.space, true), pos + 1)
+    | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
+    | '^' | '$' | '-' | '/' ->
+      simple c
+    | c -> fail pos (Printf.sprintf "unsupported escape \\%c" c)
+  end
+
+(* Bracket expression: '[' already consumed. Shorthand sets are unioned
+   in; a negated shorthand inside a class (e.g. [\D]) is materialised by
+   complementing over the full byte universe, matching PCRE. *)
+let read_class src pos0 =
+  let n = String.length src in
+  let negated, pos =
+    if pos0 < n && src.[pos0] = '^' then (true, pos0 + 1) else (false, pos0)
+  in
+  let set = ref Charset.empty in
+  let add_set s = set := Charset.union !set s in
+  (* A ']' immediately after '[' or '[^' is a literal member. *)
+  let rec items pos ~first =
+    if pos >= n then fail pos0 "unterminated character class"
+    else if src.[pos] = ']' && not first then pos + 1
+    else begin
+      let item, pos =
+        match src.[pos] with
+        | '\\' ->
+          let esc, pos = read_escape src (pos + 1) in
+          (match esc with
+           | Esc_char c -> (Some c, pos)
+           | Esc_set (s, neg) ->
+             let s =
+               if neg then Charset.complement ~alphabet_size:256 s else s
+             in
+             add_set s;
+             (None, pos))
+        | c -> (Some c, pos + 1)
+      in
+      (match item with
+       | None -> items pos ~first:false
+       | Some lo ->
+         (* Possible range "lo - hi"; '-' before ']' is a literal. *)
+         if pos + 1 < n && src.[pos] = '-' && src.[pos + 1] <> ']' then begin
+           let hi, pos =
+             match src.[pos + 1] with
+             | '\\' ->
+               (match read_escape src (pos + 2) with
+                | Esc_char c, p -> (c, p)
+                | Esc_set _, _ -> fail (pos + 1) "shorthand cannot bound a range")
+             | c -> (c, pos + 2)
+           in
+           if Char.code hi < Char.code lo then
+             fail pos "range bounds out of order";
+           add_set (Charset.range lo hi);
+           items pos ~first:false
+         end
+         else begin
+           add_set (Charset.singleton lo);
+           items pos ~first:false
+         end)
+    end
+  in
+  let pos = items pos ~first:true in
+  if Charset.is_empty !set then fail pos0 "empty character class";
+  ({ Ast.negated; set = !set }, pos)
+
+(* Brace quantifier: '{' already consumed. Forms: {n} {n,} {n,m}. *)
+let read_repeat src pos0 =
+  let n = String.length src in
+  let rec number pos acc seen =
+    if pos < n && is_digit src.[pos] then
+      number (pos + 1) ((acc * 10) + (Char.code src.[pos] - Char.code '0')) true
+    else if seen then (acc, pos)
+    else fail pos "expected a repetition count"
+  in
+  let lo, pos = number pos0 0 false in
+  if pos < n && src.[pos] = '}' then ((lo, Some lo), pos + 1)
+  else if pos < n && src.[pos] = ',' then begin
+    let pos = pos + 1 in
+    if pos < n && src.[pos] = '}' then ((lo, None), pos + 1)
+    else begin
+      let hi, pos = number pos 0 false in
+      if pos < n && src.[pos] = '}' then begin
+        if hi < lo then fail pos0 "repetition bounds out of order";
+        ((lo, Some hi), pos + 1)
+      end
+      else fail pos "expected '}'"
+    end
+  end
+  else fail pos "expected '}' or ','"
+
+let shorthand_token set neg =
+  CLASS
+    { Ast.negated = neg;
+      set = (if neg then set else set) }
+
+let tokenize src : (token * int) list =
+  let n = String.length src in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else begin
+      let tok, next =
+        match src.[pos] with
+        | '.' -> (DOT, pos + 1)
+        | '*' -> (STAR, pos + 1)
+        | '+' -> (PLUS, pos + 1)
+        | '?' -> (QUESTION, pos + 1)
+        | '|' -> (ALTER, pos + 1)
+        | '(' -> (LPAR, pos + 1)
+        | ')' -> (RPAR, pos + 1)
+        | '[' ->
+          let cls, next = read_class src (pos + 1) in
+          (CLASS cls, next)
+        | ']' -> (CHAR ']', pos + 1)
+        | '{' ->
+          let (lo, hi), next = read_repeat src (pos + 1) in
+          (REPEAT (lo, hi), next)
+        | '}' -> fail pos "unmatched '}'"
+        | '\\' ->
+          let esc, next = read_escape src (pos + 1) in
+          (match esc with
+           | Esc_char c -> (CHAR c, next)
+           | Esc_set (set, neg) -> (shorthand_token set neg, next))
+        | c -> (CHAR c, pos + 1)
+      in
+      go next ((tok, pos) :: acc)
+    end
+  in
+  go 0 []
+
+let pp_token ppf = function
+  | CHAR c -> Fmt.pf ppf "CHAR %C" c
+  | DOT -> Fmt.string ppf "DOT"
+  | STAR -> Fmt.string ppf "STAR"
+  | PLUS -> Fmt.string ppf "PLUS"
+  | QUESTION -> Fmt.string ppf "QUESTION"
+  | REPEAT (lo, Some hi) when lo = hi -> Fmt.pf ppf "REPEAT{%d}" lo
+  | REPEAT (lo, Some hi) -> Fmt.pf ppf "REPEAT{%d,%d}" lo hi
+  | REPEAT (lo, None) -> Fmt.pf ppf "REPEAT{%d,}" lo
+  | ALTER -> Fmt.string ppf "ALTER"
+  | LPAR -> Fmt.string ppf "LPAR"
+  | RPAR -> Fmt.string ppf "RPAR"
+  | CLASS { negated; set } ->
+    Fmt.pf ppf "CLASS%s %a" (if negated then "^" else "") Charset.pp set

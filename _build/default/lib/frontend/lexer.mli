@@ -1,0 +1,31 @@
+(** Hand-written scanner for the supported RE dialect (the paper's FLEX
+    stage). Bracket expressions and brace quantifiers are folded into
+    single tokens; escapes are resolved. *)
+
+type token =
+  | CHAR of char
+  | DOT
+  | STAR
+  | PLUS
+  | QUESTION
+  | REPEAT of int * int option  (** [{n}] / [{n,}] / [{n,m}] *)
+  | ALTER
+  | LPAR
+  | RPAR
+  | CLASS of Ast.charclass
+
+type error = {
+  pos : int;
+  reason : string;
+}
+
+exception Lex_error of error
+
+val error_message : error -> string
+
+val tokenize : string -> (token * int) list
+(** Tokens paired with their source offsets.
+    @raise Lex_error on malformed input (unterminated class, bad escape,
+    malformed brace quantifier, trailing backslash). *)
+
+val pp_token : token Fmt.t

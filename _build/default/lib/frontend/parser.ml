@@ -1,0 +1,138 @@
+(* Recursive-descent parser over the token stream (the paper's BISON
+   stage). Grammar:
+
+     alternation   := concatenation ('|' concatenation)*
+     concatenation := quantified*
+     quantified    := atom (quantifier lazy-'?'?)?
+     atom          := CHAR | DOT | CLASS | '(' alternation ')'
+
+   Stacked quantifiers (e.g. "a**") are rejected as in PCRE; a quantifier
+   with nothing to its left is an error. *)
+
+type error = {
+  pos : int;
+  reason : string;
+}
+
+exception Parse_error of error
+
+let fail pos reason = raise (Parse_error { pos; reason })
+
+let error_message { pos; reason } =
+  Printf.sprintf "syntax error at offset %d: %s" pos reason
+
+type state = {
+  mutable toks : (Lexer.token * int) list;
+  src_len : int;
+}
+
+let peek st = match st.toks with [] -> None | (t, p) :: _ -> Some (t, p)
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let quantifier_of_token = function
+  | Lexer.STAR -> Some Ast.star
+  | Lexer.PLUS -> Some Ast.plus
+  | Lexer.QUESTION -> Some Ast.opt
+  | Lexer.REPEAT (lo, hi) -> Some { Ast.qmin = lo; qmax = hi; greedy = true }
+  | Lexer.CHAR _ | Lexer.DOT | Lexer.ALTER | Lexer.LPAR | Lexer.RPAR
+  | Lexer.CLASS _ ->
+    None
+
+let rec parse_alternation st : Ast.t =
+  let first = parse_concatenation st in
+  let rec more acc =
+    match peek st with
+    | Some (Lexer.ALTER, _) ->
+      advance st;
+      more (parse_concatenation st :: acc)
+    | Some ((Lexer.RPAR | Lexer.CHAR _ | Lexer.DOT | Lexer.STAR | Lexer.PLUS
+            | Lexer.QUESTION | Lexer.REPEAT _ | Lexer.LPAR | Lexer.CLASS _), _)
+    | None ->
+      List.rev acc
+  in
+  match more [ first ] with
+  | [ one ] -> one
+  | branches -> Ast.Alt branches
+
+and parse_concatenation st : Ast.t =
+  let rec atoms acc =
+    match peek st with
+    | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.CLASS _ | Lexer.LPAR), _) ->
+      atoms (parse_quantified st :: acc)
+    | Some ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _), pos) ->
+      fail pos "quantifier with nothing to repeat"
+    | Some ((Lexer.ALTER | Lexer.RPAR), _) | None -> List.rev acc
+  in
+  match atoms [] with
+  | [] -> Ast.Empty
+  | [ one ] -> one
+  | parts -> Ast.Concat parts
+
+and parse_quantified st : Ast.t =
+  let atom = parse_atom st in
+  match peek st with
+  | Some (tok, pos) ->
+    (match quantifier_of_token tok with
+     | None -> atom
+     | Some q ->
+       advance st;
+       let q =
+         match peek st with
+         | Some (Lexer.QUESTION, _) ->
+           advance st;
+           Ast.lazy_of q
+         | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.STAR | Lexer.PLUS
+                 | Lexer.REPEAT _ | Lexer.ALTER | Lexer.LPAR | Lexer.RPAR
+                 | Lexer.CLASS _), _)
+         | None ->
+           q
+       in
+       (match peek st with
+        | Some (next, npos) when quantifier_of_token next <> None ->
+          ignore npos;
+          fail pos "stacked quantifiers are not allowed"
+        | Some _ | None -> Ast.Repeat (atom, q)))
+  | None -> atom
+
+and parse_atom st : Ast.t =
+  match peek st with
+  | Some (Lexer.CHAR c, _) ->
+    advance st;
+    Ast.Char c
+  | Some (Lexer.DOT, _) ->
+    advance st;
+    Ast.Any
+  | Some (Lexer.CLASS cls, _) ->
+    advance st;
+    Ast.Class cls
+  | Some (Lexer.LPAR, pos) ->
+    advance st;
+    let inner = parse_alternation st in
+    (match peek st with
+     | Some (Lexer.RPAR, _) ->
+       advance st;
+       Ast.Group inner
+     | Some _ | None -> fail pos "unclosed group")
+  | Some ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _
+          | Lexer.ALTER | Lexer.RPAR), pos) ->
+    fail pos "expected an atom"
+  | None -> fail st.src_len "expected an atom"
+
+let parse_tokens src_len toks : Ast.t =
+  let st = { toks; src_len } in
+  let ast = parse_alternation st in
+  match peek st with
+  | Some (Lexer.RPAR, pos) -> fail pos "unmatched ')'"
+  | Some (_, pos) -> fail pos "trailing input"
+  | None -> ast
+
+let parse src : Ast.t =
+  parse_tokens (String.length src) (Lexer.tokenize src)
+
+let parse_result src : (Ast.t, string) result =
+  match parse src with
+  | ast -> Ok ast
+  | exception Lexer.Lex_error e -> Error (Lexer.error_message e)
+  | exception Parse_error e -> Error (error_message e)

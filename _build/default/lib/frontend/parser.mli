@@ -1,0 +1,18 @@
+(** Recursive-descent parser over the lexer's tokens (the paper's BISON
+    stage), producing the {!Ast}. *)
+
+type error = {
+  pos : int;
+  reason : string;
+}
+
+exception Parse_error of error
+
+val error_message : error -> string
+
+val parse : string -> Ast.t
+(** @raise Parse_error on syntax errors.
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_result : string -> (Ast.t, string) result
+(** Exception-free wrapper returning a rendered error message. *)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Alveare_arch Alveare_backend Alveare_compiler Alveare_engine Alveare_frontend Alveare_ir Alveare_isa Alveare_workloads Array List Printf Result String Table

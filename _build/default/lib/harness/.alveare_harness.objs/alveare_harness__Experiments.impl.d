@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Alveare_compiler Alveare_ir Alveare_multicore Alveare_platform Alveare_workloads List Printf Result String Table

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Alveare_platform Alveare_workloads Table

@@ -1,0 +1,1 @@
+lib/harness/extended.ml: Ablation Alveare_arch Alveare_compiler Alveare_engine Alveare_isa Alveare_platform Alveare_workloads List Printf String Table

@@ -1,0 +1,1 @@
+lib/harness/extended.mli: Ablation Alveare_platform Alveare_workloads Table

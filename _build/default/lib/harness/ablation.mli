@@ -1,0 +1,71 @@
+(** Ablation studies for the design choices DESIGN.md calls out: counter
+    representations (ISA counter vs unfolding vs counting-set automata),
+    vector-unit width, the mid-end optimiser and back-end fusion. *)
+
+(** {2 Counter representations} *)
+
+type counters_row = {
+  pattern : string;
+  nfa_states : int;
+  csa_states : int;
+  csa_counted : int;
+  alveare_instructions : int;
+}
+
+val default_counter_patterns : string list
+
+val counters : ?patterns:string list -> unit -> counters_row list
+val counters_table : counters_row list -> Table.t
+
+(** {2 Fabric embedding vs instruction memory} *)
+
+type fabric_row = {
+  fabric_kind : Alveare_workloads.Benchmark.kind;
+  avg_nfa_ffs : float;
+  avg_nfa_luts : float;
+  avg_min_dfa_states : float;
+  dfa_overflows : int;
+  avg_instructions : float;
+  avg_binary_bits : float;
+}
+
+(** {2 Suite-based studies} *)
+
+type study_scale = {
+  n_patterns : int;
+  sample_bytes : int;
+  seed : int;
+}
+
+val default_study_scale : study_scale
+
+val suite_sample :
+  study_scale -> Alveare_workloads.Benchmark.kind -> string list * string
+(** Patterns and an input sample of a reduced suite (shared by the
+    extended studies). *)
+
+val fabric : ?scale:study_scale -> unit -> fabric_row list
+val fabric_table : fabric_row list -> Table.t
+
+type width_row = {
+  width_kind : Alveare_workloads.Benchmark.kind;
+  cycles_per_width : (int * float) list;  (** width → avg cycles/byte *)
+}
+
+val vector_width :
+  ?widths:int list -> ?scale:study_scale -> unit -> width_row list
+
+val vector_width_table : width_row list -> Table.t
+
+type toggle_row = {
+  toggle_kind : Alveare_workloads.Benchmark.kind;
+  code_off : float;
+  code_on : float;
+  cycles_off : float;
+  cycles_on : float;
+}
+
+val optimizer_study : ?scale:study_scale -> unit -> toggle_row list
+val fusion_study : ?scale:study_scale -> unit -> toggle_row list
+val optimizer_table : toggle_row list -> Table.t
+val fusion_table : toggle_row list -> Table.t

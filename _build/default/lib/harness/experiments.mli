@@ -1,0 +1,101 @@
+(** Experiment drivers regenerating every table and figure of the paper's
+    evaluation (§7): Table 2, Figure 4 (execution time), Figure 5 (energy
+    efficiency), the multi-core scaling sweep and the FPGA resource model.
+    Each driver returns structured results (asserted by the test suite)
+    and renders the same rows/series the paper reports. *)
+
+(** {2 Table 2 — ISA advanced primitives} *)
+
+type table2_row = {
+  pattern : string;
+  minimal : int;
+  advanced : int;
+  reduction : float;   (** = cycle reduction (1 instruction = 1 cycle) *)
+  paper_reduction : float;
+}
+
+val table2 : unit -> table2_row list
+val table2_table : table2_row list -> Table.t
+
+(** {2 Figures 4 and 5 — engine comparison} *)
+
+type engine =
+  | E_re2_a53
+  | E_dpu
+  | E_gpu_infant
+  | E_gpu_obat
+  | E_alveare of int  (** core count *)
+
+val engine_name : engine -> string
+val engine_platform : engine -> Alveare_platform.Energy.platform
+
+val figure_engines : engine list
+(** The paper's comparison set: RE2, DPU, both GPUs, ALVEARE ×1 and ×10. *)
+
+(** Which slice of the stream each engine executes; times extrapolate to
+    the suite's full stream. *)
+type scale = {
+  suite_spec : Alveare_workloads.Benchmark.kind -> Alveare_workloads.Benchmark.spec;
+  sim_sample_bytes : int;
+  gpu_sample_bytes : int;
+}
+
+val quick_scale : ?seed:int -> unit -> scale
+val full_scale : ?seed:int -> unit -> scale
+(** Paper scale: 200 REs per suite, larger samples. *)
+
+type engine_result = {
+  engine : engine;
+  avg_seconds : float;
+  avg_efficiency : float;  (** 1 / (time × power), the paper's formula *)
+  total_matches : int;
+}
+
+type benchmark_result = {
+  benchmark : Alveare_workloads.Benchmark.kind;
+  n_patterns : int;
+  stream_bytes : int;
+  engines : engine_result list;
+}
+
+val evaluate_benchmark :
+  ?engines:engine list -> scale:scale ->
+  Alveare_workloads.Benchmark.kind -> benchmark_result
+
+val evaluate : ?engines:engine list -> scale:scale -> unit -> benchmark_result list
+(** All three suites. *)
+
+val result_for :
+  benchmark_result list -> Alveare_workloads.Benchmark.kind -> engine ->
+  engine_result
+
+val speedup :
+  benchmark_result list -> Alveare_workloads.Benchmark.kind ->
+  of_:engine -> over:engine -> float
+(** [speedup r kind ~of_ ~over] = time(over) / time(of_). *)
+
+val figure4_table : benchmark_result list -> Table.t
+val figure5_table : benchmark_result list -> Table.t
+
+(** {2 Multi-core scaling (§7.2)} *)
+
+type scaling_point = {
+  cores : int;
+  avg_seconds_sc : float;
+  speedup_vs_1 : float;
+}
+
+type scaling_result = {
+  benchmark_sc : Alveare_workloads.Benchmark.kind;
+  points : scaling_point list;
+}
+
+val scaling :
+  ?core_counts:int list -> scale:scale ->
+  Alveare_workloads.Benchmark.kind -> scaling_result
+
+val scaling_table : scaling_result list -> Table.t
+
+(** {2 FPGA resources (§7.2)} *)
+
+val area_table : unit -> Table.t

@@ -1,0 +1,37 @@
+(** Extended studies beyond the paper's evaluation: ALVEARE energy
+    breakdown by component, counting-set automata as an extra software
+    baseline row, and instruction-memory capacity / rule-swap cost. *)
+
+type energy_row = {
+  energy_kind : Alveare_workloads.Benchmark.kind;
+  breakdown : Alveare_platform.Energy_breakdown.breakdown;
+}
+
+val energy_breakdown :
+  ?scale:Ablation.study_scale -> unit -> energy_row list
+
+val energy_breakdown_table : energy_row list -> Table.t
+
+val csa_cycles_per_step : float
+
+type csa_row = {
+  csa_kind : Alveare_workloads.Benchmark.kind;
+  csa_seconds : float;
+  re2_seconds : float;
+  alveare1_seconds : float;
+}
+
+val csa_comparison : ?scale:Ablation.study_scale -> unit -> csa_row list
+val csa_table : csa_row list -> Table.t
+
+val instruction_memory_slots : int
+
+type capacity_row = {
+  cap_kind : Alveare_workloads.Benchmark.kind;
+  avg_instructions : float;
+  rules_per_memory : int;
+  swap_us : float;
+}
+
+val capacity : ?scale:Ablation.study_scale -> unit -> capacity_row list
+val capacity_table : capacity_row list -> Table.t

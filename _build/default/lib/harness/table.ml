@@ -1,0 +1,67 @@
+(* Minimal ASCII table renderer for the experiment reports. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ?(notes = []) ~title ~headers rows = { title; headers; rows; notes }
+
+let render t =
+  let all = t.headers :: t.rows in
+  let columns = List.length t.headers in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+         match List.nth_opt row c with
+         | Some cell -> max acc (String.length cell)
+         | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let buf = Buffer.create 512 in
+  let line ch =
+    Buffer.add_char buf '+';
+    List.iter
+      (fun w ->
+         Buffer.add_string buf (String.make (w + 2) ch);
+         Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let row cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun c w ->
+         let cell = match List.nth_opt cells c with Some s -> s | None -> "" in
+         Buffer.add_string buf
+           (Printf.sprintf " %-*s |" w cell))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  line '-';
+  row t.headers;
+  line '=';
+  List.iter row t.rows;
+  line '-';
+  List.iter (fun n -> Buffer.add_string buf ("  " ^ n ^ "\n")) t.notes;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+(* Numeric formatting helpers shared by the experiment reports. *)
+
+let fmt_seconds s =
+  if s >= 1.0 then Printf.sprintf "%.3f s" s
+  else if s >= 1e-3 then Printf.sprintf "%.3f ms" (s *. 1e3)
+  else Printf.sprintf "%.1f us" (s *. 1e6)
+
+let fmt_ratio r =
+  if r >= 100.0 then Printf.sprintf "%.0fx" r
+  else if r >= 10.0 then Printf.sprintf "%.1fx" r
+  else Printf.sprintf "%.2fx" r
+
+let fmt_sci v = Printf.sprintf "%.2e" v

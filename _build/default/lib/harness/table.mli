@@ -1,0 +1,25 @@
+(** Minimal ASCII table renderer for the experiment reports. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  ?notes:string list -> title:string -> headers:string list ->
+  string list list -> t
+
+val render : t -> string
+val print : t -> unit
+
+(** {2 Numeric formatting} *)
+
+val fmt_seconds : float -> string
+(** ["1.500 ms"], ["12.0 us"], ["2.500 s"]. *)
+
+val fmt_ratio : float -> string
+(** ["2.13x"], ["34.7x"], ["356x"]. *)
+
+val fmt_sci : float -> string

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Alveare_isa Char Fmt List Printf String

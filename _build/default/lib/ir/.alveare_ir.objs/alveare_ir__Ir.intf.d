@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Alveare_isa Fmt

@@ -1,0 +1,1 @@
+lib/ir/lower.ml: Alveare_engine Alveare_frontend Alveare_isa Ast Char Charset Desugar Ir List Opt Option Result String

@@ -1,0 +1,1 @@
+lib/ir/opt.ml: Alveare_engine Alveare_frontend Ast Charset Desugar List

@@ -1,0 +1,87 @@
+(* ISA-oriented intermediate representation (paper §5 middle-end output).
+
+   The IR is a tree over exactly the shapes the ISA can express:
+   - [Base]  — one base instruction (AND/OR/RANGE, optional NOT, ≤4 chars);
+   - [Quant] — a counted sub-RE: OPEN … close-with-quantifier;
+   - [Chain] — a complex OR chain of alternatives: each member is
+     OPEN … ')|' (the last closes with plain ')');
+   - [Seq]   — concatenation, the ISA's implicit AND between consecutive
+     instructions.
+
+   Over-parenthesised groups never reach the IR: lowering drops them. *)
+
+type base = {
+  op : Alveare_isa.Instruction.base_op;
+  neg : bool;
+  chars : string; (* 1..4 bytes; RANGE: lo/hi pairs *)
+}
+
+type t =
+  | Seq of t list
+  | Base of base
+  | Quant of quant
+  | Chain of t list
+
+and quant = {
+  body : t;
+  qmin : int;
+  qmax : int option; (* None = unbounded *)
+  greedy : bool;
+}
+
+let base ?(neg = false) op chars =
+  if String.length chars < 1 || String.length chars > 4 then
+    invalid_arg "Ir.base: reference must hold 1..4 chars";
+  Base { op; neg; chars }
+
+(* Number of ISA instructions this IR will occupy after back-end fusion,
+   excluding the EoR terminator. Mirrors Linearize: a closing operator
+   fuses into an immediately preceding base instruction. *)
+let rec instruction_count node = fst (count node)
+
+(* (instructions, ends_with_base) — [ends_with_base] tells whether a
+   following close operator can fuse. *)
+and count = function
+  | Base _ -> (1, true)
+  | Seq parts ->
+    List.fold_left
+      (fun (n, last) p ->
+         let n', last' = count p in
+         if n' = 0 then (n, last) else (n + n', last'))
+      (0, false) parts
+  | Quant { body; _ } ->
+    let n, fusable = count body in
+    (* OPEN + body + close (fused into the body's last base if possible) *)
+    (1 + n + (if fusable then 0 else 1), false)
+  | Chain members ->
+    let n =
+      List.fold_left
+        (fun acc m ->
+           let n, fusable = count m in
+           acc + 1 + n + if fusable then 0 else 1)
+        0 members
+    in
+    (n, false)
+
+let rec pp ppf = function
+  | Base { op; neg; chars } ->
+    Fmt.pf ppf "%s%a'%s'"
+      (if neg then "!" else "")
+      Alveare_isa.Instruction.pp_base_op op
+      (String.concat ""
+         (List.map
+            (fun c ->
+               let code = Char.code c in
+               if code >= 0x21 && code <= 0x7e then String.make 1 c
+               else Printf.sprintf "\\x%02x" code)
+            (List.init (String.length chars) (String.get chars))))
+  | Seq parts -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:sp pp) parts
+  | Quant { body; qmin; qmax; greedy } ->
+    Fmt.pf ppf "quant{%d,%s}%s[@[%a@]]" qmin
+      (match qmax with Some m -> string_of_int m | None -> "inf")
+      (if greedy then "" else "?")
+      pp body
+  | Chain members ->
+    Fmt.pf ppf "chain[@[%a@]]" Fmt.(list ~sep:(any " | ") pp) members
+
+let to_string node = Fmt.str "%a" pp node

@@ -1,0 +1,30 @@
+(** ISA-oriented intermediate representation (paper §5 middle-end). *)
+
+type base = {
+  op : Alveare_isa.Instruction.base_op;
+  neg : bool;
+  chars : string; (** 1..4 bytes; for RANGE, lo/hi pairs *)
+}
+
+type t =
+  | Seq of t list
+  | Base of base
+  | Quant of quant
+  | Chain of t list  (** complex OR chain; members close with [)|], the
+                         last with plain [)] *)
+
+and quant = {
+  body : t;
+  qmin : int;
+  qmax : int option;  (** [None] = unbounded *)
+  greedy : bool;
+}
+
+val base : ?neg:bool -> Alveare_isa.Instruction.base_op -> string -> t
+
+val instruction_count : t -> int
+(** ISA instructions after back-end fusion, excluding EoR — the paper's
+    Table 2 code-size metric. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

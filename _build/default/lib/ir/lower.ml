@@ -1,0 +1,197 @@
+(* AST -> IR lowering (paper §5 middle-end).
+
+   Advanced mode uses the full ISA: RANGE packs up to two [lo,hi] pairs in
+   one instruction, NOT composes with OR/RANGE, and a single counter
+   primitive expresses every quantifier. Minimal mode is the paper's
+   Table 2 baseline: no RANGE, no NOT, bounded counters unfolded by the
+   compiler — classes expand to character alternations grouped four per
+   instruction and chained through complex OR, and {n,m} expands to an
+   alternation of fixed-length runs.
+
+   Negated classes that cannot use the NOT primitive are materialised by
+   complementation. Advanced mode complements over the full 256-byte
+   universe (PCRE semantics); minimal mode uses [options.alphabet_size]
+   (128 in the paper: "." is "all the ASCII (128 chars) but \n"), which
+   reproduces the paper's instruction counts. *)
+
+open Alveare_frontend
+
+type mode = Advanced | Minimal
+
+type options = {
+  mode : mode;
+  alphabet_size : int; (* minimal-mode expansion universe *)
+  optimize : bool;     (* run the mid-end AST optimiser first *)
+}
+
+let default_options = { mode = Advanced; alphabet_size = 128; optimize = true }
+
+(* Minimal mode measures the raw primitive cost (Table 2), so the AST
+   optimiser is off by default there. *)
+let minimal_options = { mode = Minimal; alphabet_size = 128; optimize = false }
+
+let max_count = Alveare_isa.Instruction.max_bounded_count (* 62 *)
+
+(* Split a list into sublists of at most [k] elements. *)
+let chunk k items =
+  let rec go acc current count = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | x :: rest ->
+      if count = k then go (List.rev current :: acc) [ x ] 1 rest
+      else go acc (x :: current) (count + 1) rest
+  in
+  go [] [] 0 items
+
+let string_of_chars chars =
+  String.init (List.length chars) (List.nth chars)
+
+(* Pack ranges two per RANGE instruction: lo1 hi1 [lo2 hi2]. *)
+let range_bases ranges =
+  List.map
+    (fun pairs ->
+       let chars =
+         List.concat_map (fun (lo, hi) -> [ Char.chr lo; Char.chr hi ]) pairs
+       in
+       Ir.base Alveare_isa.Instruction.Range (string_of_chars chars))
+    (chunk 2 ranges)
+
+let or_bases chars =
+  List.map
+    (fun group -> Ir.base Alveare_isa.Instruction.Or (string_of_chars group))
+    (chunk 4 chars)
+
+let chain_or_single = function
+  | [] -> Ir.Seq []
+  | [ one ] -> one
+  | members -> Ir.Chain members
+
+(* Advanced-mode class lowering: single instruction whenever the class
+   fits the RANGE pair budget or the 4-char OR budget (using NOT for the
+   negated forms); otherwise materialise and chain. *)
+let class_ir_advanced (cls : Ast.charclass) : Ir.t =
+  let ranges = Charset.ranges cls.set in
+  let cardinal = Charset.cardinal cls.set in
+  if List.length ranges <= 2 then
+    let chars =
+      List.concat_map (fun (lo, hi) -> [ Char.chr lo; Char.chr hi ]) ranges
+    in
+    Ir.base ~neg:cls.negated Alveare_isa.Instruction.Range
+      (string_of_chars chars)
+  else if cardinal <= 4 then
+    Ir.base ~neg:cls.negated Alveare_isa.Instruction.Or
+      (string_of_chars (Charset.chars cls.set))
+  else begin
+    let set =
+      if cls.negated then
+        Charset.complement ~alphabet_size:Alveare_engine.Semantics.byte_universe
+          cls.set
+      else cls.set
+    in
+    let ranges = Charset.ranges set in
+    let range_members = (List.length ranges + 1) / 2 in
+    let or_members = (Charset.cardinal set + 3) / 4 in
+    if range_members <= or_members then chain_or_single (range_bases ranges)
+    else chain_or_single (or_bases (Charset.chars set))
+  end
+
+(* Minimal-mode class lowering: expand to explicit characters within the
+   configured alphabet and chain OR groups of four. *)
+let class_ir_minimal ~alphabet_size (cls : Ast.charclass) : Ir.t =
+  let set =
+    if cls.negated then Charset.complement ~alphabet_size cls.set
+    else Charset.clip ~alphabet_size cls.set
+  in
+  if Charset.is_empty set then
+    invalid_arg "Lower.class_ir_minimal: class is empty within the alphabet";
+  chain_or_single (or_bases (Charset.chars set))
+
+(* Advanced quantifiers: one counter primitive, splitting bounds that
+   exceed the 6-bit counter budget (62) into language-equivalent pieces. *)
+let rec quant_ir_advanced body qmin qmax greedy : Ir.t =
+  if qmin > max_count then
+    Ir.Seq
+      [ Ir.Quant { body; qmin = max_count; qmax = Some max_count; greedy };
+        quant_ir_advanced body (qmin - max_count)
+          (Option.map (fun m -> m - max_count) qmax)
+          greedy ]
+  else
+    match qmax with
+    | Some m when m > max_count ->
+      if qmin > 0 then
+        Ir.Seq
+          [ Ir.Quant { body; qmin; qmax = Some qmin; greedy };
+            quant_ir_advanced body 0 (Some (m - qmin)) greedy ]
+      else
+        Ir.Seq
+          [ Ir.Quant { body; qmin = 0; qmax = Some max_count; greedy };
+            quant_ir_advanced body 0 (Some (m - max_count)) greedy ]
+    | Some _ | None -> Ir.Quant { body; qmin; qmax; greedy }
+
+(* Minimal quantifiers: bounded forms unfold (Table 2's "compiler-based
+   unfolding"); only the unbounded tail keeps the hardware counter.
+   Greedy order tries the longest run first, lazy the shortest. *)
+let quant_ir_minimal body qmin qmax greedy : Ir.t =
+  let copies k =
+    if k = 1 then body else Ir.Seq (List.init k (fun _ -> body))
+  in
+  match qmax with
+  | None ->
+    let star = Ir.Quant { body; qmin = 0; qmax = None; greedy } in
+    if qmin = 0 then star else Ir.Seq [ copies qmin; star ]
+  | Some m ->
+    if qmin = m then copies qmin
+    else begin
+      let lengths = List.init (m - qmin + 1) (fun k -> qmin + k) in
+      let ordered = if greedy then List.rev lengths else lengths in
+      Ir.Chain (List.map copies ordered)
+    end
+
+(* Gather maximal literal runs inside a concatenation so consecutive
+   characters pack four per AND instruction (the implicit AND between
+   instructions extends the match beyond the 4-char reference, §5). *)
+let and_bases literal =
+  List.map
+    (fun group -> Ir.base Alveare_isa.Instruction.And (string_of_chars group))
+    (chunk 4 literal)
+
+let lower ?(options = default_options) (ast : Ast.t) : Ir.t =
+  let class_ir cls =
+    match options.mode with
+    | Advanced -> class_ir_advanced cls
+    | Minimal -> class_ir_minimal ~alphabet_size:options.alphabet_size cls
+  in
+  let quant_ir body qmin qmax greedy =
+    match options.mode with
+    | Advanced -> quant_ir_advanced body qmin qmax greedy
+    | Minimal -> quant_ir_minimal body qmin qmax greedy
+  in
+  let rec go (node : Ast.t) : Ir.t =
+    match node with
+    | Ast.Empty -> Ir.Seq []
+    | Ast.Char c -> Ir.base Alveare_isa.Instruction.And (String.make 1 c)
+    | Ast.Any -> class_ir Desugar.dot_class
+    | Ast.Class cls -> class_ir cls
+    | Ast.Group x -> go x (* over-parenthesised sub-RE removal *)
+    | Ast.Alt branches -> Ir.Chain (List.map go branches)
+    | Ast.Repeat (x, q) -> quant_ir (go x) q.Ast.qmin q.Ast.qmax q.Ast.greedy
+    | Ast.Concat parts ->
+      (* fold literal runs, lower everything else *)
+      let flush literal acc =
+        if literal = [] then acc
+        else List.rev_append (and_bases (List.rev literal)) acc
+      in
+      let rec walk parts literal acc =
+        match parts with
+        | [] -> List.rev (flush literal acc)
+        | Ast.Char c :: rest -> walk rest (c :: literal) acc
+        | other :: rest -> walk rest [] (go other :: flush literal acc)
+      in
+      (match walk parts [] [] with
+       | [ one ] -> one
+       | items -> Ir.Seq items)
+  in
+  let ast = Desugar.normalize ast in
+  go (if options.optimize then Opt.optimize ast else ast)
+
+let lower_pattern ?options src : (Ir.t, string) result =
+  Result.map (lower ?options) (Desugar.pattern src)

@@ -1,0 +1,30 @@
+(** AST to IR lowering (paper §5 middle-end).
+
+    [Advanced] uses the full ISA (RANGE pairs, NOT composition, the single
+    counter primitive). [Minimal] is the paper's Table 2 baseline: classes
+    expand to 4-char OR groups chained via complex OR, bounded counters
+    unfold into run alternations; only unbounded repetition keeps the
+    hardware counter. *)
+
+type mode = Advanced | Minimal
+
+type options = {
+  mode : mode;
+  alphabet_size : int;
+    (** Expansion universe for minimal mode (128 in the paper). Advanced
+        mode always complements negated classes over the full 256-byte
+        universe for PCRE-faithful semantics. *)
+  optimize : bool;
+    (** Run {!Opt.optimize} before lowering. *)
+}
+
+val default_options : options
+(** [{ mode = Advanced; alphabet_size = 128; optimize = true }] *)
+
+val minimal_options : options
+(** Minimal primitives, optimiser off (the raw Table 2 baseline). *)
+
+val lower : ?options:options -> Alveare_frontend.Ast.t -> Ir.t
+(** Normalises (via {!Alveare_frontend.Desugar.normalize}) then lowers. *)
+
+val lower_pattern : ?options:options -> string -> (Ir.t, string) result

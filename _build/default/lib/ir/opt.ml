@@ -1,0 +1,174 @@
+(* Mid-end AST optimiser (paper §5: the AST is "an optimizable high-level
+   syntactic structure"; the compiler "lifts part of the REs complexity
+   towards the compiler"). All rewrites preserve PCRE first-match spans —
+   the property-based tests check the optimised and unoptimised programs
+   against the oracle on random inputs.
+
+   Rules (applied bottom-up to a fixpoint):
+   - class fusion: single-consumer alternation branches (chars, classes,
+     '.') merge into one character class — `a|b|[0-9]` => `[ab0-9]`.
+     All such branches consume exactly one char into the same
+     continuation, so branch priority cannot change the span.
+   - duplicate branches are dropped — `a|b|a` => `a|b` (an earlier copy
+     already tried everything with the same continuation).
+   - prefix factoring: adjacent branches sharing a single-char
+     deterministic head factor it out — `abc|abd` => `ab(c|d)` — keeping
+     branch order, hence priority. Factoring is restricted to heads that
+     match in exactly one way (Char / Class / '.'): a backtrackable head
+     (e.g. `[ab]{1,2}`) would interleave its choices across branches and
+     can change which match is found first.
+   - repeat coalescing: an adjacent repetition and atom (or two
+     repetitions) of the same body with a compatible greediness add
+     their counters — `aa*` => `a+`, `x{1,2}x{1,3}` => `x{2,5}`;
+     fully-exact nests multiply — `(x{2}){3}` => `x{6}` (both bounds must
+     be exact: (x{2}){1,3} matches only even counts). Two bare literal
+     chars are left alone (4-char AND packing is cheaper). *)
+
+open Alveare_frontend
+
+(* A "single consumer" matches exactly one char then continues:
+   Char, Class, Any. *)
+let consumer_set = function
+  | Ast.Char c -> Some (Charset.singleton c)
+  | Ast.Class cls -> Some (Alveare_engine.Semantics.class_set cls)
+  | Ast.Any -> Some (Alveare_engine.Semantics.class_set Desugar.dot_class)
+  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _ -> None
+
+(* Only ADJACENT consumer branches may merge: a one-char branch hoisted
+   over an intervening multi-char branch would gain priority over it
+   (e.g. `a|bc|b` must not become `[ab]|bc`). Within an adjacent run the
+   merge is exact — every member consumes one char into the same
+   continuation. *)
+let fuse_single_consumers branches =
+  let rec go = function
+    | [] -> []
+    | b :: rest ->
+      (match consumer_set b with
+       | None -> b :: go rest
+       | Some set ->
+         let rec take acc count = function
+           | x :: more ->
+             (match consumer_set x with
+              | Some s -> take (Charset.union acc s) (count + 1) more
+              | None -> (acc, count, x :: more))
+           | [] -> (acc, count, [])
+         in
+         let fused, run_length, rest' = take set 1 rest in
+         if run_length < 2 then b :: go rest
+         else Ast.Class { negated = false; set = fused } :: go rest')
+  in
+  go branches
+
+(* A branch identical to an earlier one can never contribute: whatever it
+   could match, the earlier copy already tried with the same continuation.
+   (An EMPTY branch does NOT make later branches unreachable — on
+   backtracking from the continuation they are tried, so only duplicates
+   may be dropped.) *)
+let dedup_branches branches =
+  let rec go seen = function
+    | [] -> []
+    | b :: rest ->
+      if List.exists (Ast.equal b) seen then go seen rest
+      else b :: go (b :: seen) rest
+  in
+  go [] branches
+
+(* Leading atom of a branch when it is deterministic (single-char,
+   unique match), plus the remaining tail. *)
+let deterministic_head = function
+  | Ast.Concat ((Ast.Char _ | Ast.Class _ | Ast.Any) :: _ as parts) ->
+    (match parts with
+     | x :: rest ->
+       Some (x, (match rest with [] -> Ast.Empty | [ y ] -> y | ys -> Ast.Concat ys))
+     | [] -> None)
+  | (Ast.Char _ | Ast.Class _ | Ast.Any) as atom -> Some (atom, Ast.Empty)
+  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _ -> None
+
+(* Factor a shared deterministic head out of maximal runs of ADJACENT
+   branches (adjacency keeps PCRE branch priority intact). *)
+let rec factor_prefixes branches =
+  match branches with
+  | [] -> []
+  | first :: rest_branches ->
+    (match deterministic_head first with
+     | None -> first :: factor_prefixes rest_branches
+     | Some (h, _) ->
+       let rec take acc = function
+         | b :: rest ->
+           (match deterministic_head b with
+            | Some (h', t) when Ast.equal h h' -> take (t :: acc) rest
+            | Some _ | None -> (List.rev acc, b :: rest))
+         | [] -> (List.rev acc, [])
+       in
+       let tails, rest = take [] branches in
+       if List.length tails < 2 then first :: factor_prefixes rest_branches
+       else Ast.Concat [ h; Ast.Alt tails ] :: factor_prefixes rest)
+
+(* Adjacent repeats of one atom merge counters when their backtracking
+   orders compose (same greediness, or one side exactly counted). *)
+let view_repeat = function
+  | Ast.Repeat (x, q) -> (x, q)
+  | atom -> (atom, { Ast.qmin = 1; qmax = Some 1; greedy = true })
+
+let exact (q : Ast.quant) = q.qmax = Some q.qmin
+
+let coalesce_repeats parts =
+  let add_bounds (q : Ast.quant) (r : Ast.quant) =
+    { Ast.qmin = q.qmin + r.qmin;
+      qmax =
+        (match q.qmax, r.qmax with
+         | Some a, Some b -> Some (a + b)
+         | None, _ | _, None -> None);
+      greedy = (if exact q then r.greedy else q.greedy) }
+  in
+  let is_repeat = function Ast.Repeat _ -> true | _ -> false in
+  let rec go = function
+    | a :: b :: rest ->
+      let xa, qa = view_repeat a and xb, qb = view_repeat b in
+      (* require a repeat on at least one side: folding two bare chars
+         ("ee" -> e{2}) would break 4-char AND packing and pessimise *)
+      if (is_repeat a || is_repeat b)
+         && Ast.equal xa xb
+         && (qa.greedy = qb.greedy || exact qa || exact qb)
+      then go (Ast.Repeat (xa, add_bounds qa qb) :: rest)
+      else a :: go (b :: rest)
+    | tail -> tail
+  in
+  go parts
+
+(* (x{n}){m} => x{n*m} — BOTH repeats must be exactly counted: with a
+   non-exact outer, (x{2}){1,3} matches only even counts {2,4,6} while
+   x{2,6} also matches 3 and 5, a different language. *)
+let flatten_exact_nest x (q : Ast.quant) =
+  match x with
+  | Ast.Repeat (inner, iq)
+    when exact iq && iq.Ast.qmin > 0 && exact q && q.Ast.qmin > 0 ->
+    let n = iq.Ast.qmin * q.Ast.qmin in
+    Some (Ast.Repeat (inner, { Ast.qmin = n; qmax = Some n; greedy = q.Ast.greedy }))
+  | _ -> None
+
+let rec rewrite (node : Ast.t) : Ast.t =
+  match node with
+  | Ast.Empty | Ast.Char _ | Ast.Class _ | Ast.Any -> node
+  | Ast.Group x -> rewrite x
+  | Ast.Concat parts -> Ast.Concat (coalesce_repeats (List.map rewrite parts))
+  | Ast.Alt branches ->
+    let branches = List.map rewrite branches in
+    let branches = dedup_branches branches in
+    let branches = fuse_single_consumers branches in
+    let branches = factor_prefixes branches in
+    (match branches with [ one ] -> one | bs -> Ast.Alt bs)
+  | Ast.Repeat (x, q) ->
+    let x = rewrite x in
+    (match flatten_exact_nest x q with
+     | Some flattened -> flattened
+     | None -> Ast.Repeat (x, q))
+
+let max_passes = 8
+
+let optimize (ast : Ast.t) : Ast.t =
+  let rec fixpoint k ast =
+    let ast' = Desugar.normalize (rewrite ast) in
+    if k = 0 || Ast.equal ast ast' then ast' else fixpoint (k - 1) ast'
+  in
+  fixpoint max_passes (Desugar.normalize ast)

@@ -1,0 +1,12 @@
+(** Mid-end AST optimiser (paper §5). Span-preserving rewrites: fusion of
+    adjacent single-char alternation branches into classes, unreachable-
+    branch pruning, deterministic-prefix factoring, repeat coalescing and
+    exact-nest flattening. The ablation harness measures its effect on
+    code size and cycles. *)
+
+val optimize : Alveare_frontend.Ast.t -> Alveare_frontend.Ast.t
+(** Normalise and rewrite to a fixpoint (bounded passes). The result
+    matches the same spans as the input under PCRE first-match
+    semantics — checked differentially in the test suite. *)
+
+val max_passes : int

@@ -1,0 +1,1 @@
+lib/isa/assembler.ml: Array Buffer Char Instruction List Option Printf Program String

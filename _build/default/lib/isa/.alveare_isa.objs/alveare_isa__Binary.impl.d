@@ -1,0 +1,1 @@
+lib/isa/binary.ml: Array Bytes Encoding Instruction Int32 Int64 Printf Program

@@ -1,0 +1,1 @@
+lib/isa/binary.mli: Encoding Program

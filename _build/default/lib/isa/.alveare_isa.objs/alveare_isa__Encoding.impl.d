@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Bool Char Fmt Instruction Printf String

@@ -1,0 +1,32 @@
+(** Loadable container format for compiled programs ("ALVR" magic,
+    version byte, instruction count, one 64-bit little-endian word per
+    43-bit instruction). *)
+
+val magic : string
+val version : int
+val header_size : int
+val word_size : int
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Truncated of string
+  | Word_error of int * Encoding.error
+  | Program_error of Program.error
+
+val error_message : error -> string
+
+val size_of_program : Program.t -> int
+(** Size in bytes of the serialised form. *)
+
+val to_bytes : ?strict:bool -> Program.t -> (bytes, error) result
+(** Serialise a validated program. [strict] is forwarded to
+    {!Encoding.encode}. *)
+
+val to_bytes_exn : ?strict:bool -> Program.t -> bytes
+
+val of_bytes : bytes -> (Program.t, error) result
+(** Parse and fully validate a binary image. *)
+
+val write_file : ?strict:bool -> string -> Program.t -> (bytes, error) result
+val read_file : string -> (Program.t, error) result

@@ -1,0 +1,187 @@
+(* Bit-level encoding of the 43-bit ALVEARE instruction word (Fig. 1/2).
+
+   word[42..36] opcode:
+     bit 42 OPEN, bit 41 NOT,
+     bits 40..39 base   (10 = AND, 01 = OR, 11 = RANGE, 00 = none),
+     bits 38..36 close  (100 = ')', 001 = lazy quant, 010 = greedy quant,
+                         011 = ')|', 000 = none).
+   word[35..32] reference-enabling bits, char 0 at bit 35, '0'-ended.
+   word[31..0]  reference:
+     base ops : char k at bits (31 - 8k)..(24 - 8k);
+     OPEN     : bit 31 min-enable, 30 max-enable, 29 bwd-enable,
+                28 fwd-enable, 27 lazy; bits 26..24 fwd[8:6] (reserved in
+                the paper, used here as documented forward-jump extension);
+                bits 23..18 min, 17..12 max, 11..6 bwd, 5..0 fwd[5:0].
+
+   The layout is the unique one consistent with the paper's worked example
+   "([^A-Z])+" -> opcodes 1000000 / 0111010 / 0000000 (Table 1 caption),
+   enable bits 1100 with reference 'A','Z' (Fig. 1 caption), and open
+   reference 11110 + 000000001111111000000000010 (Fig. 2 caption). *)
+
+open Instruction
+
+type error =
+  | Instruction_error of Instruction.error
+  | Forward_jump_too_large of int
+  | Reserved_bits_set of int
+  | Unknown_opcode of int
+
+let error_message = function
+  | Instruction_error e -> Instruction.error_message e
+  | Forward_jump_too_large f ->
+    Printf.sprintf "forward jump %d exceeds the 6-bit strict limit" f
+  | Reserved_bits_set w ->
+    Printf.sprintf "reserved bits set in word 0x%011x" w
+  | Unknown_opcode op -> Printf.sprintf "unknown opcode 0x%02x" op
+
+let bit b v = v lsl b
+let field b width v = (v land ((1 lsl width) - 1)) lsl b
+let get_bit b w = (w lsr b) land 1 = 1
+let get_field b width w = (w lsr b) land ((1 lsl width) - 1)
+
+let word_bits = 43
+let word_mask = (1 lsl word_bits) - 1
+
+let base_code = function And -> 0b10 | Or -> 0b01 | Range -> 0b11
+
+let close_code = function
+  | Close -> 0b100
+  | Quant_lazy -> 0b001
+  | Quant_greedy -> 0b010
+  | Alt_close -> 0b011
+
+let encode_reference = function
+  | Ref_none -> 0
+  | Ref_chars s ->
+    let r = ref 0 in
+    String.iteri (fun k c -> r := !r lor field (24 - (8 * k)) 8 (Char.code c)) s;
+    !r
+  | Ref_open o ->
+    bit 31 (Bool.to_int o.min_enabled)
+    lor bit 30 (Bool.to_int o.max_enabled)
+    lor bit 29 (Bool.to_int o.bwd_enabled)
+    lor bit 28 (Bool.to_int o.fwd_enabled)
+    lor bit 27 (Bool.to_int o.lazy_mode)
+    lor field 24 3 (o.fwd lsr 6)
+    lor field 18 6 o.min_count
+    lor field 12 6 o.max_count
+    lor field 6 6 o.bwd
+    lor field 0 6 o.fwd
+
+let encode_enable = function
+  | Ref_chars s -> ((1 lsl String.length s) - 1) lsl (4 - String.length s)
+  | Ref_none | Ref_open _ -> 0
+
+(* [strict] enforces the paper's exact field widths (6-bit forward jumps);
+   the relaxed mode stores fwd[8:6] in the reserved reference MSBs. *)
+let encode ?(strict = false) i : (int, error) result =
+  match validate i with
+  | Error e -> Error (Instruction_error e)
+  | Ok () ->
+    let strict_violation =
+      match i.reference with
+      | Ref_open o when strict && o.fwd > max_jump ->
+        Some (Forward_jump_too_large o.fwd)
+      | Ref_open _ | Ref_none | Ref_chars _ -> None
+    in
+    (match strict_violation with
+     | Some e -> Error e
+     | None ->
+       let opcode =
+         bit 6 (Bool.to_int i.opn)
+         lor bit 5 (Bool.to_int i.neg)
+         lor field 3 2 (match i.base with Some op -> base_code op | None -> 0)
+         lor field 0 3 (match i.close with Some op -> close_code op | None -> 0)
+       in
+       Ok
+         (field 36 7 opcode
+          lor field 32 4 (encode_enable i.reference)
+          lor encode_reference i.reference))
+
+let encode_exn ?strict i =
+  match encode ?strict i with
+  | Ok w -> w
+  | Error e -> invalid_arg ("Encoding.encode: " ^ error_message e)
+
+let decode_enable_count e =
+  (* '0'-ended sequential enabling: 1100 -> 2 chars. Reject non-prefix
+     patterns such as 1010. *)
+  match e with
+  | 0b0000 -> Some 0
+  | 0b1000 -> Some 1
+  | 0b1100 -> Some 2
+  | 0b1110 -> Some 3
+  | 0b1111 -> Some 4
+  | _ -> None
+
+let decode w : (t, error) result =
+  if w land lnot word_mask <> 0 then Error (Reserved_bits_set w)
+  else begin
+    let opcode = get_field 36 7 w in
+    let opn = get_bit 6 opcode in
+    let neg = get_bit 5 opcode in
+    let base =
+      match get_field 3 2 opcode with
+      | 0b10 -> Ok (Some And)
+      | 0b01 -> Ok (Some Or)
+      | 0b11 -> Ok (Some Range)
+      | _ -> Ok None
+    in
+    let close =
+      match get_field 0 3 opcode with
+      | 0b000 -> Ok None
+      | 0b100 -> Ok (Some Close)
+      | 0b001 -> Ok (Some Quant_lazy)
+      | 0b010 -> Ok (Some Quant_greedy)
+      | 0b011 -> Ok (Some Alt_close)
+      | _ -> Error (Unknown_opcode opcode)
+    in
+    match base, close with
+    | Error e, _ | _, Error e -> Error e
+    | Ok base, Ok close ->
+      let reference =
+        if opn then
+          Ok
+            (Ref_open
+               { min_enabled = get_bit 31 w;
+                 max_enabled = get_bit 30 w;
+                 bwd_enabled = get_bit 29 w;
+                 fwd_enabled = get_bit 28 w;
+                 lazy_mode = get_bit 27 w;
+                 min_count = get_field 18 6 w;
+                 max_count = get_field 12 6 w;
+                 bwd = get_field 6 6 w;
+                 fwd = (get_field 24 3 w lsl 6) lor get_field 0 6 w })
+        else
+          match decode_enable_count (get_field 32 4 w) with
+          | None -> Error (Unknown_opcode opcode)
+          | Some 0 -> Ok Ref_none
+          | Some n ->
+            Ok (Ref_chars (String.init n (fun k -> Char.chr (get_field (24 - (8 * k)) 8 w))))
+      in
+      (match reference with
+       | Error e -> Error e
+       | Ok reference ->
+         let i = { opn; neg; base; close; reference } in
+         (match validate i with
+          | Ok () -> Ok i
+          | Error e -> Error (Instruction_error e)))
+  end
+
+let decode_exn w =
+  match decode w with
+  | Ok i -> i
+  | Error e -> invalid_arg ("Encoding.decode: " ^ error_message e)
+
+let bits_of_field b width w =
+  String.init width (fun k -> if get_bit (b + width - 1 - k) w then '1' else '0')
+
+let opcode_bits w = bits_of_field 36 7 w
+let enable_bits w = bits_of_field 32 4 w
+let reference_bits w = bits_of_field 0 32 w
+
+let open_enabler_bits w = bits_of_field 27 5 w
+let open_payload_bits w = bits_of_field 0 27 w
+
+let pp_word ppf w =
+  Fmt.pf ppf "%s %s %s" (opcode_bits w) (enable_bits w) (reference_bits w)

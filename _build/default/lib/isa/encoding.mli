@@ -1,0 +1,54 @@
+(** Bit-accurate encoding of the 43-bit instruction word (paper Fig. 1/2).
+
+    The bit layout is the unique one consistent with the paper's worked
+    example [([^A-Z])+] — see the module implementation header and
+    DESIGN.md for the derivation. Words are held in the low 43 bits of a
+    native [int]. *)
+
+type error =
+  | Instruction_error of Instruction.error
+  | Forward_jump_too_large of int  (** strict mode: fwd does not fit 6 bits *)
+  | Reserved_bits_set of int
+  | Unknown_opcode of int
+
+val error_message : error -> string
+
+val word_bits : int
+(** 43. *)
+
+val word_mask : int
+(** [(1 lsl 43) - 1]. *)
+
+val encode : ?strict:bool -> Instruction.t -> (int, error) result
+(** [encode ~strict i] packs [i] into a 43-bit word. With [strict = true]
+    forward jumps are limited to the paper's 6-bit field; otherwise the
+    three reserved reference MSBs extend the forward jump to 9 bits
+    (documented extension, DESIGN.md). Default [strict = false]. *)
+
+val encode_exn : ?strict:bool -> Instruction.t -> int
+
+val decode : int -> (Instruction.t, error) result
+(** Inverse of {!encode}; rejects words with unknown opcodes, non-prefix
+    enable patterns or reserved high bits set. *)
+
+val decode_exn : int -> Instruction.t
+
+(** {2 Bit-string views} — used to check the paper's worked examples. *)
+
+val opcode_bits : int -> string
+(** 7-char binary string of word bits 42..36 (e.g. ["0111010"]). *)
+
+val enable_bits : int -> string
+(** 4-char binary string of word bits 35..32 (e.g. ["1100"]). *)
+
+val reference_bits : int -> string
+(** 32-char binary string of word bits 31..0. *)
+
+val open_enabler_bits : int -> string
+(** 5-char enabler field of an OPEN reference (word bits 31..27). *)
+
+val open_payload_bits : int -> string
+(** 27-char payload field of an OPEN reference (word bits 26..0). *)
+
+val pp_word : int Fmt.t
+(** Prints the three instruction fields as binary, space-separated. *)

@@ -1,0 +1,135 @@
+(* A compiled ALVEARE program: a sequence of instructions terminated by the
+   End-of-RE control instruction, plus whole-program validity checks that
+   the loader and the microarchitecture rely on (jump targets in range,
+   every OPEN eventually closed, exactly one EoR at the end). *)
+
+open Instruction
+
+type t = Instruction.t array
+
+type error =
+  | Empty_program
+  | Missing_eor
+  | Interior_eor of int
+  | Instruction_error of int * Instruction.error
+  | Jump_out_of_range of int * string
+  | Unbalanced_close of int
+  | Unclosed_open of int
+
+let error_message = function
+  | Empty_program -> "empty program"
+  | Missing_eor -> "program does not end with EoR"
+  | Interior_eor pc -> Printf.sprintf "EoR in the middle of the program (pc %d)" pc
+  | Instruction_error (pc, e) ->
+    Printf.sprintf "pc %d: %s" pc (Instruction.error_message e)
+  | Jump_out_of_range (pc, which) ->
+    Printf.sprintf "pc %d: %s jump target out of range" pc which
+  | Unbalanced_close pc -> Printf.sprintf "pc %d: close without matching open" pc
+  | Unclosed_open pc -> Printf.sprintf "pc %d: open sub-RE never closed" pc
+
+let length = Array.length
+
+(* Code size as reported by the paper's Table 2: the EoR terminator is
+   excluded from the count. *)
+let code_size p = max 0 (Array.length p - 1)
+
+let validate (p : t) : (unit, error) result =
+  let n = Array.length p in
+  if n = 0 then Error Empty_program
+  else if not (is_eor p.(n - 1)) then Error Missing_eor
+  else begin
+    let err = ref None in
+    let set e = if !err = None then err := Some e in
+    let depth = ref 0 in
+    Array.iteri
+      (fun pc i ->
+         (match validate i with
+          | Error e -> set (Instruction_error (pc, e))
+          | Ok () -> ());
+         if pc < n - 1 && is_eor i then set (Interior_eor pc);
+         if i.opn then incr depth;
+         (match i.close with
+          | Some _ ->
+            if !depth = 0 then set (Unbalanced_close pc) else decr depth
+          | None -> ());
+         match i.reference with
+         | Ref_open o ->
+           if o.bwd_enabled && pc + o.bwd >= n then
+             set (Jump_out_of_range (pc, "backward"));
+           if o.fwd_enabled && pc + o.fwd >= n then
+             set (Jump_out_of_range (pc, "forward"))
+         | Ref_none | Ref_chars _ -> ())
+      p;
+    if !depth > 0 && !err = None then begin
+      (* Report the first OPEN left unclosed. *)
+      let d = ref 0 and first = ref (-1) in
+      Array.iteri
+        (fun pc i ->
+           if i.opn then begin
+             if !d = 0 && !first < 0 then first := pc;
+             incr d
+           end;
+           match i.close with
+           | Some _ ->
+             decr d;
+             if !d = 0 then first := -1
+           | None -> ())
+        p;
+      set (Unclosed_open (max 0 !first))
+    end;
+    match !err with None -> Ok () | Some e -> Error e
+  end
+
+let validate_exn p =
+  match validate p with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Program.validate: " ^ error_message e)
+
+let equal a b = Array.length a = Array.length b && Array.for_all2 Instruction.equal a b
+
+let pp ppf p =
+  Array.iteri (fun pc i -> Fmt.pf ppf "%3d: %a@." pc Instruction.pp i) p
+
+let to_string p = Fmt.str "%a" pp p
+
+(* Operator-class histogram, used by compiler statistics. *)
+type histogram = {
+  n_base_and : int;
+  n_base_or : int;
+  n_base_range : int;
+  n_not : int;
+  n_open : int;
+  n_close : int;
+  n_quant_greedy : int;
+  n_quant_lazy : int;
+  n_alt_close : int;
+  n_eor : int;
+}
+
+let histogram (p : t) =
+  let h =
+    ref
+      { n_base_and = 0; n_base_or = 0; n_base_range = 0; n_not = 0;
+        n_open = 0; n_close = 0; n_quant_greedy = 0; n_quant_lazy = 0;
+        n_alt_close = 0; n_eor = 0 }
+  in
+  Array.iter
+    (fun i ->
+       if is_eor i then h := { !h with n_eor = !h.n_eor + 1 }
+       else begin
+         if i.opn then h := { !h with n_open = !h.n_open + 1 };
+         if i.neg then h := { !h with n_not = !h.n_not + 1 };
+         (match i.base with
+          | Some And -> h := { !h with n_base_and = !h.n_base_and + 1 }
+          | Some Or -> h := { !h with n_base_or = !h.n_base_or + 1 }
+          | Some Range -> h := { !h with n_base_range = !h.n_base_range + 1 }
+          | None -> ());
+         match i.close with
+         | Some Close -> h := { !h with n_close = !h.n_close + 1 }
+         | Some Quant_greedy -> h := { !h with n_quant_greedy = !h.n_quant_greedy + 1 }
+         | Some Quant_lazy -> h := { !h with n_quant_lazy = !h.n_quant_lazy + 1 }
+         | Some Alt_close -> h := { !h with n_alt_close = !h.n_alt_close + 1 }
+         | None -> ()
+       end)
+    p;
+  !h

@@ -1,0 +1,49 @@
+(** A compiled ALVEARE program: instructions terminated by End-of-RE. *)
+
+type t = Instruction.t array
+
+type error =
+  | Empty_program
+  | Missing_eor
+  | Interior_eor of int
+  | Instruction_error of int * Instruction.error
+  | Jump_out_of_range of int * string
+  | Unbalanced_close of int
+  | Unclosed_open of int
+
+val error_message : error -> string
+
+val length : t -> int
+
+val code_size : t -> int
+(** Instruction count excluding the EoR terminator — the metric the paper's
+    Table 2 reports. *)
+
+val validate : t -> (unit, error) result
+(** Whole-program checks: non-empty, single trailing EoR, per-instruction
+    well-formedness, jump targets inside the program, balanced open/close. *)
+
+val validate_exn : t -> unit
+
+val equal : t -> t -> bool
+
+val pp : t Fmt.t
+(** Disassembly listing, one instruction per line with addresses. *)
+
+val to_string : t -> string
+
+(** Operator-class population counts (compiler statistics). *)
+type histogram = {
+  n_base_and : int;
+  n_base_or : int;
+  n_base_range : int;
+  n_not : int;
+  n_open : int;
+  n_close : int;
+  n_quant_greedy : int;
+  n_quant_lazy : int;
+  n_alt_close : int;
+  n_eor : int;
+}
+
+val histogram : t -> histogram

@@ -1,0 +1,1 @@
+lib/multicore/multicore.mli: Alveare_arch Alveare_engine Alveare_frontend Alveare_isa

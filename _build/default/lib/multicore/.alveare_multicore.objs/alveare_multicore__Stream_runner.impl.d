@@ -1,0 +1,1 @@
+lib/multicore/stream_runner.ml: Alveare_arch Alveare_engine Alveare_isa List Multicore String

@@ -1,0 +1,1 @@
+lib/multicore/stream_runner.mli: Alveare_arch Alveare_engine Alveare_isa

@@ -1,0 +1,94 @@
+(* Multi-core scale-out (paper §6 "Scaling Out to a Multi-Core"):
+   independent cores with private instruction/data memories run the same
+   compiled RE over different portions of the stream — divide and conquer
+   at the data level.
+
+   Each core owns an equal slice of the input and scans an extended
+   region that overlaps the next slice by [overlap] bytes, so matches
+   starting near a boundary can complete; a match is attributed to the
+   core that owns its start offset, which deduplicates the overlap.
+   Wall-clock cycles are the maximum over the cores (they run in
+   parallel); per-core and aggregate statistics are also reported. *)
+
+module Core = Alveare_arch.Core
+module Span = Alveare_engine.Semantics
+
+type config = {
+  cores : int;
+  overlap : int;          (* boundary completion window, bytes *)
+  core_config : Core.config;
+}
+
+let default_overlap = 256
+
+let config ?(cores = 1) ?(overlap = default_overlap)
+    ?(core_config = Core.default_config) () =
+  if cores < 1 then invalid_arg "Multicore.config: cores must be positive";
+  if overlap < 0 then invalid_arg "Multicore.config: negative overlap";
+  { cores; overlap; core_config }
+
+(* Overlap window sized from the pattern when its match length is
+   bounded; unbounded patterns fall back to [cap]. *)
+let overlap_for_ast ?(cap = 4096) ast =
+  match Alveare_frontend.Ast.max_match_length ast with
+  | Some len -> min len cap
+  | None -> cap
+
+type core_result = {
+  owned : Span.span list;  (* matches attributed to this core *)
+  stats : Core.stats;
+  slice_start : int;
+  slice_stop : int;        (* exclusive ownership bound *)
+}
+
+type result = {
+  matches : Span.span list;
+  cycles : int;                   (* parallel wall-clock = max over cores *)
+  total_cycles : int;             (* sum over cores (energy-relevant) *)
+  per_core : core_result array;
+}
+
+let run ~config (program : Alveare_isa.Program.t) (input : string) : result =
+  Alveare_isa.Program.validate_exn program;
+  let n = String.length input in
+  let cores = config.cores in
+  let slice = (n + cores - 1) / cores in
+  let per_core =
+    Array.init cores (fun k ->
+        let slice_start = min n (k * slice) in
+        let slice_stop = min n ((k + 1) * slice) in
+        let region_stop = min n (slice_stop + config.overlap) in
+        let stats = Core.fresh_stats () in
+        let owned =
+          if slice_start >= region_stop && not (slice_start = n && k = 0) then []
+          else begin
+            let region = String.sub input slice_start (region_stop - slice_start) in
+            Core.find_all ~config:config.core_config ~stats program region
+            |> List.filter_map (fun (s : Span.span) ->
+                let start = s.Span.start + slice_start in
+                let stop = s.Span.stop + slice_start in
+                (* a match starting exactly at the end of the stream (an
+                   empty match at offset n) belongs to the core whose
+                   slice ends there *)
+                if start < slice_stop || (start = n && slice_stop = n) then
+                  Some { Span.start; stop }
+                else None)
+          end
+        in
+        { owned; stats; slice_start; slice_stop })
+  in
+  let matches =
+    Array.to_list per_core
+    |> List.concat_map (fun c -> c.owned)
+    |> List.sort_uniq compare
+  in
+  let cycles =
+    Array.fold_left (fun acc c -> max acc c.stats.Core.cycles) 0 per_core
+  in
+  let total_cycles =
+    Array.fold_left (fun acc c -> acc + c.stats.Core.cycles) 0 per_core
+  in
+  { matches; cycles; total_cycles; per_core }
+
+let find_all ?(cores = 1) ?overlap ?core_config program input =
+  (run ~config:(config ~cores ?overlap ?core_config ()) program input).matches

@@ -1,0 +1,43 @@
+(** Multi-core scale-out (paper §6): N independent cores with private
+    memories scan slices of the stream for the same compiled RE. Matches
+    are attributed to the core owning their start offset; each core scans
+    [overlap] bytes past its slice so boundary matches complete. Matches
+    longer than the overlap window can straddle slices and be truncated —
+    the inherent approximation of the paper's divide-and-conquer. *)
+
+module Core = Alveare_arch.Core
+module Span = Alveare_engine.Semantics
+
+type config = {
+  cores : int;
+  overlap : int;
+  core_config : Core.config;
+}
+
+val default_overlap : int
+
+val config :
+  ?cores:int -> ?overlap:int -> ?core_config:Core.config -> unit -> config
+
+val overlap_for_ast : ?cap:int -> Alveare_frontend.Ast.t -> int
+(** Overlap window from the pattern's bounded match length, or [cap]. *)
+
+type core_result = {
+  owned : Span.span list;
+  stats : Core.stats;
+  slice_start : int;
+  slice_stop : int;
+}
+
+type result = {
+  matches : Span.span list;   (** deduplicated, sorted *)
+  cycles : int;               (** wall-clock = max over cores *)
+  total_cycles : int;         (** sum over cores *)
+  per_core : core_result array;
+}
+
+val run : config:config -> Alveare_isa.Program.t -> string -> result
+
+val find_all :
+  ?cores:int -> ?overlap:int -> ?core_config:Core.config ->
+  Alveare_isa.Program.t -> string -> Span.span list

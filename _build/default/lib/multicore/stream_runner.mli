@@ -1,0 +1,43 @@
+(** Streaming through the two-level data memory (paper §6 (A)): streams
+    longer than the on-chip buffer are processed chunk by chunk with an
+    overlap carry, double-buffering the DMA fill against matching.
+    Compute and load cycles are reported separately (the paper's KPI
+    excludes loading). *)
+
+type config = {
+  buffer_bytes : int;
+  overlap : int;
+  cores : int;
+  core_config : Alveare_arch.Core.config;
+  load_bytes_per_cycle : float;
+}
+
+val default_buffer_bytes : int
+(** 64 KiB — the BRAM-budget-sized local buffer. *)
+
+val default_load_bytes_per_cycle : float
+(** 8.0 bytes/cycle (~2.4 GB/s AXI at 300 MHz; mirrored by
+    [Calibration.alveare_load_bytes_per_cycle]). *)
+
+val config :
+  ?buffer_bytes:int ->
+  ?overlap:int ->
+  ?cores:int ->
+  ?core_config:Alveare_arch.Core.config ->
+  ?load_bytes_per_cycle:float ->
+  unit ->
+  config
+
+type result = {
+  matches : Alveare_engine.Semantics.span list;
+  chunks : int;
+  compute_cycles : int;
+  load_cycles : int;
+  wall_cycles : int;  (** first fill + per-chunk max(compute, next fill) *)
+}
+
+val run : config:config -> Alveare_isa.Program.t -> string -> result
+
+val find_all :
+  ?buffer_bytes:int -> ?overlap:int -> ?cores:int ->
+  Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list

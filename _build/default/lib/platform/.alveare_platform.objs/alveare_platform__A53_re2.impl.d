@@ -1,0 +1,1 @@
+lib/platform/a53_re2.ml: Alveare_engine Alveare_frontend Calibration Float List Measure String

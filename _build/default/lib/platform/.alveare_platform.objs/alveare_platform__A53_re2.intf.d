@@ -1,0 +1,1 @@
+lib/platform/a53_re2.mli: Alveare_frontend Measure

@@ -1,0 +1,1 @@
+lib/platform/alveare_fpga.ml: Alveare_arch Alveare_isa Alveare_multicore Area Calibration List Measure Printf String

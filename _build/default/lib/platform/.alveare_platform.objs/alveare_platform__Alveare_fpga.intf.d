@@ -1,0 +1,1 @@
+lib/platform/alveare_fpga.mli: Alveare_arch Alveare_isa Alveare_multicore Measure

@@ -1,0 +1,1 @@
+lib/platform/area.ml: Calibration Fmt List

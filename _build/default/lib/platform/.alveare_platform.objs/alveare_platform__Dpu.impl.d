@@ -1,0 +1,1 @@
+lib/platform/dpu.ml: Alveare_engine Alveare_frontend Calibration Float Measure String

@@ -1,0 +1,1 @@
+lib/platform/dpu.mli: Alveare_frontend Measure

@@ -1,0 +1,1 @@
+lib/platform/energy.ml: Calibration Fmt Printf

@@ -1,0 +1,1 @@
+lib/platform/energy.mli: Fmt

@@ -1,0 +1,1 @@
+lib/platform/energy_breakdown.ml: Alveare_arch Calibration Fmt

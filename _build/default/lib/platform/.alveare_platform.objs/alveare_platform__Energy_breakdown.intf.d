@@ -1,0 +1,1 @@
+lib/platform/energy_breakdown.mli: Alveare_arch Fmt

@@ -1,0 +1,1 @@
+lib/platform/gpu.ml: Alveare_engine Alveare_frontend Calibration Float List Measure String

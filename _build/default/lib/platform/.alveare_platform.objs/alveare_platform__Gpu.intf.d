@@ -1,0 +1,1 @@
+lib/platform/gpu.mli: Alveare_frontend Measure

@@ -1,0 +1,1 @@
+lib/platform/measure.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/platform/measure.mli: Fmt

@@ -1,0 +1,25 @@
+(** Embedded-CPU baseline: RE2 on the Ultra96 Cortex-A53 (paper §7.2).
+    Executes the reimplemented engines along both of RE2's regimes — the
+    lazy DFA (with a cache-footprint cost ramp) and the Pike-VM NFA
+    fallback for patterns whose NFA exceeds RE2's DFA memory bound — and
+    prices their work counters with A53 cycle costs. *)
+
+type regime = Dfa_path | Nfa_fallback
+
+type outcome = {
+  run : Measure.run;
+  regime : regime;
+  nfa_states : int;
+  dfa_states_built : int;
+  dfa_flushes : int;
+  cycles_per_byte : float;
+}
+
+val dfa_cycles_per_byte : resident_states:int -> float
+
+val run :
+  ?full_bytes:int ->
+  ?max_cached_states:int ->
+  Alveare_frontend.Ast.t ->
+  string ->
+  outcome

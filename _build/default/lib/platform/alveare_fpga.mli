@@ -1,0 +1,18 @@
+(** The ALVEARE prototype: multicore cycle simulation at 300 MHz plus the
+    per-RE PYNQ dispatch overhead (the constant that caps PowerEN scaling
+    at ~3x in §7.2). Refuses core counts beyond {!Area.max_cores}. *)
+
+type outcome = {
+  run : Measure.run;
+  wall_cycles : int;
+  result : Alveare_multicore.Multicore.result;
+}
+
+val run :
+  ?full_bytes:int ->
+  ?cores:int ->
+  ?overlap:int ->
+  ?core_config:Alveare_arch.Core.config ->
+  Alveare_isa.Program.t ->
+  string ->
+  outcome

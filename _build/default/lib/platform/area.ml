@@ -1,0 +1,44 @@
+(* FPGA resource model for the multi-core scale-out (paper §7.2):
+   BRAM grows linearly with the core count (private instruction and data
+   memories), LUTs affinely (shared AXI/control infrastructure plus a
+   per-core datapath). Timing at 300 MHz stops closing above the LUT
+   ceiling, which is what limits the paper's prototype to ten cores. *)
+
+type utilization = {
+  cores : int;
+  bram_pct : float;
+  lut_pct : float;
+  fits : bool;
+  closes_timing : bool;
+}
+
+let utilization cores =
+  if cores < 1 then invalid_arg "Area.utilization: cores must be positive";
+  let bram_pct = Calibration.bram_pct_per_core *. float_of_int cores in
+  let lut_pct =
+    Calibration.lut_pct_shared
+    +. (Calibration.lut_pct_per_core *. float_of_int cores)
+  in
+  { cores;
+    bram_pct;
+    lut_pct;
+    fits = bram_pct <= 100.0 && lut_pct <= 100.0;
+    closes_timing = lut_pct <= Calibration.lut_timing_ceiling_pct }
+
+let viable cores =
+  let u = utilization cores in
+  u.fits && u.closes_timing
+
+let max_cores () =
+  let rec go n = if viable (n + 1) then go (n + 1) else n in
+  go 1
+
+let sweep max =
+  List.init max (fun k -> utilization (k + 1))
+
+let pp ppf u =
+  Fmt.pf ppf "%2d cores: BRAM %6.2f%%  LUT %6.2f%%  %s" u.cores u.bram_pct
+    u.lut_pct
+    (if not u.fits then "does not fit"
+     else if not u.closes_timing then "fails 300 MHz timing"
+     else "ok")

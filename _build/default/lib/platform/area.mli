@@ -1,0 +1,19 @@
+(** FPGA resource model (paper §7.2): linear BRAM, affine ("sublinear")
+    LUT scaling, and the 300 MHz timing ceiling that caps the prototype
+    at ten cores. *)
+
+type utilization = {
+  cores : int;
+  bram_pct : float;
+  lut_pct : float;
+  fits : bool;
+  closes_timing : bool;
+}
+
+val utilization : int -> utilization
+val viable : int -> bool
+val max_cores : unit -> int
+val sweep : int -> utilization list
+(** [sweep n] = utilisation for 1..n cores. *)
+
+val pp : utilization Fmt.t

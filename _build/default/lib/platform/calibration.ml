@@ -1,0 +1,156 @@
+(* Every physical constant used by the platform cost models, in one place.
+   Sources: the ALVEARE paper (§7.2) where it reports a number, otherwise
+   the cited literature / public datasheets, otherwise calibrated so the
+   simulated shapes land inside the paper's reported ranges (flagged
+   "calibrated"). Absolute times are modelled, not measured — see
+   DESIGN.md's substitution table. *)
+
+(* --- ALVEARE DSA on the Ultra96v2 (paper §7.2) ------------------------ *)
+
+let alveare_clock_hz = 300.0e6
+(* "run it at 300 MHz" — paper §7.2. *)
+
+let alveare_board_power_10core_w = 7.05
+(* "The whole Ultra96 board with a 10-core ALVEARE consumes 7.05 W". *)
+
+let alveare_board_static_w = 4.5
+(* Calibrated split of the 7.05 W: board + PS static power; the dynamic
+   share below reproduces the 10-core figure exactly. *)
+
+let alveare_core_dynamic_w = (alveare_board_power_10core_w -. alveare_board_static_w) /. 10.0
+(* 0.255 W per active core. *)
+
+let alveare_board_power ~cores =
+  alveare_board_static_w +. (float_of_int cores *. alveare_core_dynamic_w)
+
+let alveare_job_overhead_s = 0.3e-3
+(* Host-to-DSA invocation through the PYNQ framework (paper §7.2 uses
+   PYNQ 2.7): Python driver call + MMIO/DMA descriptor setup per
+   offloaded job, charged once per RE regardless of core count.
+   Calibrated; PYNQ's Python-level dispatch sits at the millisecond
+   scale. This constant is what caps multi-core scaling for the
+   short-running PowerEN REs (§7.2 reports 3x there vs ~7x on the real
+   benchmarks: speedup_n = (T1 + O) / (T1/n + O)). *)
+
+let alveare_load_bytes_per_cycle = 8.0
+(* On-chip buffer fill rate from DRAM, bytes per 300 MHz cycle (~2.4
+   GB/s sustained AXI — conservative Zynq figure). Data loading is
+   excluded from the paper's KPI ("matching time after memories
+   loading"), so this only matters for utilities that report it. *)
+
+(* --- Embedded CPU baseline: RE2 on the A53 (paper §7.2) --------------- *)
+
+let a53_clock_hz = 1.2e9
+(* Ultra96v2 Cortex-A53 application cores run at 1.2 GHz. *)
+
+let a53_power_w = 5.9
+(* "5.9 W for the A53" — paper §7.2. *)
+
+let re2_cycles_per_dfa_byte = 6.5
+(* Calibrated: lazy-DFA inner loop (load, index, branch) on an in-order
+   A53 when the transition table is L1-resident (~185 MB/s), consistent
+   with the paper's 2-5x single-core ALVEARE advantage on the simple
+   PowerEN rules. *)
+
+let re2_bytes_per_dfa_state = 2048.0
+(* Resident footprint of one sparse DFA state (transition map + book-
+   keeping) — what pushes larger automata out of the A53's caches. *)
+
+let re2_l1_bytes = 32.0 *. 1024.0
+let re2_footprint_window_bytes = 64.0 *. 1024.0
+let re2_footprint_penalty_cycles = 45.0
+(* Once the working set exceeds the 32 KB L1, each DFA transition starts
+   missing; the penalty ramps linearly over the next ~64 KB up to +45
+   cycles/byte of L2-latency-bound accesses (2-3 dependent loads per
+   transition at ~20-cycle L2 latency on the in-order A53; calibrated —
+   this is what slows RE2 down on the class-dense Protomata automata). *)
+
+let re2_nfa_fallback_states = 80
+(* RE2 bounds its DFA memory; patterns whose NFA exceeds this run on the
+   Pike-VM NFA engine instead (RE2's documented fallback). The counted
+   repetitions of Snort rules are the main trigger. *)
+
+let re2_cycles_per_dfa_state_built = 260.0
+(* Subset-construction work per new DFA state (closure + alloc). *)
+
+let re2_cycles_per_nfa_step = 20.0
+(* Pike-VM fallback cost per state visit (RE2's NFA engine): ~40-60
+   A53 cycles/byte at the 2-3 merged threads the benchmark streams
+   sustain (calibrated). *)
+
+let re2_compile_cycles = 60_000.0
+(* Pattern parse + NFA build, charged once per RE. *)
+
+(* --- Near-data baseline: BlueField-2 DPU RE accelerator --------------- *)
+
+let dpu_power_w = 27.0
+(* "the 27 W of the DPU board" — paper §7.2. *)
+
+let dpu_chunk_bytes = 16 * 1024
+(* "we consider the DPU memory limits of 16KB input chunks" — §7.2. *)
+
+let dpu_job_overhead_s = 18.0e-6
+(* Per-chunk job descriptor + completion handling on the RXP queue pair
+   (calibrated; DOCA RegEx round trips are tens of microseconds). *)
+
+let dpu_base_throughput_bytes_per_s = 1.1e9
+(* Effective single-job RXP scan rate on friendly rule sets. The RXP is
+   advertised in the tens of Gb/s aggregate across jobs; a single
+   latency-bound job stream sustains ~1 GB/s (calibrated within the
+   paper's DPU-vs-ALVEARE envelope). *)
+
+let dpu_threads = 2.0
+(* "the DPU features a divide-and-conquer approach via multi-threaded
+   hardware" — §7.2: chunks are processed by parallel engines; two jobs
+   in flight is what the latency-bound 16 KB chunking sustains. *)
+
+let dpu_state_penalty_threshold = 12.0
+let dpu_state_penalty_exponent = 1.7
+(* NFA states a rule may use before spilling out of the RXP's fast
+   pattern memory; beyond it the effective rate degrades superlinearly
+   (multi-pass reprocessing of spilled rule fragments). Calibrated —
+   this drives the Snort gap, where PCRE counted repetitions inflate
+   automata to hundreds of states. *)
+
+(* --- Offloading baseline: iNFAnt / OBAT on a V100 --------------------- *)
+
+let gpu_power_w = 250.0
+(* "we use the V100 thermal design power" — §7.2. *)
+
+let gpu_kernel_launch_s = 12.0e-6
+(* Kernel launch + device sync per scan batch. *)
+
+let infant_base_ns_per_byte = 3000.0  (* calibrated, see note below *)
+let infant_ns_per_byte_per_state = 2.5
+(* iNFAnt replays the transition lists of ALL NFA states per input symbol
+   from device memory (state-agnostic layout), so the per-byte cost has a
+   large latency-bound floor plus a term in the total state count.
+   Calibrated to the published iNFAnt/ANMLZoo throughputs of ~0.1-1 MB/s
+   on complex rule sets — "at least two orders of magnitude" above the
+   CPU/DPU engines (§7.2). *)
+
+let obat_base_ns_per_byte = 800.0
+let obat_ns_per_byte_per_active_state = 2.0
+(* OBAT + hotstart (the §7.2 GPU state of the art) only touches the
+   active frontier, but remains one-byte-at-a-time and latency-bound:
+   ~1 MB/s-scale on ANMLZoo, which reproduces the paper's ">=356x slower
+   than the 10-core" floor on Protomata. *)
+
+let gpu_min_active_states = 4.0
+(* Thread-divergence floor: even near-empty frontiers pay a warp. *)
+
+(* --- FPGA resource model (paper §7.2) ---------------------------------- *)
+
+let bram_pct_per_core = 6.713
+(* "linear BRAM scaling (6.71% to 67.13%)": per-core block RAM share. *)
+
+let lut_pct_shared = 3.25
+let lut_pct_per_core = 8.14
+(* "sublinear LUT scaling (11.39% to 84.65%)": affine fit through both
+   endpoints — shared infrastructure (AXI, controller glue) amortises
+   across cores. *)
+
+let lut_timing_ceiling_pct = 85.0
+(* Above ~85% LUT occupancy placement no longer closes 300 MHz timing on
+   the XCZU3EG, which is what caps the paper's design at ten cores (an
+   11th core would still fit raw BRAM). *)

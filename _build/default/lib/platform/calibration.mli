@@ -1,0 +1,78 @@
+(** Every physical constant used by the platform cost models, in one
+    place. Sources: the paper (§7.2) where it reports a number, otherwise
+    the cited literature / public datasheets, otherwise calibrated within
+    the paper's reported comparison envelopes — each constant's .ml
+    definition carries its provenance comment. Override by rebuilding;
+    the experiment shapes (EXPERIMENTS.md) are produced by the structural
+    mechanisms, with these constants setting the absolute scale. *)
+
+(** {2 ALVEARE DSA on the Ultra96v2 (paper §7.2)} *)
+
+val alveare_clock_hz : float
+(** 300 MHz — paper. *)
+
+val alveare_board_power_10core_w : float
+(** 7.05 W — paper. *)
+
+val alveare_board_static_w : float
+val alveare_core_dynamic_w : float
+val alveare_board_power : cores:int -> float
+(** Static + per-core dynamic; reproduces 7.05 W at ten cores. *)
+
+val alveare_job_overhead_s : float
+(** Per-RE PYNQ dispatch (calibrated) — caps PowerEN scaling at ~3x. *)
+
+val alveare_load_bytes_per_cycle : float
+
+(** {2 RE2 on the Cortex-A53} *)
+
+val a53_clock_hz : float
+val a53_power_w : float
+(** 5.9 W — paper. *)
+
+val re2_cycles_per_dfa_byte : float
+val re2_bytes_per_dfa_state : float
+val re2_l1_bytes : float
+val re2_footprint_window_bytes : float
+val re2_footprint_penalty_cycles : float
+val re2_nfa_fallback_states : int
+(** NFA size beyond which RE2 runs its NFA engine instead of the DFA. *)
+
+val re2_cycles_per_nfa_step : float
+val re2_cycles_per_dfa_state_built : float
+val re2_compile_cycles : float
+
+(** {2 BlueField-2 DPU} *)
+
+val dpu_power_w : float
+(** 27 W — paper. *)
+
+val dpu_chunk_bytes : int
+(** 16 KiB — the paper's fairness limit. *)
+
+val dpu_job_overhead_s : float
+val dpu_base_throughput_bytes_per_s : float
+val dpu_threads : float
+val dpu_state_penalty_threshold : float
+val dpu_state_penalty_exponent : float
+
+(** {2 GPU engines (V100)} *)
+
+val gpu_power_w : float
+(** 250 W TDP — paper. *)
+
+val gpu_kernel_launch_s : float
+val infant_base_ns_per_byte : float
+val infant_ns_per_byte_per_state : float
+val obat_base_ns_per_byte : float
+val obat_ns_per_byte_per_active_state : float
+val gpu_min_active_states : float
+
+(** {2 FPGA resources (paper §7.2)} *)
+
+val bram_pct_per_core : float
+val lut_pct_shared : float
+val lut_pct_per_core : float
+val lut_timing_ceiling_pct : float
+(** Above this LUT occupancy 300 MHz timing no longer closes — what caps
+    the prototype at ten cores. *)

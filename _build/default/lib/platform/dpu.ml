@@ -1,0 +1,66 @@
+(* Near-data baseline: the NVIDIA BlueField-2 DPU with its RXP regular-
+   expression accelerator (paper §7.2). The model follows the DPU's
+   documented operation: the stream is cut into 16 KiB job chunks
+   (the paper applies this limit itself), jobs are dispatched to the
+   hardware engines with a fixed per-job overhead and processed by
+   [dpu_threads] engines in parallel (the §7.2 "divide-and-conquer via
+   multi-threaded hardware"); the scan rate starts at the RXP line rate
+   and degrades superlinearly once a rule's automaton spills past the
+   fast pattern memory ([dpu_state_penalty_threshold] NFA states, spilled
+   fragments needing multi-pass reprocessing) — which is what PCRE-heavy
+   Snort rules do.
+
+   Matching itself is real: each chunk is scanned by our lazy-DFA engine
+   (the RXP is an automaton processor), so match counts and chunking
+   semantics (matches straddling chunk boundaries are lost, a real RXP
+   artefact) come from execution, not from the cost model. *)
+
+module Dfa = Alveare_engine.Lazy_dfa
+module Nfa = Alveare_engine.Nfa
+
+type outcome = {
+  run : Measure.run;
+  chunks : int;
+  state_factor : float;
+}
+
+let state_factor ~nfa_states =
+  Float.max 1.0
+    ((float_of_int nfa_states /. Calibration.dpu_state_penalty_threshold)
+     ** Calibration.dpu_state_penalty_exponent)
+
+let run ?full_bytes (ast : Alveare_frontend.Ast.t) (input : string) : outcome =
+  let nfa = Nfa.of_ast_exn ast in
+  let dfa = Dfa.create nfa in
+  let chunk = Calibration.dpu_chunk_bytes in
+  let n = String.length input in
+  let sample_chunks = max 1 ((n + chunk - 1) / chunk) in
+  (* Scan chunk by chunk: the RXP resets automaton state between jobs. *)
+  let match_count = ref 0 in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min chunk (n - !pos) in
+    match_count := !match_count + Dfa.count_matches dfa (String.sub input !pos len);
+    pos := !pos + len
+  done;
+  let k = Measure.scale ~sample_bytes:(max 1 n) ~full_bytes in
+  let total_bytes = k *. float_of_int n in
+  let total_chunks =
+    match full_bytes with
+    | Some full -> float_of_int ((full + chunk - 1) / chunk)
+    | None -> float_of_int sample_chunks
+  in
+  let factor = state_factor ~nfa_states:(Nfa.state_count nfa) in
+  let dispatch =
+    total_chunks *. Calibration.dpu_job_overhead_s /. Calibration.dpu_threads
+  in
+  let scan =
+    total_bytes *. factor
+    /. Calibration.dpu_base_throughput_bytes_per_s
+    /. Calibration.dpu_threads
+  in
+  { run =
+      Measure.make ~match_count:!match_count
+        [ ("job-dispatch", dispatch); ("scan", scan) ];
+    chunks = sample_chunks;
+    state_factor = factor }

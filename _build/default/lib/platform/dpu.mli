@@ -1,0 +1,15 @@
+(** Near-data baseline: BlueField-2 DPU RE accelerator model (paper
+    §7.2) — 16 KiB job chunks, parallel hardware engines, line-rate scan
+    degraded by automaton size. Matching is executed for real on each
+    chunk by the lazy-DFA engine. *)
+
+type outcome = {
+  run : Measure.run;
+  chunks : int;          (** jobs issued for the executed sample *)
+  state_factor : float;  (** scan-rate degradation from automaton size *)
+}
+
+val state_factor : nfa_states:int -> float
+
+val run :
+  ?full_bytes:int -> Alveare_frontend.Ast.t -> string -> outcome

@@ -1,0 +1,33 @@
+(* Energy accounting exactly as the paper defines it (§7.2):
+
+     Energy_Eff_avg = 1 / (Exe_Time_avg * Power_avg)
+
+   Power is one average figure per platform (the paper instruments whole
+   boards with a single meter and uses the V100's TDP). *)
+
+type platform =
+  | Alveare of int  (* core count *)
+  | A53_re2
+  | Dpu
+  | Gpu
+
+let power_w = function
+  | Alveare cores -> Calibration.alveare_board_power ~cores
+  | A53_re2 -> Calibration.a53_power_w
+  | Dpu -> Calibration.dpu_power_w
+  | Gpu -> Calibration.gpu_power_w
+
+let platform_name = function
+  | Alveare 1 -> "ALVEARE 1-core"
+  | Alveare n -> Printf.sprintf "ALVEARE %d-core" n
+  | A53_re2 -> "RE2 (A53)"
+  | Dpu -> "BlueField-2 DPU"
+  | Gpu -> "GPU (V100)"
+
+let energy_j ~seconds platform = seconds *. power_w platform
+
+let efficiency ~seconds platform =
+  if seconds <= 0.0 then invalid_arg "Energy.efficiency: non-positive time";
+  1.0 /. (seconds *. power_w platform)
+
+let pp_platform ppf p = Fmt.string ppf (platform_name p)

@@ -1,0 +1,15 @@
+(** Energy accounting as defined in paper §7.2:
+    [Energy_Eff_avg = 1 / (Exe_Time_avg * Power_avg)] with one average
+    power figure per platform. *)
+
+type platform =
+  | Alveare of int  (** core count *)
+  | A53_re2
+  | Dpu
+  | Gpu
+
+val power_w : platform -> float
+val platform_name : platform -> string
+val energy_j : seconds:float -> platform -> float
+val efficiency : seconds:float -> platform -> float
+val pp_platform : platform Fmt.t

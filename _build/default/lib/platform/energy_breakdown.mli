@@ -1,0 +1,26 @@
+(** Per-component energy decomposition of an ALVEARE run: static board
+    power plus the per-core dynamic budget split across datapath,
+    controller, speculation stack and memories according to the run's
+    event mix. Model constants, not measurements — exposes how the mix
+    shifts between scan-bound and controller-bound workloads. *)
+
+type breakdown = {
+  static_j : float;
+  datapath_j : float;
+  control_j : float;
+  stack_j : float;
+  memory_j : float;
+}
+
+val cycle_energy_j : float
+(** Per-core dynamic energy of one fully active 300 MHz cycle. *)
+
+val of_stats : ?cores:int -> Alveare_arch.Core.stats -> breakdown
+
+val total : breakdown -> float
+val add : breakdown -> breakdown -> breakdown
+val zero : breakdown
+val share : float -> breakdown -> float
+(** [share b.datapath_j b] — fraction of the total. *)
+
+val pp : breakdown Fmt.t

@@ -1,0 +1,61 @@
+(* Offloading baseline: GPU NFA engines on a V100 (paper §7.2) — iNFAnt,
+   the first GPU NFA matcher, and OBAT with the hotstart optimisation,
+   the GPU state of the art the paper compares against.
+
+   Both engines execute our real Pike VM over the Thompson NFA (that is
+   what they compute on the device); the cost model converts the VM's
+   work counters into device time:
+   - iNFAnt walks the transition lists of ALL states per symbol
+     (state-agnostic layout): per-byte cost = base + total_states * c;
+   - OBAT only touches the active frontier (hotstart prunes cold
+     states): per-byte cost = base + avg_active_states * c.
+   The large latency-bound base terms reflect the published ANMLZoo
+   throughputs (~MB/s) — the "embarrassingly sequential" symbol loop the
+   paper cites as the structural GPU limitation. *)
+
+module Nfa = Alveare_engine.Nfa
+module Pike = Alveare_engine.Pike_vm
+
+type algorithm = Infant | Obat
+
+let algorithm_name = function Infant -> "iNFAnt" | Obat -> "OBAT+hotstart"
+
+type outcome = {
+  run : Measure.run;
+  nfa_states : int;
+  avg_active_states : float;
+}
+
+(* Shared execution: one Pike-VM pass prices both algorithms. *)
+let run_both ?full_bytes (ast : Alveare_frontend.Ast.t) (input : string)
+  : (algorithm * outcome) list =
+  let nfa = Nfa.of_ast_exn ast in
+  let stats = Pike.fresh_stats () in
+  let matches = Pike.find_all ~stats nfa input in
+  let bytes = max 1 stats.Pike.bytes in
+  let avg_active = float_of_int stats.Pike.steps /. float_of_int bytes in
+  let active = Float.max Calibration.gpu_min_active_states avg_active in
+  let states = float_of_int (Nfa.state_count nfa) in
+  let k = Measure.scale ~sample_bytes:(max 1 (String.length input)) ~full_bytes in
+  let outcome_for algorithm =
+    let ns_per_byte =
+      match algorithm with
+      | Infant ->
+        Calibration.infant_base_ns_per_byte
+        +. (states *. Calibration.infant_ns_per_byte_per_state)
+      | Obat ->
+        Calibration.obat_base_ns_per_byte
+        +. (active *. Calibration.obat_ns_per_byte_per_active_state)
+    in
+    let scan = k *. float_of_int (String.length input) *. ns_per_byte *. 1e-9 in
+    ( algorithm,
+      { run =
+          Measure.make ~match_count:(List.length matches)
+            [ ("kernel-launch", Calibration.gpu_kernel_launch_s); ("scan", scan) ];
+        nfa_states = Nfa.state_count nfa;
+        avg_active_states = avg_active } )
+  in
+  [ outcome_for Infant; outcome_for Obat ]
+
+let run ?full_bytes algorithm ast input : outcome =
+  List.assoc algorithm (run_both ?full_bytes ast input)

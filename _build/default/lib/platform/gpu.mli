@@ -1,0 +1,23 @@
+(** Offloading baseline: GPU NFA engines on a V100 (paper §7.2). Both
+    algorithms execute the real Pike VM; the cost model prices the work
+    per the engine's memory-access structure. *)
+
+type algorithm =
+  | Infant  (** iNFAnt: walks all states' transitions per symbol *)
+  | Obat    (** OBAT + hotstart: active frontier only (GPU SotA in §7.2) *)
+
+val algorithm_name : algorithm -> string
+
+type outcome = {
+  run : Measure.run;
+  nfa_states : int;
+  avg_active_states : float;
+}
+
+val run_both :
+  ?full_bytes:int -> Alveare_frontend.Ast.t -> string ->
+  (algorithm * outcome) list
+(** One Pike-VM execution priced under both algorithms. *)
+
+val run :
+  ?full_bytes:int -> algorithm -> Alveare_frontend.Ast.t -> string -> outcome

@@ -1,0 +1,34 @@
+(* Common shape of a platform measurement: every baseline runner executes
+   a real matching engine over (a sample of) the stream, then converts the
+   engine's work counters into seconds with its platform cost model.
+
+   When [full_bytes] names a stream larger than the executed sample, the
+   data-proportional component is extrapolated linearly (all engines here
+   stream byte-by-byte, so work is linear in input length for a workload
+   with uniform match density) while fixed components (compile, job
+   dispatch, kernel launch) are charged once. *)
+
+type run = {
+  seconds : float;
+  match_count : int;              (* matches observed in the executed sample *)
+  components : (string * float) list;  (* named time components, seconds *)
+}
+
+let scale ~sample_bytes ~full_bytes =
+  match full_bytes with
+  | None -> 1.0
+  | Some full ->
+    if sample_bytes <= 0 then invalid_arg "Measure.scale: empty sample";
+    if full < sample_bytes then
+      invalid_arg "Measure.scale: full stream smaller than the sample";
+    float_of_int full /. float_of_int sample_bytes
+
+let total components = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 components
+
+let make ~match_count components =
+  { seconds = total components; match_count; components }
+
+let pp ppf r =
+  Fmt.pf ppf "%.6f s (%d matches: %a)" r.seconds r.match_count
+    Fmt.(list ~sep:comma (pair ~sep:(any "=") string float))
+    r.components

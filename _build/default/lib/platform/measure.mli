@@ -1,0 +1,17 @@
+(** Common shape of a platform measurement: real engine execution over a
+    sample, converted to seconds by a platform cost model, with linear
+    extrapolation of data-proportional components to [full_bytes]. *)
+
+type run = {
+  seconds : float;
+  match_count : int;   (** matches observed in the executed sample *)
+  components : (string * float) list;  (** named time components, seconds *)
+}
+
+val scale : sample_bytes:int -> full_bytes:int option -> float
+
+val total : (string * float) list -> float
+
+val make : match_count:int -> (string * float) list -> run
+
+val pp : run Fmt.t

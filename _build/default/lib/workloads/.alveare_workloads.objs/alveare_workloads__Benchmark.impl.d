@@ -1,0 +1,1 @@
+lib/workloads/benchmark.ml: Alveare_backend Alveare_frontend Alveare_ir List Powren Protomata Rng Snort Streams

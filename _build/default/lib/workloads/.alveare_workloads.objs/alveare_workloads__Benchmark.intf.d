@@ -1,0 +1,1 @@
+lib/workloads/benchmark.mli: Alveare_frontend Streams

@@ -1,0 +1,1 @@
+lib/workloads/powren.ml: Char List Printf Rng Streams String

@@ -1,0 +1,1 @@
+lib/workloads/powren.mli: Rng

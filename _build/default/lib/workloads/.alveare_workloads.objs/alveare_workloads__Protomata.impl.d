@@ -1,0 +1,1 @@
+lib/workloads/protomata.ml: List Printf Rng Streams String

@@ -1,0 +1,1 @@
+lib/workloads/protomata.mli: Rng

@@ -1,0 +1,1 @@
+lib/workloads/sampler.ml: Alveare_engine Alveare_frontend Ast Buffer Char Charset Desugar List Rng

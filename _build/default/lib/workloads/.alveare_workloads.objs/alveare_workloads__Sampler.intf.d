@@ -1,0 +1,1 @@
+lib/workloads/sampler.mli: Alveare_frontend Rng

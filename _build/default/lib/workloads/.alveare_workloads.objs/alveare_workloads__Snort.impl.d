@@ -1,0 +1,1 @@
+lib/workloads/snort.ml: Char List Printf Rng Streams String

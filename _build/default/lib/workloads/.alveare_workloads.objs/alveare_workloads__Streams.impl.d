@@ -1,0 +1,1 @@
+lib/workloads/streams.ml: Bytes Char List Rng Sampler String

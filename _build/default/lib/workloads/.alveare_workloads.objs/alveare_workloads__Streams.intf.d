@@ -1,0 +1,1 @@
+lib/workloads/streams.mli: Alveare_frontend Rng

@@ -1,0 +1,34 @@
+(** Benchmark suites assembled per paper §7.2: three ANMLZoo-style rule
+    sets, 200 REs, 1 MiB planted streams — all derived from one seed. *)
+
+type kind = Powren | Protomata | Snort
+
+val kind_name : kind -> string
+
+type spec = {
+  kind : kind;
+  seed : int;
+  n_patterns : int;
+  stream_bytes : int;
+  plant_every : int;
+}
+
+val paper_spec : ?seed:int -> kind -> spec
+(** 200 REs, 1 MiB (the paper's scale). *)
+
+val quick_spec : ?seed:int -> kind -> spec
+(** 24 REs over the same 1 MiB extent (engines sample + extrapolate). *)
+
+type t = {
+  spec : spec;
+  patterns : string list;
+  asts : Alveare_frontend.Ast.t list;
+  stream : Streams.t;
+}
+
+val load : spec -> t
+(** Generate patterns (discarding the ill-formed, as the paper does),
+    then the planted stream. Deterministic per seed. *)
+
+val name : t -> string
+val all_kinds : kind list

@@ -1,0 +1,10 @@
+(** The paper's Table 2 micro-benchmarks with the reported numbers. *)
+
+type entry = {
+  pattern : string;
+  paper_minimal : int;
+  paper_advanced : int;
+  paper_reduction : float;
+}
+
+val table2 : entry list

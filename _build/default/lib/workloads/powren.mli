@@ -1,0 +1,8 @@
+(** PowerEN-style synthetic rules (ANMLZoo / IBM PowerEN SoC, paper §7.2):
+    keyword-centric, mostly literal-led — the fast, prefilter-friendly
+    suite whose multi-core scaling saturates first. *)
+
+val keyword : Rng.t -> string
+val pattern : Rng.t -> string
+val patterns : Rng.t -> int -> string list
+val background : Rng.t -> char

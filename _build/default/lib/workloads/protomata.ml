@@ -1,0 +1,63 @@
+(* Protomata-style rule generator. ANMLZoo's Protomata derives from
+   PROSITE protein motifs [Roy & Aluru, IPDPS'14]: sequences of residue
+   elements over the 20-letter amino-acid alphabet — specific residues,
+   residue classes [LIVM], exclusions [^P], wildcard gaps x(n,m) — one of
+   the most complex suites in ANMLZoo (paper §7.2). Class-led motifs
+   defeat literal prefiltering and the bounded gaps exercise the counter
+   primitive heavily, which is why Protomata is slow everywhere and
+   scales ~7x on ten cores. *)
+
+let alphabet = Streams.amino_acids
+
+let residue rng = Rng.char_of rng alphabet
+
+(* A residue class like [LIVM]: 2..4 distinct residues. *)
+let residue_class rng =
+  let k = Rng.range rng 2 4 in
+  let chosen =
+    Rng.sample_without_replacement rng k
+      (List.init (String.length alphabet) (String.get alphabet))
+  in
+  Printf.sprintf "[%s]" (String.init k (List.nth chosen))
+
+(* PROSITE x(n) / x(n,m): any residue, bounded gap. PROSITE 'x' means
+   any amino acid, which over a protein stream is [A-Z] minus the six
+   non-residue letters; '.' would also match, but the explicit class
+   keeps semantics exact even on noisy streams. *)
+let gap rng =
+  let n = Rng.range rng 1 5 in
+  if Rng.bool rng then Printf.sprintf "[%s]{%d}" alphabet n
+  else Printf.sprintf "[%s]{%d,%d}" alphabet n (n + Rng.range rng 2 6)
+
+let exclusion rng =
+  let k = Rng.range rng 1 3 in
+  let chosen =
+    Rng.sample_without_replacement rng k
+      (List.init (String.length alphabet) (String.get alphabet))
+  in
+  Printf.sprintf "[^%s]" (String.init k (List.nth chosen))
+
+let element rng =
+  match Rng.int rng 12 with
+  | 0 | 1 | 2 | 3 | 4 | 5 -> String.make 1 (residue rng)
+  | 6 | 7 -> residue_class rng
+  | 8 | 9 -> gap rng
+  | 10 -> exclusion rng
+  | _ ->
+    (* repeated class: [ST]{2,3} *)
+    Printf.sprintf "%s{%d,%d}" (residue_class rng) (Rng.range rng 1 2)
+      (Rng.range rng 2 4)
+
+let pattern rng =
+  let n = Rng.range rng 8 18 in
+  (* Motifs conventionally anchor on a meaningful conserved head: a
+     specific residue or a small (selective) class. *)
+  let first =
+    if Rng.int rng 10 < 6 then String.make 1 (residue rng)
+    else residue_class rng
+  in
+  first ^ String.concat "" (List.init (n - 1) (fun _ -> element rng))
+
+let patterns rng n = List.init n (fun _ -> pattern rng)
+
+let background = Streams.protein

@@ -1,0 +1,13 @@
+(** Protomata-style protein motifs (ANMLZoo / PROSITE, paper §7.2):
+    residue classes, exclusions and bounded wildcard gaps over the
+    20-letter amino-acid alphabet — the class-led, counter-heavy suite. *)
+
+val alphabet : string
+val residue : Rng.t -> char
+val residue_class : Rng.t -> string
+val gap : Rng.t -> string
+val exclusion : Rng.t -> string
+val element : Rng.t -> string
+val pattern : Rng.t -> string
+val patterns : Rng.t -> int -> string list
+val background : Rng.t -> char

@@ -1,0 +1,63 @@
+(* Deterministic splitmix64 PRNG. The benchmark generators must produce
+   identical RE sets and streams for a given seed on every run and
+   platform, so the global Random module (whose sequence may change
+   across OCaml releases) is not used. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(* Uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = int t 2 = 0
+
+(* True with probability [p]. *)
+let chance t p = int t 1_000_000 < int_of_float (p *. 1_000_000.0)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | items -> List.nth items (int t (List.length items))
+
+let pick_array t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_array: empty array";
+  a.(int t (Array.length a))
+
+let char_of t s =
+  if String.length s = 0 then invalid_arg "Rng.char_of: empty string";
+  s.[int t (String.length s)]
+
+(* Fisher-Yates shuffle (fresh list). *)
+let shuffle t items =
+  let a = Array.of_list items in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* [sample_without_replacement t k items] — k distinct elements. *)
+let sample_without_replacement t k items =
+  if k > List.length items then
+    invalid_arg "Rng.sample_without_replacement: k exceeds population";
+  List.filteri (fun i _ -> i < k) (shuffle t items)

@@ -1,0 +1,23 @@
+(** Deterministic splitmix64 PRNG — identical sequences for a given seed
+    on every run, so generated benchmarks are reproducible. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** Uniform in [\[0, bound)]. *)
+
+val range : t -> int -> int -> int
+(** Uniform in [\[lo, hi\]] inclusive. *)
+
+val bool : t -> bool
+val chance : t -> float -> bool
+(** True with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+val pick_array : t -> 'a array -> 'a
+val char_of : t -> string -> char
+val shuffle : t -> 'a list -> 'a list
+val sample_without_replacement : t -> int -> 'a list -> 'a list

@@ -1,0 +1,52 @@
+(* Draw random strings that MATCH a given pattern — used to plant
+   ground-truth matches into benchmark streams and to drive
+   property-based engine tests (a planted witness must be found).
+
+   Repetition counts are drawn near the minimum ([qmin .. qmin + spread],
+   clipped to qmax) so witnesses stay short; negated classes sample from
+   the printable complement when possible to keep streams text-friendly. *)
+
+open Alveare_frontend
+
+let default_spread = 3
+
+let sample_class rng (cls : Ast.charclass) : char =
+  let set =
+    if cls.negated then
+      Charset.complement ~alphabet_size:Alveare_engine.Semantics.byte_universe
+        cls.set
+    else cls.set
+  in
+  if Charset.is_empty set then invalid_arg "Sampler.sample_class: empty class";
+  let printable =
+    List.filter (fun c -> Char.code c >= 0x20 && Char.code c <= 0x7e)
+      (Charset.chars set)
+  in
+  match printable with
+  | [] -> Rng.pick rng (Charset.chars set)
+  | cs -> Rng.pick rng cs
+
+let sample ?(spread = default_spread) rng (ast : Ast.t) : string =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Ast.Empty -> ()
+    | Ast.Char c -> Buffer.add_char buf c
+    | Ast.Any -> Buffer.add_char buf (sample_class rng Desugar.dot_class)
+    | Ast.Class cls -> Buffer.add_char buf (sample_class rng cls)
+    | Ast.Group x -> go x
+    | Ast.Concat parts -> List.iter go parts
+    | Ast.Alt branches -> go (Rng.pick rng branches)
+    | Ast.Repeat (x, q) ->
+      let hi =
+        match q.Ast.qmax with
+        | Some m -> min m (q.Ast.qmin + spread)
+        | None -> q.Ast.qmin + spread
+      in
+      let count = Rng.range rng q.Ast.qmin hi in
+      for _ = 1 to count do go x done
+  in
+  go ast;
+  Buffer.contents buf
+
+let sample_pattern ?spread rng pattern : string =
+  sample ?spread rng (Desugar.pattern_exn pattern)

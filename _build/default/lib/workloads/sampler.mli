@@ -1,0 +1,15 @@
+(** Draw random strings that match a pattern — used to plant ground-truth
+    witnesses into benchmark streams and by property-based tests. *)
+
+val default_spread : int
+(** How far above the minimum repetition counts are drawn (3). *)
+
+val sample_class :
+  Rng.t -> Alveare_frontend.Ast.charclass -> char
+(** A member of the class, preferring printable characters. *)
+
+val sample : ?spread:int -> Rng.t -> Alveare_frontend.Ast.t -> string
+(** A string in the pattern's language. *)
+
+val sample_pattern : ?spread:int -> Rng.t -> string -> string
+(** Parse then {!sample}. Raises [Invalid_argument] on a bad pattern. *)

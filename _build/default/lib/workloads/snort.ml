@@ -1,0 +1,74 @@
+(* Snort-style rule generator. Snort [Cisco, §7.2] is a production deep
+   packet inspection system whose content/pcre options mix protocol
+   literals, negated line classes, large bounded repetitions and binary
+   escape sequences. These PCRE features inflate the equivalent automata
+   (hundreds to thousands of unfolded NFA states), which is exactly what
+   degrades the DPU's hardware engines and RE2's DFA cache in the paper's
+   Snort column — and what the ALVEARE counter primitive absorbs. *)
+
+let token rng =
+  let len = Rng.range rng 3 10 in
+  String.init len (fun _ -> Char.chr (Rng.range rng (Char.code 'a') (Char.code 'z')))
+
+let http_method rng = Rng.pick rng [ "GET"; "POST"; "HEAD"; "PUT" ]
+
+let extension rng = Rng.pick rng [ "php"; "asp"; "cgi"; "jsp"; "dll" ]
+
+let service rng =
+  Rng.pick rng [ "admin"; "root"; "guest"; "oracle"; "ftp"; "mysql"; "ssh" ]
+
+let hex_byte rng = Printf.sprintf "\\x%02x" (Rng.int rng 256)
+
+let pattern rng =
+  match Rng.int rng 16 with
+  | 0 ->
+    (* URI probe: GET /token[a-z0-9_]{1,24}\.(php|asp) *)
+    Printf.sprintf "%s /%s[a-z0-9_]{1,%d}\\.(%s|%s)" (http_method rng)
+      (token rng) (Rng.range rng 8 24) (extension rng) (extension rng)
+  | 2 | 3 ->
+    (* header sweep: Token: [^\r\n]{n,m} — big bounded counter *)
+    Printf.sprintf "%s: [^\\r\\n]{%d,%d}" (String.capitalize_ascii (token rng))
+      (Rng.range rng 8 20) (Rng.range rng 32 60)
+  | 4 ->
+    (* credential probe *)
+    Printf.sprintf "(%s|%s|%s)[:=][^ \\r\\n]{1,%d}" (service rng) (service rng)
+      (service rng) (Rng.range rng 8 16)
+  | 5 ->
+    (* NOP sled + payload bytes *)
+    Printf.sprintf "\\x90{%d,%d}%s%s" (Rng.range rng 4 8) (Rng.range rng 16 40)
+      (hex_byte rng) (hex_byte rng)
+  | 1 | 6 ->
+    (* dotted IPv4-ish *)
+    "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}"
+  | 7 ->
+    (* host header with domain class *)
+    Printf.sprintf "Host: [a-z0-9.-]{%d,%d}\\.(com|net|org)" (Rng.range rng 4 8)
+      (Rng.range rng 16 30)
+  | 8 ->
+    (* two literals separated by a large wildcard gap *)
+    Printf.sprintf "%s.{0,%d}%s" (token rng) (Rng.range rng 20 60) (token rng)
+  | 9 ->
+    (* shell metacharacter injection after a parameter *)
+    Printf.sprintf "%s=[^&\\r\\n]{0,%d}[;|`]" (token rng) (Rng.range rng 16 40)
+  | 10 ->
+    (* directory traversal *)
+    Printf.sprintf "(\\.\\./){%d,%d}[a-z]{2,8}" (Rng.range rng 2 4)
+      (Rng.range rng 5 10)
+  | 11 ->
+    (* long header chain: two counted fields *)
+    Printf.sprintf "%s: [a-zA-Z0-9+/=]{%d,%d}\\r\\n" (String.capitalize_ascii (token rng))
+      (Rng.range rng 16 30) (Rng.range rng 40 62)
+  | 12 | 13 ->
+    (* hex payload blob — large counted class, RE2/DPU stressor and a
+       moderately attempt-heavy scan for the speculative controller *)
+    Printf.sprintf "[0-9a-f]{%d,%d}" (Rng.range rng 32 44) (Rng.range rng 48 62)
+  | _ ->
+    (* double header sweep: two big counted fields back to back *)
+    Printf.sprintf "%s: [^\\r\\n]{%d,%d}\\r\\n%s: [^\\r\\n]{%d,%d}"
+      (String.capitalize_ascii (token rng)) (Rng.range rng 16 30)
+      (Rng.range rng 44 62) (String.capitalize_ascii (token rng))
+      (Rng.range rng 16 30) (Rng.range rng 44 62)
+
+let patterns rng n = List.init n (fun _ -> pattern rng)
+
+let background = Streams.network

@@ -1,0 +1,8 @@
+(** Snort-style DPI rules (paper §7.2): protocol literals, negated line
+    classes, large bounded repetitions and binary escapes — the
+    PCRE-heavy suite that inflates automata (RE2 fallback, DPU spill). *)
+
+val token : Rng.t -> string
+val pattern : Rng.t -> string
+val patterns : Rng.t -> int -> string list
+val background : Rng.t -> char

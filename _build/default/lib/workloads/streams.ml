@@ -1,0 +1,72 @@
+(* Benchmark input streams: seeded background noise with ground-truth
+   witnesses planted at roughly regular intervals (the 1 MB datasets of
+   paper §7.2 are modelled as synthetic streams with a controlled match
+   density — see DESIGN.md's substitution table). *)
+
+type plant = {
+  position : int;
+  witness : string;
+}
+
+type t = {
+  data : string;
+  plants : plant list;
+}
+
+(* Background character generators. *)
+
+let printable rng = Char.chr (Rng.range rng 0x20 0x7e)
+
+let lowercase_text rng =
+  (* Letter-heavy text with spaces and newlines, grep-style corpora. *)
+  let r = Rng.int rng 100 in
+  if r < 70 then Char.chr (Rng.range rng (Char.code 'a') (Char.code 'z'))
+  else if r < 82 then ' '
+  else if r < 86 then '\n'
+  else if r < 96 then Char.chr (Rng.range rng (Char.code '0') (Char.code '9'))
+  else Rng.char_of rng ".,;:-_/"
+
+let amino_acids = "ACDEFGHIKLMNPQRSTVWY"
+
+let protein rng = Rng.char_of rng amino_acids
+
+let binary rng = Char.chr (Rng.int rng 256)
+
+(* HTTP-ish network traffic: headers, tokens, some raw bytes. *)
+let network rng =
+  let r = Rng.int rng 100 in
+  if r < 55 then Char.chr (Rng.range rng (Char.code 'a') (Char.code 'z'))
+  else if r < 65 then Char.chr (Rng.range rng (Char.code 'A') (Char.code 'Z'))
+  else if r < 75 then Char.chr (Rng.range rng (Char.code '0') (Char.code '9'))
+  else if r < 85 then Rng.char_of rng "/.:?=&- "
+  else if r < 92 then Rng.char_of rng "\r\n"
+  else Char.chr (Rng.int rng 256)
+
+let generate ~rng ~size ~background ?plant ?(plant_every = 4096) () : t =
+  if size < 0 then invalid_arg "Streams.generate: negative size";
+  let buf = Bytes.create size in
+  for i = 0 to size - 1 do
+    Bytes.set buf i (background rng)
+  done;
+  let plants =
+    match plant with
+    | None -> []
+    | Some make_witness ->
+      let rec go pos acc =
+        (* Next plant site: interval with ±25% jitter. *)
+        let jitter = Rng.range rng (-(plant_every / 4)) (plant_every / 4) in
+        let site = pos + plant_every + jitter in
+        let witness = make_witness rng in
+        let len = String.length witness in
+        if len = 0 || site + len > size then List.rev acc
+        else begin
+          Bytes.blit_string witness 0 buf site len;
+          go site ({ position = site; witness } :: acc)
+        end
+      in
+      go 0 []
+  in
+  { data = Bytes.to_string buf; plants }
+
+let plant_of_patterns ~asts rng =
+  Sampler.sample rng (Rng.pick rng asts)

@@ -1,0 +1,43 @@
+(** Benchmark input streams: seeded background noise with ground-truth
+    witnesses planted at controlled intervals (the paper's 1 MB datasets,
+    DESIGN.md substitution table). *)
+
+type plant = {
+  position : int;
+  witness : string;
+}
+
+type t = {
+  data : string;
+  plants : plant list;
+}
+
+(** {2 Background character generators} *)
+
+val printable : Rng.t -> char
+val lowercase_text : Rng.t -> char
+(** Letter-heavy text with spaces/newlines/digits. *)
+
+val amino_acids : string
+(** The 20 one-letter amino-acid codes. *)
+
+val protein : Rng.t -> char
+val binary : Rng.t -> char
+val network : Rng.t -> char
+(** HTTP-ish traffic: tokens, separators, CR/LF, some raw bytes. *)
+
+val generate :
+  rng:Rng.t ->
+  size:int ->
+  background:(Rng.t -> char) ->
+  ?plant:(Rng.t -> string) ->
+  ?plant_every:int ->
+  unit ->
+  t
+(** Fill [size] bytes from [background], then overwrite witnesses from
+    [plant] roughly every [plant_every] bytes (±25% jitter), recording
+    their positions. *)
+
+val plant_of_patterns :
+  asts:Alveare_frontend.Ast.t list -> Rng.t -> string
+(** A plant function sampling a witness of a random pattern in [asts]. *)

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Alveare_harness Alveare_workloads Float List Printf String

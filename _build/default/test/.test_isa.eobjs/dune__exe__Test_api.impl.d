@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Alveare List String

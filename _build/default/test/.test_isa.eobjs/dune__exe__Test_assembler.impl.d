@@ -1,0 +1,1 @@
+test/test_assembler.ml: Alcotest Alveare_compiler Alveare_isa Alveare_test_support Array List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_charset.ml: Alcotest Alveare_frontend Char Fmt Gen List QCheck2 QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Alveare_arch Alveare_compiler Alveare_engine Alveare_frontend Fmt List String

@@ -1,0 +1,1 @@
+test/test_corpus2.ml: Alcotest Alveare_arch Alveare_compiler Alveare_engine Alveare_frontend Alveare_ir Char Fmt List String

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Alveare_engine Alveare_frontend Alveare_test_support Backtrack Fmt Lazy_dfa List Nfa Option Pike_vm QCheck2 QCheck_alcotest Semantics String

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Alveare_frontend Alveare_test_support Ast Charset Desugar Fmt Lexer List Parser QCheck2 QCheck_alcotest String

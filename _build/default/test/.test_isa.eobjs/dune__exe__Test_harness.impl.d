@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Alveare_harness Alveare_workloads Float Lazy List String

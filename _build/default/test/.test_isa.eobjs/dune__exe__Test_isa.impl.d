@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Alveare_isa Array Bytes Char Filename Fun Gen Int64 Printf QCheck2 QCheck_alcotest Result Sys Test

@@ -1,0 +1,1 @@
+test/test_platform.ml: A53_re2 Alcotest Alveare_compiler Alveare_fpga Alveare_frontend Alveare_platform Alveare_workloads Area Bytes Calibration Dpu Energy Float Gpu List Measure String

@@ -1,0 +1,1 @@
+test/test_stream.ml: Alcotest Alveare_arch Alveare_compiler Alveare_engine Alveare_multicore Bytes List Printf String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Alveare_arch Alveare_compiler Filename Fmt Fun List Printf String Sys

@@ -1,0 +1,1 @@
+test/support/gen_ast.ml: Alveare_frontend Alveare_workloads Ast Char Charset Printf QCheck2 String

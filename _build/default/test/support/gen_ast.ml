@@ -1,0 +1,92 @@
+(* QCheck generators shared by the property-based tests.
+
+   The generators work over a deliberately small alphabet ('a'..'h') so
+   random inputs collide with random patterns often enough to exercise
+   real matching, backtracking and boundary behaviour rather than the
+   all-mismatch fast path. *)
+
+open Alveare_frontend
+
+let alphabet = "abcdefgh"
+
+let gen_char : char QCheck2.Gen.t =
+  QCheck2.Gen.map (String.get alphabet) (QCheck2.Gen.int_bound (String.length alphabet - 1))
+
+let gen_charclass : Ast.charclass QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* negated = map (fun v -> v < 2) (int_bound 9) in
+  let* n_items = int_range 1 3 in
+  let* items =
+    list_size (return n_items)
+      (let* lo = gen_char in
+       let* span = int_bound 2 in
+       let hi_code = min (Char.code 'h') (Char.code lo + span) in
+       return (Char.code lo, hi_code))
+  in
+  return { Ast.negated; set = Charset.of_ranges items }
+
+let gen_quant : Ast.quant QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* qmin = int_bound 3 in
+  let* qmax =
+    oneof [ return None; map (fun extra -> Some (qmin + extra)) (int_bound 3) ]
+  in
+  let* greedy = bool in
+  return { Ast.qmin; qmax; greedy }
+
+let rec gen_ast_sized n : Ast.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  if n <= 1 then
+    frequency
+      [ (4, map (fun c -> Ast.Char c) gen_char);
+        (4, map (fun cls -> Ast.Class cls) gen_charclass);
+        (1, return Ast.Any) ]
+  else
+    frequency
+      [ (2, map (fun c -> Ast.Char c) gen_char);
+        (2, map (fun cls -> Ast.Class cls) gen_charclass);
+        (3,
+         let* k = int_range 2 3 in
+         map (fun xs -> Ast.Concat xs)
+           (list_size (return k) (gen_ast_sized (n / k))));
+        (2,
+         let* k = int_range 2 3 in
+         map (fun xs -> Ast.Alt xs)
+           (list_size (return k) (gen_ast_sized (n / k))));
+        (2,
+         let* q = gen_quant in
+         map (fun x -> Ast.Repeat (x, q)) (gen_ast_sized (n / 2)));
+        (1, map (fun x -> Ast.Group x) (gen_ast_sized (n - 1))) ]
+
+let gen_ast : Ast.t QCheck2.Gen.t =
+  QCheck2.Gen.(sized_size (int_range 1 12) gen_ast_sized)
+
+(* Random input over the same small alphabet. *)
+let gen_input : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* len = int_bound 40 in
+  string_size ~gen:gen_char (return len)
+
+(* Input with a witness of [ast] embedded, so match-paths are exercised
+   and not just rejections. *)
+let gen_input_with_witness (ast : Ast.t) : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* prefix = gen_input in
+  let* suffix = gen_input in
+  let* seed = int_bound 1_000_000 in
+  let rng = Alveare_workloads.Rng.create seed in
+  return (prefix ^ Alveare_workloads.Sampler.sample rng ast ^ suffix)
+
+(* Pair generator for differential properties. *)
+let gen_ast_and_input : (Ast.t * string) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* ast = gen_ast in
+  let* input =
+    oneof [ gen_input; gen_input_with_witness ast ]
+  in
+  return (ast, input)
+
+let print_ast ast = Alveare_frontend.Ast.to_pattern ast
+
+let print_ast_and_input (ast, input) =
+  Printf.sprintf "pattern: %s\ninput: %S" (print_ast ast) input

@@ -1,0 +1,116 @@
+(* Ablation-harness tests: the studies produce the qualitative relations
+   they exist to demonstrate. *)
+
+module A = Alveare_harness.Ablation
+module T = Alveare_harness.Table
+module Benchmark = Alveare_workloads.Benchmark
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny = { A.n_patterns = 8; sample_bytes = 8 * 1024; seed = 11 }
+
+let test_counters_relations () =
+  let rows = A.counters () in
+  check_int "all default patterns" (List.length A.default_counter_patterns)
+    (List.length rows);
+  let row p = List.find (fun r -> r.A.pattern = p) rows in
+  (* big bounded counted class: unfolding blows up, CsA and ISA stay tiny *)
+  let sweep = row "[^\\r\\n]{8,60}" in
+  check "unfolding large" true (sweep.A.nfa_states > 60);
+  check "CsA tiny" true (sweep.A.csa_states <= 4);
+  check "ISA tiny" true (sweep.A.alveare_instructions <= 4);
+  (* Table 2 rows reproduce their advanced counts *)
+  check_int "[a-zA-Z] one instruction" 1 (row "[a-zA-Z]").A.alveare_instructions;
+  check_int ".{3,6} two instructions" 2 (row ".{3,6}").A.alveare_instructions
+
+let test_counters_scaling_free () =
+  (* growing the bound must not grow CsA/ISA representations *)
+  let states k =
+    let r = A.counters ~patterns:[ Printf.sprintf "[ab]{2,%d}x" k ] () in
+    let row = List.hd r in
+    (row.A.nfa_states, row.A.csa_states, row.A.alveare_instructions)
+  in
+  let n10, c10, i10 = states 10 and n60, c60, i60 = states 60 in
+  check "NFA grows" true (n60 > n10 + 40);
+  check_int "CsA constant" c10 c60;
+  check_int "ISA constant" i10 i60
+
+let test_fabric_relations () =
+  let rows = A.fabric ~scale:tiny () in
+  check_int "three suites" 3 (List.length rows);
+  List.iter
+    (fun (r : A.fabric_row) ->
+       check "FFs positive" true (r.A.avg_nfa_ffs > 0.0);
+       check "LUT >= FF" true (r.A.avg_nfa_luts >= r.A.avg_nfa_ffs);
+       check "binary bits = instr x 43" true
+         (Float.abs (r.A.avg_binary_bits -. (r.A.avg_instructions *. 43.0))
+          < 0.5))
+    rows;
+  (* the counted Snort rules need far more fabric than instruction bits *)
+  let snort = List.find (fun r -> r.A.fabric_kind = Benchmark.Snort) rows in
+  check "fabric cost exceeds instruction bits on Snort" true
+    (snort.A.avg_nfa_luts > snort.A.avg_instructions *. 2.0)
+
+let test_vector_width_monotone () =
+  let rows = A.vector_width ~widths:[ 1; 4 ] ~scale:tiny () in
+  List.iter
+    (fun (r : A.width_row) ->
+       let at w = List.assoc w r.A.cycles_per_width in
+       check
+         (Benchmark.kind_name r.A.width_kind ^ " wider is never slower")
+         true (at 4 <= at 1 +. 1e-9))
+    rows;
+  (* literal-led PowerEN gains close to the full 4x *)
+  let p = List.find (fun r -> r.A.width_kind = Benchmark.Powren) rows in
+  check "PowerEN gains ~4x" true
+    (List.assoc 1 p.A.cycles_per_width /. List.assoc 4 p.A.cycles_per_width
+     > 3.0)
+
+let test_fusion_saves_code () =
+  let rows = A.fusion_study ~scale:tiny () in
+  List.iter
+    (fun (r : A.toggle_row) ->
+       check
+         (Benchmark.kind_name r.A.toggle_kind ^ " fusion shrinks code")
+         true (r.A.code_on < r.A.code_off);
+       check
+         (Benchmark.kind_name r.A.toggle_kind ^ " fusion never slows")
+         true (r.A.cycles_on <= r.A.cycles_off +. 1e-9))
+    rows
+
+let test_optimizer_never_hurts () =
+  let rows = A.optimizer_study ~scale:tiny () in
+  List.iter
+    (fun (r : A.toggle_row) ->
+       check
+         (Benchmark.kind_name r.A.toggle_kind ^ " code not worse")
+         true (r.A.code_on <= r.A.code_off +. 1e-9))
+    rows
+
+let test_tables_render () =
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "counters table" true
+    (contains (T.render (A.counters_table (A.counters ()))) "CsA");
+  check "fabric table" true
+    (contains (T.render (A.fabric_table (A.fabric ~scale:tiny ()))) "NFA FFs")
+
+let () =
+  Alcotest.run "ablation"
+    [ ( "counters",
+        [ Alcotest.test_case "relations" `Quick test_counters_relations;
+          Alcotest.test_case "scaling free" `Quick test_counters_scaling_free ] );
+      ( "fabric",
+        [ Alcotest.test_case "relations" `Slow test_fabric_relations ] );
+      ( "width",
+        [ Alcotest.test_case "monotone" `Slow test_vector_width_monotone ] );
+      ( "toggles",
+        [ Alcotest.test_case "fusion saves code" `Slow test_fusion_saves_code;
+          Alcotest.test_case "optimizer never hurts" `Slow
+            test_optimizer_never_hurts ] );
+      ( "rendering",
+        [ Alcotest.test_case "tables" `Slow test_tables_render ] ) ]

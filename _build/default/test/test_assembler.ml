@@ -1,0 +1,96 @@
+(* Assembler tests: disassembly round-trips, hand-written listings,
+   escapes, and diagnostics. *)
+
+module I = Alveare_isa.Instruction
+module P = Alveare_isa.Program
+module Asm = Alveare_isa.Assembler
+module Compile = Alveare_compiler.Compile
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let check = Alcotest.(check bool)
+
+let round_trip pat =
+  let p = (Compile.compile_exn pat).Compile.program in
+  match Asm.parse (P.to_string p) with
+  | Ok p' ->
+    if not (P.equal p p') then
+      Alcotest.failf "%s: listing did not round-trip:\n%s" pat (P.to_string p)
+  | Error e -> Alcotest.failf "%s: %s" pat (Asm.error_message e)
+
+let test_round_trip_corpus () =
+  List.iter round_trip
+    [ "([^A-Z])+"; "abc"; "a|b|cc"; "[a-z]{3,9}"; "(ab|cd)+?e"; "[acegik]x";
+      "\\x00\\xff"; "a{62}"; "x(y|z){2,5}?w"; "."; "[^ ]*"; "" ]
+
+let test_hand_written () =
+  let source = {|
+      ( {1,inf} bwd=0 fwd=2
+      NOT RANGE 'AZ' )QUANT
+      EOR
+  |} in
+  match Asm.parse source with
+  | Error e -> Alcotest.fail (Asm.error_message e)
+  | Ok p ->
+    let expected = (Compile.compile_exn "([^A-Z])+").Compile.program in
+    check "matches compiled program" true (P.equal p expected)
+
+let test_addresses_optional () =
+  let with_addr = "0: AND 'ab'\n1: EOR\n" in
+  let without = "AND 'ab'\nEOR" in
+  check "same program" true
+    (P.equal (Asm.parse_exn with_addr) (Asm.parse_exn without))
+
+let test_escapes () =
+  let p = Asm.parse_exn "OR '\\x00\\x27\\x5cz'\nEOR" in
+  (match p.(0).I.reference with
+   | I.Ref_chars chars ->
+     Alcotest.(check string) "unescaped" "\x00'\\z" chars
+   | I.Ref_none | I.Ref_open _ -> Alcotest.fail "expected chars");
+  (* escaped quote survives a print/parse cycle *)
+  (match Asm.parse (P.to_string p) with
+   | Ok p' -> check "round trip with quote" true (P.equal p p')
+   | Error e -> Alcotest.fail (Asm.error_message e))
+
+let test_standalone_close () =
+  let p = Asm.parse_exn
+      "( {-,-} bwd=- fwd=3\nAND 'a'\n)\nEOR"
+  in
+  check "close parsed" true (p.(2).I.close = Some I.Close)
+
+let test_errors () =
+  let err src =
+    match Asm.parse src with Error _ -> true | Ok _ -> false
+  in
+  check "bad token" true (err "FROB 'a'\nEOR");
+  check "unterminated quote" true (err "AND 'ab\nEOR");
+  check "bad counter" true (err "( {x,1} bwd=- fwd=1\n)\nEOR");
+  check "bad jump" true (err "( {1,2} bwd=? fwd=1\n)\nEOR");
+  check "missing EoR" true (err "AND 'ab'");
+  check "too many chars" true (err "AND 'abcde'\nEOR");
+  check "line number reported" true
+    (match Asm.parse "EOR\nBAD" with
+     | Error e -> e.Asm.line = 2
+     | Ok _ -> false)
+
+let qcheck_round_trip =
+  QCheck2.Test.make ~name:"disassembly round-trips" ~count:300
+    ~print:Gen_ast.print_ast Gen_ast.gen_ast (fun ast ->
+      match Compile.compile_ast ast with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok c ->
+        (match Asm.parse (P.to_string c.Compile.program) with
+         | Ok p -> P.equal p c.Compile.program
+         | Error e -> QCheck2.Test.fail_reportf "%s" (Asm.error_message e)))
+
+let () =
+  Alcotest.run "assembler"
+    [ ( "round trip",
+        [ Alcotest.test_case "corpus" `Quick test_round_trip_corpus;
+          QCheck_alcotest.to_alcotest qcheck_round_trip ] );
+      ( "parsing",
+        [ Alcotest.test_case "hand written" `Quick test_hand_written;
+          Alcotest.test_case "addresses optional" `Quick
+            test_addresses_optional;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "standalone close" `Quick test_standalone_close;
+          Alcotest.test_case "errors" `Quick test_errors ] ) ]

@@ -1,0 +1,200 @@
+(* Systematic semantics corpus: several hundred distinct (pattern, input)
+   behaviours, each run differentially — the compiled program on the
+   cycle-level simulator against the backtracking oracle, comparing the
+   complete non-overlapping match lists. Organised by language feature so
+   each case exercises a distinct behaviour, not a copy. *)
+
+module Compile = Alveare_compiler.Compile
+module Core = Alveare_arch.Core
+module Backtrack = Alveare_engine.Backtrack
+module S = Alveare_engine.Semantics
+module Desugar = Alveare_frontend.Desugar
+
+let agree (pat, input) =
+  match Compile.compile pat with
+  | Error e ->
+    Alcotest.failf "%s does not compile: %s" pat (Compile.error_message e)
+  | Ok c ->
+    let sim = Core.find_all c.Compile.program input in
+    let oracle = Backtrack.find_all (Desugar.pattern_exn pat) input in
+    if sim <> oracle then
+      Alcotest.failf "%s on %S:\n  sim    %s\n  oracle %s" pat input
+        (Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) sim)
+        (Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) oracle)
+
+let run cases () = List.iter agree cases
+
+(* --- Literals and the implicit AND -------------------------------------- *)
+
+let literals =
+  [ ("a", "a"); ("a", "b"); ("a", ""); ("a", "xa"); ("a", "ax");
+    ("ab", "ab"); ("ab", "ba"); ("ab", "aab"); ("ab", "abab");
+    ("abc", "ab"); ("abc", "abcabc");
+    (* 4-char AND boundary *)
+    ("abcd", "abcd"); ("abcd", "xabcdx"); ("abcd", "abcx");
+    (* crossing the 4-char reference: two fused AND instructions *)
+    ("abcde", "abcde"); ("abcde", "abcdx"); ("abcde", "xxabcdex");
+    ("abcdefgh", "abcdefgh"); ("abcdefgh", "abcdefgx");
+    ("abcdefghi", "abcdefghi");
+    (* partial-match restart: prefix repeats before the full literal *)
+    ("aab", "aaab"); ("abab", "abaabab"); ("aaaa", "aaab aaaa");
+    (* literal at the very end / start of the stream *)
+    ("xyz", "xyz123"); ("xyz", "123xyz");
+    (* case sensitivity *)
+    ("Ab", "ab Ab aB AB") ]
+
+(* --- Character classes ----------------------------------------------------- *)
+
+let classes =
+  [ ("[abc]", "cab"); ("[abc]", "xyz"); ("[a-c]", "b"); ("[a-c]", "d");
+    ("[a-cx-z]", "y"); ("[a-cx-z]", "m");
+    (* more than two ranges: complex OR chain *)
+    ("[a-cf-hk-m]", "g"); ("[a-cf-hk-m]", "j"); ("[a-cf-hk-m]", "l");
+    (* more than four sparse chars: chained OR groups *)
+    ("[acegik]", "k"); ("[acegik]", "b"); ("[acegikmoq]", "q");
+    (* negated forms: NOT-OR, NOT-RANGE, complemented chains *)
+    ("[^a]", "ab"); ("[^a]", "aa"); ("[^a-z]", "mM"); ("[^abc]", "c d");
+    ("[^acegik]", "a b"); ("[^a-cf-hk-m]", "j"); ("[^a-cf-hk-m]", "g");
+    (* class vs literal interplay *)
+    ("x[0-9]y", "x5y x y xay");
+    ("[0-9][0-9]", "a12b"); ("[ab][cd][ef]", "ace bdf acf");
+    (* shorthands *)
+    ("\\d", "a7b"); ("\\D", "7a7"); ("\\w", "-x-"); ("\\W", "x-x");
+    ("\\s", "a b"); ("\\S", " x ");
+    ("\\d\\d\\d", "ab123cd"); ("\\w+", "foo_bar9 baz");
+    (* dot *)
+    (".", "a"); (".", "\n"); (".", "\na"); ("a.c", "abc a\nc axc");
+    ("...", "ab\ncde") ]
+
+(* --- Escapes and binary bytes ----------------------------------------------- *)
+
+let escapes =
+  [ ("\\n", "a\nb"); ("\\t", "a\tb"); ("\\r\\n", "a\r\nb");
+    ("\\x41", "A"); ("\\x41\\x42", "AB"); ("\\x00", "a\x00b");
+    ("\\x00\\xff", "\x00\xff"); ("[\\x00-\\x1f]", "a\x05b");
+    ("[^\\x00-\\x7f]", "a\xc3b"); ("\\x90{2,4}", "\x90\x90\x90");
+    ("\\.", "a.b ab"); ("\\*", "a*b"); ("\\\\", "a\\b");
+    ("\\{2\\}", "x{2}"); ("a\\|b", "a|b ab") ]
+
+(* --- Greedy quantifiers ------------------------------------------------------- *)
+
+let greedy =
+  [ ("a?", "a"); ("a?", "b"); ("a?b", "ab b xb");
+    ("a*", "aaa"); ("a*", "bbb"); ("a*b", "aaab b ab");
+    ("a+", "aaa"); ("a+", "b"); ("a+b", "ab aab b");
+    ("a{3}", "aaa"); ("a{3}", "aa"); ("a{3}", "aaaa");
+    ("a{2,}", "a aa aaaa"); ("a{0,2}", "aaa");
+    ("a{2,4}", "aaaaa"); ("a{2,4}b", "aaaaab");
+    (* give-back under continuation pressure *)
+    ("a*a", "aaa"); ("a*aa", "aaa"); ("a+a", "aa"); ("a{1,3}ab", "aaab");
+    ("[ab]*b", "aabab"); (".*c", "abcabc"); (".*c", "ab");
+    (* nested greedy *)
+    ("(a+)+b", "aaab"); ("(a*)*b", "b aab"); ("(a{2})+", "aaaaa");
+    ("(ab)+", "ababab ab"); ("(ab)+ab", "ababab");
+    ("((a|b)+c)+", "abcbca abc");
+    (* counter-limit edge: 62 is the largest encodable bound *)
+    ("a{62}", String.make 62 'a'); ("a{62}", String.make 61 'a');
+    ("a{63}", String.make 63 'a'); ("a{63}", String.make 62 'a');
+    ("a{2,62}b", String.make 62 'a' ^ "b");
+    ("a{60,70}", String.make 70 'a') ]
+
+(* --- Lazy quantifiers ----------------------------------------------------------- *)
+
+let lazy_ =
+  [ ("a??", "a"); ("a??b", "ab b");
+    ("a*?", "aaa"); ("a*?b", "aaab"); ("a+?", "aaa"); ("a+?b", "aab");
+    ("a{2,4}?", "aaaaa"); ("a{2,4}?b", "aaaab");
+    ("a{0,3}?b", "aaab b");
+    (* lazy grows only as far as needed *)
+    ("<.+?>", "<a><bb>"); ("\"[^\"]*?\"", "say \"hi\" and \"bye\"");
+    (* lazy inside greedy and vice versa *)
+    ("(a+?)+b", "aaab"); ("(a*?)*", "aaa"); ("(a{1,2}?){2}b", "aaab");
+    ("x(ab)*?y", "xy xaby xababy");
+    (* lazy at the counter edge *)
+    ("a{2,62}?b", "aa" ^ "b") ]
+
+(* --- Alternation ------------------------------------------------------------------ *)
+
+let alternation =
+  [ ("a|b", "a b c"); ("ab|cd", "ab cd ad"); ("abc|abd", "abd");
+    (* first-branch priority *)
+    ("a|ab", "ab"); ("ab|a", "ab"); ("aa|a", "aaa");
+    (* backtracking across branches *)
+    ("(ab|a)b", "ab abb"); ("(a|ab)(c|bc)", "abc");
+    ("(ab|abc)(d|cd)", "abcd");
+    (* empty branches *)
+    ("a|", "ab"); ("|a", "ab"); ("a||b", "b");
+    (* many branches, chained opens *)
+    ("a|b|c|d|e", "e x"); ("(one|two|three|four)", "three");
+    ("(red|green|blue)-(on|off)", "green-off red-on blue-x");
+    (* alternation under quantifier *)
+    ("(a|b)*c", "ababc c dc"); ("(a|b)+", "xabbay");
+    ("(ab|ba)+", "abbaab"); ("(a|ab)*b", "aabb");
+    (* alternation of different lengths *)
+    ("(x|xx|xxx)y", "xxxy xxy xy y");
+    ("(|a)b", "ab b") ]
+
+(* --- Mixed structures ---------------------------------------------------------------- *)
+
+let mixed =
+  [ ("([^A-Z])+", "aBcD"); ("([a-z]+[0-9])+", "ab1cd2 x9");
+    ("a(b|c)*d", "abcbcd ad abd");
+    ("(a(b(c)?)?)?d", "abcd abd ad d");
+    ("x.{0,5}y", "xy xaby xabcdefy");
+    ("[ab]{2,3}[cd]{1,2}", "abcd aabbccdd");
+    ("(\\d{1,3}\\.){3}\\d{1,3}", "ip 10.0.0.255 end");
+    ("a[^b]*b", "acccb ab axb");
+    ("(foo|bar)(baz|qux)?", "foobaz bar fooqux");
+    ("((a|b)(c|d))+", "acbd ad cb");
+    ("x(a{2,3}|b{1,2})+y", "xaaby xaaaay xby");
+    ("[abc]*abc", "abcabc"); ("a*b*c*", "aabbcc cba ");
+    ("(ab*)*c", "abbabc c");
+    ("z(a|bb)*?z", "zz zaz zbbaz");
+    ("(a?b?)*c", "abc bac c");
+    ("x{2}y{2}", "xxyy xyy xxy");
+    ("(x{2}){2}", "xxxx xxx");
+    ("[0-9a-f]{2}(:[0-9a-f]{2}){2}", "0a:1b:2c gg:hh:ii") ]
+
+(* --- Boundary and stream-edge behaviour -------------------------------------------------- *)
+
+let boundaries =
+  [ ("a", "a"); ("a*", ""); ("a+", ""); ("", "abc"); ("", "");
+    ("abc", "abc"); ("abc", "ab"); ("abc", "bc");
+    (* match ending exactly at the end of input *)
+    ("ab$?", "ab"); ("a+", "baaa"); ("a{3}", "xxaaa");
+    (* empty matches interleaving with real ones *)
+    ("b*", "abab"); ("a?", "aa");
+    (* input shorter than the pattern's minimum *)
+    ("a{5}", "aaaa"); ("[ab]{3}", "ab");
+    (* the whole input is one match *)
+    (".*", "abc"); (".+", "abc"); ("[^z]*", "abc") ]
+
+(* --- Programs crossing instruction-shape boundaries -------------------------------------- *)
+
+let shapes =
+  [ (* fused close after AND / OR / RANGE *)
+    ("(abcd)+", "abcdabcd"); ("([xy])+", "xyyx"); ("([a-m])+", "chg");
+    (* standalone closes: nested quantifiers and empty members *)
+    ("((ab)+)+", "ababab"); ("((a|b)|)c", "ac c");
+    (* chain whose members are chains *)
+    ("((a|b)|(c|d))e", "be de xe");
+    (* quantified chain of multi-instruction members *)
+    ("(abcde|fghij){2}", "abcdefghij fghijabcde abcde");
+    (* leading OPEN disables the vector prefilter *)
+    ("(a)?bc", "bc abc");
+    (* maximum-width references everywhere *)
+    ("[wxyz]{4}", "wxyz zyxw wxy");
+    ("abcdwxyz", "abcdwxyz") ]
+
+let () =
+  Alcotest.run "corpus"
+    [ ( "semantics",
+        [ Alcotest.test_case "literals" `Quick (run literals);
+          Alcotest.test_case "classes" `Quick (run classes);
+          Alcotest.test_case "escapes" `Quick (run escapes);
+          Alcotest.test_case "greedy quantifiers" `Quick (run greedy);
+          Alcotest.test_case "lazy quantifiers" `Quick (run lazy_);
+          Alcotest.test_case "alternation" `Quick (run alternation);
+          Alcotest.test_case "mixed" `Quick (run mixed);
+          Alcotest.test_case "boundaries" `Quick (run boundaries);
+          Alcotest.test_case "instruction shapes" `Quick (run shapes) ] ) ]

@@ -1,0 +1,146 @@
+(* Second systematic corpus: interactions the first file doesn't cover —
+   scan/empty-match interleavings, long chains exercising the extended
+   forward-jump field, deep nesting, speculation-heavy backtracking,
+   byte-boundary classes, and minimal-mode execution parity. *)
+
+module Compile = Alveare_compiler.Compile
+module Lower = Alveare_ir.Lower
+module Core = Alveare_arch.Core
+module Backtrack = Alveare_engine.Backtrack
+module S = Alveare_engine.Semantics
+module Desugar = Alveare_frontend.Desugar
+
+let agree ?options (pat, input) =
+  match Compile.compile ?options pat with
+  | Error e ->
+    Alcotest.failf "%s does not compile: %s" pat (Compile.error_message e)
+  | Ok c ->
+    let sim = Core.find_all c.Compile.program input in
+    let oracle = Backtrack.find_all (Desugar.pattern_exn pat) input in
+    if sim <> oracle then
+      Alcotest.failf "%s on %S:\n  sim    %s\n  oracle %s" pat input
+        (Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) sim)
+        (Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) oracle)
+
+let run ?options cases () = List.iter (agree ?options) cases
+
+(* --- Empty matches interleaving with the scan -------------------------- *)
+
+let empty_scan =
+  [ ("a*", "bab");            (* empty, [1,2), empty, empty *)
+    ("a*", "aabaa");
+    ("(a|)(b|)", "ab ba");
+    ("x?y?", "yx xy");
+    ("z*", String.make 5 'z');
+    ("q?", "qq");
+    ("(ab)?", "abab aab");
+    ("a{0,2}", "aaaa");
+    ("a{0,2}?", "aaaa") ]
+
+(* --- Long alternation chains (extended forward jumps) ------------------- *)
+
+let word k = String.init 4 (fun j -> Char.chr (Char.code 'a' + ((k + j) mod 26)))
+
+let long_chains =
+  (* 30 four-char members: fwd from the first open spans >60 slots,
+     exercising the reserved-bit jump extension *)
+  let members = List.init 30 word in
+  let chain = String.concat "|" members in
+  [ (chain, word 0);
+    (chain, word 29);
+    (chain, word 15 ^ " " ^ word 7);
+    (chain, "zzzz");
+    ("(" ^ chain ^ ")+", word 3 ^ word 4);
+    (* a big class spilling into an OR chain *)
+    ("[acegikmoqsuwy]+z", "acegz qqq moz");
+    ("[aeiou][bcdfg][aeiou]", "obo xex aba") ]
+
+(* --- Deep nesting -------------------------------------------------------- *)
+
+let nesting =
+  [ ("((((a))))", "a");
+    ("(((a|b)|c)|d)", "d c b a");
+    ("((a(b(c)?)*)+d)", "abcbd ad abbd");
+    ("(a(b(c(d(e)?)?)?)?)?f", "abcdef af f abcf");
+    ("((ab|cd)(ef|gh))+", "abefcdgh abgh");
+    ("(((x{2}){2}){2})", String.make 9 'x') ]
+
+(* --- Speculation-heavy backtracking --------------------------------------- *)
+
+let speculation =
+  [ ("a*a*a*b", "aaaab");       (* stacked nullable quants *)
+    ("(a+)+$?", "aaaa");        (* literal $ never matches: full backtrack *)
+    ("(a|aa)+b", "aaaab");
+    ("(a|aa)+c", "aaaab");      (* exhaustive failure *)
+    ("(ab?)+b", "ababb");
+    (".*.*b", "aaab");
+    ("([ab]+)([bc]+)d", "abcbd");
+    ("(x+x+)+y", "xxxxxxy");    (* classic blowup shape, short input *)
+    ("(x+x+)+y", "xxxxxx") ]    (* ...and its failure case *)
+
+(* --- Byte boundaries -------------------------------------------------------- *)
+
+let bytes_edges =
+  [ ("[\\x00-\\xff]", "\x00\xff");
+    ("[\\x80-\\xff]+", "a\x80\x90\xffb");
+    ("[^\\x00]", "\x00a");
+    ("\\xff{2}", "\xff\xff\xff");
+    ("a[\\x00]b", "a\x00b");
+    ("[\\x7f-\\x81]", "\x7e\x7f\x80\x81\x82") ]
+
+(* --- Fused vs standalone closes under quantified chains ---------------------- *)
+
+let shapes2 =
+  [ ("((a|b)+|c)d", "abd cd xd");
+    ("((a|b)+|c)+d", "abcd");
+    ("(a{2,3}){2}", "aaaaaa");
+    ("(a{2,3}?){2}", "aaaaaa");
+    ("(()a)+", "aa");
+    ("(a||b)+c", "abc c");
+    ("x(|y)z", "xz xyz") ]
+
+(* --- Minimal-mode execution parity -------------------------------------------- *)
+(* Minimal mode reorders backtracking via run unfolding, so only compare
+   leftmost starts + existence (as in the arch property tests), but on a
+   curated set exercising each unfolded shape. *)
+
+let minimal_cases =
+  [ ("[a-d]{2}", "xcda"); ("[ab]{1,3}c", "aabc"); ("a{3}", "aaaa");
+    ("x[bc]{0,2}y", "xy xby xbcy xbbby"); ("[a-h]+", "fghi");
+    ("ab{2,4}c", "abbc abbbbbc") ]
+
+let run_minimal () =
+  List.iter
+    (fun (pat, input) ->
+       match Compile.compile ~options:Lower.minimal_options pat with
+       | Error e -> Alcotest.failf "%s: %s" pat (Compile.error_message e)
+       | Ok c ->
+         let sim = Core.search c.Compile.program input in
+         let oracle = Backtrack.search (Desugar.pattern_exn pat) input in
+         (match sim, oracle with
+          | None, None -> ()
+          | Some a, Some b when a.S.start = b.S.start -> ()
+          | _, _ -> Alcotest.failf "minimal %s on %S diverges" pat input))
+    minimal_cases
+
+(* --- Cross-checking the scan-resume rule --------------------------------------- *)
+
+let resume =
+  [ ("aa", "aaaa");             (* non-overlap: [0,2) [2,4) *)
+    ("aba", "ababa");           (* overlap suppressed: [0,3) only *)
+    ("a|aa", "aaa");
+    ("", "ab");                 (* empty pattern: empty at 0,1,2 *)
+    ("b*", "bbabb") ]
+
+let () =
+  Alcotest.run "corpus2"
+    [ ( "semantics",
+        [ Alcotest.test_case "empty-match scanning" `Quick (run empty_scan);
+          Alcotest.test_case "long chains / jump extension" `Quick
+            (run long_chains);
+          Alcotest.test_case "deep nesting" `Quick (run nesting);
+          Alcotest.test_case "speculation heavy" `Quick (run speculation);
+          Alcotest.test_case "byte boundaries" `Quick (run bytes_edges);
+          Alcotest.test_case "quantified chain shapes" `Quick (run shapes2);
+          Alcotest.test_case "scan resume rule" `Quick (run resume);
+          Alcotest.test_case "minimal-mode parity" `Quick run_minimal ] ) ]

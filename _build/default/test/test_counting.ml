@@ -1,0 +1,131 @@
+(* Counting-set engine tests: counter-set algebra, construction (one
+   counting state per single-symbol repetition), agreement with the lazy
+   DFA on earliest match ends, and the state-compression property that
+   motivates the ISA counter primitive. *)
+
+module Counting = Alveare_engine.Counting
+module CS = Alveare_engine.Counting.Counter_set
+module Nfa = Alveare_engine.Nfa
+module Dfa = Alveare_engine.Lazy_dfa
+module Desugar = Alveare_frontend.Desugar
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let norm = Desugar.pattern_exn
+
+(* --- Counter sets ------------------------------------------------------- *)
+
+let test_counter_set_basics () =
+  check "empty" true (CS.is_empty CS.empty);
+  check "singleton" true (CS.singleton 3 = [ (3, 3) ]);
+  check "insert adjacent merges" true (CS.insert 4 (CS.singleton 3) = [ (3, 4) ]);
+  check "insert distant splits" true (CS.insert 9 (CS.singleton 3) = [ (3, 3); (9, 9) ]);
+  check "insert bridging merges" true
+    (CS.insert 4 [ (3, 3); (5, 5) ] = [ (3, 5) ]);
+  check "union" true (CS.union [ (1, 3); (8, 9) ] [ (2, 5) ] = [ (1, 5); (8, 9) ]);
+  check_int "max value" 9 (CS.max_value [ (1, 3); (8, 9) ]);
+  check_int "interval count" 2 (CS.interval_count [ (1, 3); (8, 9) ])
+
+let test_counter_set_increment () =
+  check "plain increment" true (CS.increment [ (1, 3) ] = [ (2, 4) ]);
+  check "trim at limit" true (CS.increment ~limit:3 [ (1, 3) ] = [ (2, 3) ]);
+  check "drop past limit" true (CS.increment ~limit:2 [ (2, 4) ] = []);
+  check "exists_at_least" true (CS.exists_at_least 3 [ (1, 4) ]);
+  check "not exists" false (CS.exists_at_least 5 [ (1, 4) ])
+
+(* --- Construction -------------------------------------------------------- *)
+
+let test_one_counting_state () =
+  let a = Counting.of_ast_exn (norm "[ab]{10,40}") in
+  check_int "one counted state" 1 (Counting.counted_states a);
+  (* consume-free: just counted + accept (+eps if min 0) *)
+  check "few states" true (Counting.state_count a <= 3);
+  (* the plain NFA unfolds to dozens *)
+  check "NFA unfolds" true
+    (Nfa.state_count (Nfa.of_ast_exn (norm "[ab]{10,40}")) > 40)
+
+let test_complex_body_falls_back () =
+  let a = Counting.of_ast_exn (norm "(ab){3,5}") in
+  check_int "no counted states" 0 (Counting.counted_states a);
+  check "unfolded instead" true (Counting.state_count a > 8)
+
+let test_state_compression_is_constant () =
+  (* the CsA insight / ISA counter motivation: states independent of the
+     repetition bound *)
+  let states k =
+    Counting.state_count (Counting.of_ast_exn (norm (Printf.sprintf "x[ab]{1,%d}y" k)))
+  in
+  check_int "bound 10" (states 10) (states 60);
+  let nfa_states k =
+    Nfa.state_count (Nfa.of_ast_exn (norm (Printf.sprintf "x[ab]{1,%d}y" k)))
+  in
+  check "NFA grows instead" true (nfa_states 60 > nfa_states 10 + 40)
+
+let test_build_limit () =
+  match Counting.of_ast ~max_states:20 (norm "(ab){40}") with
+  | Error (Counting.Too_many_states 20) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected state-limit error"
+
+(* --- Matching ------------------------------------------------------------- *)
+
+let search pat input = Counting.search_end (Counting.of_ast_exn (norm pat)) input
+
+let test_matching_basics () =
+  check "literal" true (search "abc" "zzabczz" = Some 5);
+  check "bounded hit" true (search "a{2,4}" "zaaz" = Some 3);
+  check "bounded miss" true (search "a{3,4}" "zaaz" = None);
+  check "min zero matches empty" true (search "a{0,4}" "zzz" = Some 0);
+  check "unbounded" true (search "ba+" "xbaaa" = Some 3);
+  check "counting inside context" true (search "x[ab]{2,3}y" "qxaby" = Some 5);
+  check "counting too short" true (search "x[ab]{3,4}y" "qxaby" = None);
+  check "exact count" true (search "[0-9]{4}" "ab1234cd" = Some 6)
+
+let test_stats () =
+  let a = Counting.of_ast_exn (norm "[ab]{2,5}c") in
+  let stats = Counting.fresh_stats () in
+  ignore (Counting.search_end ~stats a "abababab");
+  check "bytes" true (stats.Counting.bytes > 0);
+  check "intervals tracked" true (stats.Counting.max_intervals >= 1)
+
+(* Agreement with the lazy DFA on earliest match end. *)
+let qcheck_vs_dfa =
+  QCheck2.Test.make ~name:"counting = lazy dfa (earliest end)" ~count:500
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      let ast = Desugar.normalize ast in
+      let counting = Counting.of_ast_exn ast in
+      let dfa = Dfa.create (Nfa.of_ast_exn ast) in
+      Counting.search_end counting input = Dfa.search_end dfa input)
+
+(* Interval compactness: on counted classes over random matching input
+   the interval count stays far below the counter bound. *)
+let test_interval_compactness () =
+  let a = Counting.of_ast_exn (norm "[ab]{1,60}c") in
+  let stats = Counting.fresh_stats () in
+  let rng = Alveare_workloads.Rng.create 9 in
+  let input =
+    String.init 4096 (fun _ -> Alveare_workloads.Rng.char_of rng "abz")
+  in
+  ignore (Counting.search_end ~stats a input);
+  check "intervals stay tiny" true (stats.Counting.max_intervals <= 4)
+
+let () =
+  Alcotest.run "counting"
+    [ ( "counter sets",
+        [ Alcotest.test_case "basics" `Quick test_counter_set_basics;
+          Alcotest.test_case "increment" `Quick test_counter_set_increment ] );
+      ( "construction",
+        [ Alcotest.test_case "one counting state" `Quick test_one_counting_state;
+          Alcotest.test_case "complex body fallback" `Quick
+            test_complex_body_falls_back;
+          Alcotest.test_case "constant state compression" `Quick
+            test_state_compression_is_constant;
+          Alcotest.test_case "build limit" `Quick test_build_limit ] );
+      ( "matching",
+        [ Alcotest.test_case "basics" `Quick test_matching_basics;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "interval compactness" `Quick
+            test_interval_compactness;
+          QCheck_alcotest.to_alcotest qcheck_vs_dfa ] ) ]

@@ -1,0 +1,154 @@
+(* Offline-DFA tests: alphabet classes, determinisation correctness
+   (anchored language membership vs the oracle), minimisation
+   (equivalence + minimality on known automata), and the fabric model. *)
+
+module D = Alveare_engine.Dfa_offline
+module Nfa = Alveare_engine.Nfa
+module Backtrack = Alveare_engine.Backtrack
+module Desugar = Alveare_frontend.Desugar
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let norm = Desugar.pattern_exn
+let nfa pat = Nfa.of_ast_exn (norm pat)
+let dfa pat = D.determinize_exn (nfa pat)
+
+(* Anchored whole-string membership: the Pike VM's leftmost-longest span
+   from offset 0 reaches the end iff the string is in the language (the
+   backtracking oracle reports the PCRE-first match, which may be a
+   proper prefix, so it cannot decide membership alone). *)
+let oracle_accepts pat s =
+  match Alveare_engine.Pike_vm.search (nfa pat) s () with
+  | Some sp -> sp.Alveare_engine.Semantics.start = 0
+               && sp.Alveare_engine.Semantics.stop = String.length s
+  | None -> false
+
+let test_alphabet_classes () =
+  let _, n1 = D.alphabet_classes (nfa "a") in
+  (* classes: <a, a, >a *)
+  check_int "single char: 3 classes" 3 n1;
+  let _, n2 = D.alphabet_classes (nfa "[a-z]") in
+  check_int "one range: 3 classes" 3 n2;
+  let _, n3 = D.alphabet_classes (nfa ".") in
+  (* below \n, \n, above \n *)
+  check_int "dot: 3 classes" 3 n3;
+  let map, _ = D.alphabet_classes (nfa "[a-z]") in
+  check "a and z share a class" true (map.(Char.code 'a') = map.(Char.code 'z'));
+  check "` and { differ from a" true
+    (map.(Char.code '`') <> map.(Char.code 'a')
+     && map.(Char.code '{') <> map.(Char.code 'a'))
+
+let test_determinize_membership () =
+  let cases =
+    [ ("ab|ac", [ "ab"; "ac"; "aa"; "abc"; "" ]);
+      ("a*b", [ "b"; "ab"; "aaab"; "aba"; "a" ]);
+      ("(a|b)*abb", [ "abb"; "aabb"; "babb"; "ab"; "bba" ]);
+      ("[a-c]{2,3}", [ "ab"; "abc"; "a"; "abcd"; "xyz" ]);
+      ("x(yz)+", [ "xyz"; "xyzyz"; "x"; "xy" ]) ]
+  in
+  List.iter
+    (fun (pat, inputs) ->
+       let d = dfa pat in
+       List.iter
+         (fun s ->
+            let want = oracle_accepts pat s in
+            if D.accepts d s <> want then
+              Alcotest.failf "%s on %S: dfa %b, oracle %b" pat s
+                (D.accepts d s) want)
+         inputs)
+    cases
+
+let test_determinize_limit () =
+  (* counting products explode the subset construction *)
+  match
+    D.determinize ~max_states:10
+      (nfa "[ab]{1,30}c[ab]{1,30}d")
+  with
+  | Error (D.Too_many_states 10) -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected overflow"
+
+let test_minimize_equivalence () =
+  List.iter
+    (fun pat ->
+       let d = dfa pat in
+       let m = D.minimize d in
+       check (pat ^ " minimise shrinks or keeps") true (m.D.n_states <= d.D.n_states);
+       (* equivalence on a pile of strings *)
+       let rng = Alveare_workloads.Rng.create 31 in
+       for _ = 1 to 200 do
+         let len = Alveare_workloads.Rng.int rng 8 in
+         let s =
+           String.init len (fun _ -> Alveare_workloads.Rng.char_of rng "abcxyz")
+         in
+         if D.accepts d s <> D.accepts m s then
+           Alcotest.failf "%s: minimised DFA differs on %S" pat s
+       done)
+    [ "a*b"; "(a|b)*abb"; "ab|ac|ad"; "[abc]{1,4}"; "a(b|c)*" ]
+
+let test_minimize_known_size () =
+  (* (a|b)*abb : the textbook 4-state minimal DFA, plus the dead state
+     required over the full byte alphabet (inputs outside {a,b}) *)
+  let m = D.minimize (dfa "(a|b)*abb") in
+  check_int "textbook minimal size + sink" 5 m.D.n_states;
+  (* a*b: start, accept, sink *)
+  check_int "a*b minimal" 3 (D.minimize (dfa "a*b")).D.n_states;
+  (* single literal of length k: k+2 states (k prefixes, accept, sink) *)
+  let m2 = D.minimize (dfa "abc") in
+  check_int "literal abc minimal" 5 m2.D.n_states
+
+let test_fabric_cost () =
+  let n = nfa "[^\\r\\n]{8,60}" in
+  let m = D.minimize (D.determinize_exn n) in
+  let cost = D.fabric_cost ~nfa:n m in
+  check "FF per consuming state" true (cost.D.nfa_ffs > 50);
+  check "LUT estimate scales" true (cost.D.nfa_luts >= cost.D.nfa_ffs);
+  check "bram bits positive" true (cost.D.dfa_bram_bits > 0);
+  check "reconfig documented" true (String.length cost.D.reconfiguration > 0)
+
+(* Property: DFA anchored acceptance = oracle full-string membership.
+   (Membership, not first-match: both are language-level.) *)
+let qcheck_membership =
+  QCheck2.Test.make ~name:"determinize preserves the language" ~count:300
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      let ast = Desugar.normalize ast in
+      match D.determinize ~max_states:2048 (Nfa.of_ast_exn ast) with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok d ->
+        let m = D.minimize d in
+        let input = if String.length input > 12 then String.sub input 0 12 else input in
+        (* compare on all prefixes to cover several lengths *)
+        let ok = ref true in
+        for len = 0 to String.length input do
+          let s = String.sub input 0 len in
+          let member =
+            (* membership via Pike on an anchored basis: accept iff some
+               path consumes the whole string *)
+            let nfa = Nfa.of_ast_exn ast in
+            let spans = Alveare_engine.Pike_vm.find_all nfa s in
+            List.exists
+              (fun (sp : Alveare_engine.Semantics.span) ->
+                 sp.start = 0 && sp.stop = len)
+              spans
+            ||
+            Backtrack.match_at ast s 0 = Some len
+          in
+          if D.accepts d s <> member || D.accepts m s <> member then ok := false
+        done;
+        !ok)
+
+let () =
+  Alcotest.run "dfa_offline"
+    [ ( "alphabet",
+        [ Alcotest.test_case "classes" `Quick test_alphabet_classes ] );
+      ( "determinize",
+        [ Alcotest.test_case "membership" `Quick test_determinize_membership;
+          Alcotest.test_case "state limit" `Quick test_determinize_limit ] );
+      ( "minimize",
+        [ Alcotest.test_case "equivalence" `Quick test_minimize_equivalence;
+          Alcotest.test_case "known sizes" `Quick test_minimize_known_size ] );
+      ( "fabric",
+        [ Alcotest.test_case "cost model" `Quick test_fabric_cost ] );
+      ("properties", [ QCheck_alcotest.to_alcotest qcheck_membership ]) ]

@@ -1,0 +1,93 @@
+(* Extended-study tests: energy-breakdown accounting, the CsA baseline
+   row, and the instruction-memory capacity model. *)
+
+module X = Alveare_harness.Extended
+module B = Alveare_platform.Energy_breakdown
+module Core = Alveare_arch.Core
+module Benchmark = Alveare_workloads.Benchmark
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny = { Alveare_harness.Ablation.n_patterns = 6; sample_bytes = 6 * 1024; seed = 5 }
+
+let test_breakdown_accounting () =
+  let stats = Core.fresh_stats () in
+  let program = (Alveare_compiler.Compile.compile_exn "a+b").Alveare_compiler.Compile.program in
+  ignore (Core.find_all ~stats program "zaabzzaacccb");
+  let b = B.of_stats stats in
+  check "total positive" true (B.total b > 0.0);
+  check "all components non-negative" true
+    (b.B.static_j >= 0.0 && b.B.datapath_j >= 0.0 && b.B.control_j >= 0.0
+     && b.B.stack_j >= 0.0 && b.B.memory_j >= 0.0);
+  check "shares sum to one" true
+    (let s =
+       B.share b.B.static_j b +. B.share b.B.datapath_j b
+       +. B.share b.B.control_j b +. B.share b.B.stack_j b
+       +. B.share b.B.memory_j b
+     in
+     Float.abs (s -. 1.0) < 1e-9);
+  let zero_total = B.total B.zero in
+  check "zero is zero" true (zero_total = 0.0);
+  check "add is componentwise" true
+    (Float.abs (B.total (B.add b b) -. (2.0 *. B.total b)) < 1e-12)
+
+let test_breakdown_mix_shifts () =
+  (* a speculation-heavy run must show stack energy; a pure literal scan
+     must not *)
+  let run pat input =
+    let stats = Core.fresh_stats () in
+    let p = (Alveare_compiler.Compile.compile_exn pat).Alveare_compiler.Compile.program in
+    ignore (Core.find_all ~stats p input);
+    B.of_stats stats
+  in
+  let literal = run "xyzw" (String.make 4096 'a') in
+  let spec = run "(a|b)*c" (String.make 512 'a' ^ "c") in
+  check "literal scan has no stack energy" true (literal.B.stack_j = 0.0);
+  check "speculative run has stack energy" true (spec.B.stack_j > 0.0)
+
+let test_energy_rows () =
+  let rows = X.energy_breakdown ~scale:tiny () in
+  check_int "three suites" 3 (List.length rows);
+  List.iter
+    (fun (r : X.energy_row) -> check "positive" true (B.total r.breakdown > 0.0))
+    rows
+
+let test_csa_rows () =
+  let rows = X.csa_comparison ~scale:tiny () in
+  check_int "three suites" 3 (List.length rows);
+  List.iter
+    (fun (r : X.csa_row) ->
+       check "CsA positive" true (r.X.csa_seconds > 0.0);
+       check "ALVEARE beats software CsA" true
+         (r.X.alveare1_seconds < r.X.csa_seconds))
+    rows
+
+let test_capacity_rows () =
+  let rows = X.capacity ~scale:tiny () in
+  List.iter
+    (fun (r : X.capacity_row) ->
+       check "avg positive" true (r.X.avg_instructions > 0.0);
+       check "fits at least one rule" true (r.X.rules_per_memory >= 1);
+       check "consistent" true
+         (float_of_int r.X.rules_per_memory
+          <= float_of_int X.instruction_memory_slots /. r.X.avg_instructions
+             +. 1.0);
+       check "swap dominated by dispatch" true (r.X.swap_us >= 300.0))
+    rows;
+  (* Protomata rules are the largest, so the fewest fit *)
+  let per kind =
+    (List.find (fun r -> r.X.cap_kind = kind) rows).X.rules_per_memory
+  in
+  check "Protomata fits fewest" true
+    (per Benchmark.Protomata < per Benchmark.Powren
+     && per Benchmark.Protomata < per Benchmark.Snort)
+
+let () =
+  Alcotest.run "extended"
+    [ ( "breakdown",
+        [ Alcotest.test_case "accounting" `Quick test_breakdown_accounting;
+          Alcotest.test_case "mix shifts" `Quick test_breakdown_mix_shifts;
+          Alcotest.test_case "suite rows" `Slow test_energy_rows ] );
+      ("csa", [ Alcotest.test_case "rows" `Slow test_csa_rows ]);
+      ("capacity", [ Alcotest.test_case "rows" `Slow test_capacity_rows ]) ]

@@ -1,0 +1,246 @@
+(* Front-end tests: lexer tokenisation (incl. every escape and class edge
+   case), parser structure and error reporting, desugaring/normalisation,
+   and AST utilities. *)
+
+open Alveare_frontend
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Parser.parse
+
+let ast_eq msg expected actual =
+  if not (Ast.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg
+      (Fmt.str "%a" Ast.pp expected) (Fmt.str "%a" Ast.pp actual)
+
+let lex_error s =
+  match Lexer.tokenize s with
+  | _ -> false
+  | exception Lexer.Lex_error _ -> true
+
+let parse_error s =
+  match Parser.parse s with
+  | _ -> false
+  | exception Parser.Parse_error _ -> true
+  | exception Lexer.Lex_error _ -> false
+
+(* --- Lexer ------------------------------------------------------------ *)
+
+let tokens s = List.map fst (Lexer.tokenize s)
+
+let test_lexer_basic () =
+  check "chars" true (tokens "ab" = [ Lexer.CHAR 'a'; Lexer.CHAR 'b' ]);
+  check "metachars" true
+    (tokens ".*+?|()" =
+     [ Lexer.DOT; Lexer.STAR; Lexer.PLUS; Lexer.QUESTION; Lexer.ALTER;
+       Lexer.LPAR; Lexer.RPAR ]);
+  check "lone rbracket is literal" true (tokens "]" = [ Lexer.CHAR ']' ])
+
+let test_lexer_escapes () =
+  check "newline" true (tokens "\\n" = [ Lexer.CHAR '\n' ]);
+  check "tab" true (tokens "\\t" = [ Lexer.CHAR '\t' ]);
+  check "cr" true (tokens "\\r" = [ Lexer.CHAR '\r' ]);
+  check "nul" true (tokens "\\0" = [ Lexer.CHAR '\000' ]);
+  check "hex" true (tokens "\\x41" = [ Lexer.CHAR 'A' ]);
+  check "hex ff" true (tokens "\\xff" = [ Lexer.CHAR '\xff' ]);
+  check "escaped dot" true (tokens "\\." = [ Lexer.CHAR '.' ]);
+  check "escaped backslash" true (tokens "\\\\" = [ Lexer.CHAR '\\' ]);
+  check "escaped braces" true
+    (tokens "\\{\\}" = [ Lexer.CHAR '{'; Lexer.CHAR '}' ]);
+  (match tokens "\\d" with
+   | [ Lexer.CLASS { negated = false; set } ] ->
+     check "\\d is digits" true (Charset.equal set Charset.digit)
+   | _ -> Alcotest.fail "\\d token");
+  (match tokens "\\W" with
+   | [ Lexer.CLASS { negated = true; set } ] ->
+     check "\\W is negated word" true (Charset.equal set Charset.word)
+   | _ -> Alcotest.fail "\\W token")
+
+let test_lexer_classes () =
+  (match tokens "[abc]" with
+   | [ Lexer.CLASS { negated = false; set } ] ->
+     check "abc" true (Charset.equal set (Charset.of_chars [ 'a'; 'b'; 'c' ]))
+   | _ -> Alcotest.fail "[abc]");
+  (match tokens "[^a-z]" with
+   | [ Lexer.CLASS { negated = true; set } ] ->
+     check "a-z" true (Charset.equal set (Charset.range 'a' 'z'))
+   | _ -> Alcotest.fail "[^a-z]");
+  (match tokens "[]a]" with
+   | [ Lexer.CLASS { negated = false; set } ] ->
+     check "leading ] literal" true
+       (Charset.equal set (Charset.of_chars [ ']'; 'a' ]))
+   | _ -> Alcotest.fail "[]a]");
+  (match tokens "[a-]" with
+   | [ Lexer.CLASS { set; _ } ] ->
+     check "trailing - literal" true
+       (Charset.equal set (Charset.of_chars [ 'a'; '-' ]))
+   | _ -> Alcotest.fail "[a-]");
+  (match tokens "[\\d_]" with
+   | [ Lexer.CLASS { set; _ } ] ->
+     check "shorthand inside class" true
+       (Charset.equal set (Charset.union Charset.digit (Charset.singleton '_')))
+   | _ -> Alcotest.fail "[\\d_]");
+  (match tokens "[\\x00-\\x1f]" with
+   | [ Lexer.CLASS { set; _ } ] ->
+     check "hex range" true (Charset.equal set (Charset.of_ranges [ (0, 0x1f) ]))
+   | _ -> Alcotest.fail "hex range")
+
+let test_lexer_repeat () =
+  check "{3}" true (tokens "a{3}" = [ Lexer.CHAR 'a'; Lexer.REPEAT (3, Some 3) ]);
+  check "{3,}" true (tokens "a{3,}" = [ Lexer.CHAR 'a'; Lexer.REPEAT (3, None) ]);
+  check "{3,5}" true
+    (tokens "a{3,5}" = [ Lexer.CHAR 'a'; Lexer.REPEAT (3, Some 5) ]);
+  check "{0,62}" true
+    (tokens "a{0,62}" = [ Lexer.CHAR 'a'; Lexer.REPEAT (0, Some 62) ])
+
+let test_lexer_errors () =
+  check "unterminated class" true (lex_error "[abc");
+  check "empty class" true (lex_error "[]");
+  check "trailing backslash" true (lex_error "a\\");
+  check "bad escape" true (lex_error "\\q");
+  check "short hex" true (lex_error "\\x4");
+  check "bad hex" true (lex_error "\\xgg");
+  check "unmatched rbrace" true (lex_error "a}");
+  check "empty braces" true (lex_error "a{}");
+  check "bad brace content" true (lex_error "a{x}");
+  check "missing brace close" true (lex_error "a{3");
+  check "inverted bounds" true (lex_error "a{5,3}");
+  check "inverted class range" true (lex_error "[z-a]");
+  check "shorthand as range bound" true (lex_error "[a-\\d]")
+
+let test_lexer_positions () =
+  match Lexer.tokenize "ab[cd]" with
+  | [ (_, 0); (_, 1); (_, 2) ] -> ()
+  | _ -> Alcotest.fail "token positions"
+
+(* --- Parser ----------------------------------------------------------- *)
+
+let test_parser_structure () =
+  ast_eq "concat" (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ]) (parse "ab");
+  ast_eq "alt binds loosest"
+    (Ast.Alt [ Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ]; Ast.Char 'c' ])
+    (parse "ab|c");
+  ast_eq "quantifier binds tightest"
+    (Ast.Concat [ Ast.Char 'a'; Ast.Repeat (Ast.Char 'b', Ast.star) ])
+    (parse "ab*");
+  ast_eq "group"
+    (Ast.Repeat (Ast.Group (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ]), Ast.plus))
+    (parse "(ab)+");
+  ast_eq "empty pattern" Ast.Empty (parse "");
+  ast_eq "empty group" (Ast.Group Ast.Empty) (parse "()");
+  ast_eq "empty alt branch"
+    (Ast.Alt [ Ast.Char 'a'; Ast.Empty ])
+    (parse "a|");
+  ast_eq "nested alt"
+    (Ast.Concat
+       [ Ast.Char 'a';
+         Ast.Group (Ast.Alt [ Ast.Char 'b'; Ast.Char 'c' ]) ])
+    (parse "a(b|c)")
+
+let test_parser_quantifiers () =
+  ast_eq "star" (Ast.Repeat (Ast.Char 'a', Ast.star)) (parse "a*");
+  ast_eq "plus" (Ast.Repeat (Ast.Char 'a', Ast.plus)) (parse "a+");
+  ast_eq "opt" (Ast.Repeat (Ast.Char 'a', Ast.opt)) (parse "a?");
+  ast_eq "lazy star"
+    (Ast.Repeat (Ast.Char 'a', Ast.lazy_of Ast.star))
+    (parse "a*?");
+  ast_eq "lazy bounded"
+    (Ast.Repeat (Ast.Char 'a', { Ast.qmin = 2; qmax = Some 4; greedy = false }))
+    (parse "a{2,4}?");
+  ast_eq "exact"
+    (Ast.Repeat (Ast.Char 'a', { Ast.qmin = 7; qmax = Some 7; greedy = true }))
+    (parse "a{7}")
+
+let test_parser_errors () =
+  check "leading star" true (parse_error "*a");
+  check "leading plus" true (parse_error "+");
+  check "stacked quantifiers" true (parse_error "a**");
+  check "stacked after lazy" true (parse_error "a*?*");
+  check "unclosed group" true (parse_error "(ab");
+  check "unmatched rparen" true (parse_error "ab)");
+  check "quantified nothing in alt" true (parse_error "a|*b");
+  check "parse_result reports" true
+    (match Parser.parse_result "(a" with
+     | Error msg -> String.length msg > 0
+     | Ok _ -> false)
+
+(* --- Desugar / normalise ----------------------------------------------- *)
+
+let norm s = Desugar.pattern_exn s
+
+let test_normalize () =
+  ast_eq "dot becomes [^\\n]" (Ast.Class Desugar.dot_class) (norm ".");
+  ast_eq "groups erased" (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ]) (norm "(ab)");
+  ast_eq "nested groups erased"
+    (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ])
+    (norm "((a)(b))");
+  ast_eq "literals merge across groups"
+    (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b'; Ast.Char 'c'; Ast.Char 'd' ])
+    (norm "(ab)cd");
+  ast_eq "nested concat flattens"
+    (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b'; Ast.Char 'c' ])
+    (norm "a(bc)");
+  ast_eq "nested alt flattens"
+    (Ast.Alt [ Ast.Char 'a'; Ast.Char 'b'; Ast.Char 'c' ])
+    (norm "a|(b|c)");
+  ast_eq "repeat {1,1} collapses" (Ast.Char 'a') (norm "a{1}");
+  ast_eq "repeat {0,0} is empty" Ast.Empty (norm "a{0}");
+  ast_eq "quantified group survives"
+    (Ast.Repeat (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ], Ast.plus))
+    (norm "(ab)+")
+
+let test_ast_utilities () =
+  check "nullable star" true (Ast.nullable (norm "a*"));
+  check "nullable alt empty" true (Ast.nullable (norm "a|"));
+  check "not nullable char" false (Ast.nullable (norm "ab"));
+  check "nullable repeat min0" true (Ast.nullable (norm "(ab){0,3}"));
+  check_int "size" 3 (Ast.size (norm "ab"));
+  check "max len bounded" true (Ast.max_match_length (norm "a{2,5}b") = Some 6);
+  check "max len unbounded" true (Ast.max_match_length (norm "a*b") = None);
+  check "max len alt" true (Ast.max_match_length (norm "abc|d") = Some 3);
+  check_int "depth leaf" 1 (Ast.depth (Ast.Char 'a'))
+
+let test_to_pattern_round_trip () =
+  let cases =
+    [ "ab"; "a|b"; "(ab|cd)+"; "[a-z]{2,5}"; "[^A-Z]*"; "a+?b"; "\\x00\\xff";
+      "colou?r"; "(a|b|c){3}"; "x.{0,9}y"; "[]a-]" ]
+  in
+  List.iter
+    (fun pat ->
+       let a = norm pat in
+       let round = Desugar.pattern_exn (Ast.to_pattern a) in
+       if not (Ast.equal a round) then
+         Alcotest.failf "round trip for %s: %s vs %s" pat
+           (Fmt.str "%a" Ast.pp a) (Fmt.str "%a" Ast.pp round))
+    cases
+
+(* Property: to_pattern composed with parse+normalize is the identity on
+   normalised ASTs. *)
+let qcheck_round_trip =
+  QCheck2.Test.make ~name:"to_pattern/parse round trip" ~count:500
+    ~print:Alveare_test_support.Gen_ast.print_ast
+    Alveare_test_support.Gen_ast.gen_ast (fun ast ->
+      let a = Desugar.normalize ast in
+      let round = Desugar.pattern_exn (Ast.to_pattern a) in
+      Ast.equal a round)
+
+let () =
+  Alcotest.run "frontend"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic tokens" `Quick test_lexer_basic;
+          Alcotest.test_case "escapes" `Quick test_lexer_escapes;
+          Alcotest.test_case "classes" `Quick test_lexer_classes;
+          Alcotest.test_case "brace quantifiers" `Quick test_lexer_repeat;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+          Alcotest.test_case "positions" `Quick test_lexer_positions ] );
+      ( "parser",
+        [ Alcotest.test_case "structure" `Quick test_parser_structure;
+          Alcotest.test_case "quantifiers" `Quick test_parser_quantifiers;
+          Alcotest.test_case "errors" `Quick test_parser_errors ] );
+      ( "desugar",
+        [ Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "ast utilities" `Quick test_ast_utilities;
+          Alcotest.test_case "to_pattern round trip" `Quick
+            test_to_pattern_round_trip;
+          QCheck_alcotest.to_alcotest qcheck_round_trip ] ) ]

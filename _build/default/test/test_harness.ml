@@ -1,0 +1,172 @@
+(* Harness tests: Table 2 reproduces the paper's numbers, the evaluation
+   produces the paper's qualitative shapes at a reduced scale, scaling is
+   monotone, and the table renderer behaves. *)
+
+module E = Alveare_harness.Experiments
+module T = Alveare_harness.Table
+module Benchmark = Alveare_workloads.Benchmark
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* --- Table 2 --------------------------------------------------------------- *)
+
+let test_table2_exact () =
+  let rows = E.table2 () in
+  check_int "four rows" 4 (List.length rows);
+  List.iter
+    (fun (r : E.table2_row) ->
+       (* measured reduction within 1% of the paper's figure *)
+       let err =
+         Float.abs (r.E.reduction -. r.E.paper_reduction) /. r.E.paper_reduction
+       in
+       if err > 0.01 then
+         Alcotest.failf "%s: reduction %.2f vs paper %.2f" r.E.pattern
+           r.E.reduction r.E.paper_reduction)
+    rows;
+  let row p = List.find (fun (r : E.table2_row) -> r.E.pattern = p) rows in
+  check_int "[a-zA-Z] minimal" 26 (row "[a-zA-Z]").E.minimal;
+  check_int ".{3,6} minimal" 1160 (row ".{3,6}").E.minimal;
+  check_int "[^ ]* advanced" 2 (row "[^ ]*").E.advanced
+
+(* --- Reduced-scale evaluation shapes ------------------------------------------ *)
+
+(* A very small scale so the whole evaluation runs in a couple of
+   seconds; extrapolation keeps the fixed-vs-streamed balance of the
+   paper's 1 MiB setting. *)
+let tiny_scale : E.scale =
+  { E.suite_spec =
+      (fun kind ->
+         { (Benchmark.quick_spec ~seed:7 kind) with Benchmark.n_patterns = 8 });
+    sim_sample_bytes = 12 * 1024;
+    gpu_sample_bytes = 3 * 1024 }
+
+let results = lazy (E.evaluate ~scale:tiny_scale ())
+
+let engine_time kind engine =
+  (E.result_for (Lazy.force results) kind engine).E.avg_seconds
+
+let test_shapes_alveare_vs_re2 () =
+  List.iter
+    (fun kind ->
+       let re2 = engine_time kind E.E_re2_a53 in
+       let a1 = engine_time kind (E.E_alveare 1) in
+       let a10 = engine_time kind (E.E_alveare 10) in
+       check
+         (Benchmark.kind_name kind ^ ": single core beats RE2")
+         true (a1 < re2);
+       check
+         (Benchmark.kind_name kind ^ ": 10-core beats RE2 by >5x")
+         true (re2 /. a10 > 5.0);
+       check
+         (Benchmark.kind_name kind ^ ": 10-core beats RE2 by <40x")
+         true (re2 /. a10 < 40.0))
+    Benchmark.all_kinds
+
+let test_shapes_gpu_orders_of_magnitude () =
+  List.iter
+    (fun kind ->
+       let a10 = engine_time kind (E.E_alveare 10) in
+       let obat = engine_time kind E.E_gpu_obat in
+       let infant = engine_time kind E.E_gpu_infant in
+       check (Benchmark.kind_name kind ^ ": OBAT >=100x slower") true
+         (obat /. a10 >= 100.0);
+       check (Benchmark.kind_name kind ^ ": iNFAnt slower than OBAT") true
+         (infant > obat))
+    Benchmark.all_kinds
+
+let test_shapes_dpu () =
+  (* the DPU gap peaks on Snort (PCRE-heavy automata), as in the paper *)
+  let ratio kind =
+    engine_time kind E.E_dpu /. engine_time kind (E.E_alveare 10)
+  in
+  check "10-core beats DPU on Snort by >3x" true (ratio Benchmark.Snort > 3.0);
+  check "Snort is the DPU's worst benchmark" true
+    (ratio Benchmark.Snort > ratio Benchmark.Powren
+     && ratio Benchmark.Snort > ratio Benchmark.Protomata)
+
+let test_shapes_efficiency () =
+  (* Fig. 5: 10-core always delivers the best efficiency *)
+  List.iter
+    (fun r ->
+       let eff e = (List.find (fun x -> x.E.engine = e) r.E.engines).E.avg_efficiency in
+       let best = eff (E.E_alveare 10) in
+       List.iter
+         (fun e ->
+            if e <> E.E_alveare 10 then
+              check
+                (Benchmark.kind_name r.E.benchmark ^ " 10-core most efficient")
+                true (best >= eff e))
+         (List.map (fun x -> x.E.engine) r.E.engines))
+    (Lazy.force results)
+
+let test_speedup_helper () =
+  let s =
+    E.speedup (Lazy.force results) Benchmark.Powren ~of_:(E.E_alveare 10)
+      ~over:E.E_re2_a53
+  in
+  check "speedup helper positive" true (s > 1.0)
+
+let test_scaling_monotone () =
+  let r =
+    E.scaling ~core_counts:[ 1; 2; 5; 10 ] ~scale:tiny_scale Benchmark.Protomata
+  in
+  let speedups = List.map (fun p -> p.E.speedup_vs_1) r.E.points in
+  check "starts at 1" true (List.hd speedups = 1.0);
+  check "monotone non-decreasing" true
+    (List.for_all2 ( <= ) speedups (List.tl speedups @ [ infinity ]));
+  check "bounded by core count" true
+    (List.for_all2 (fun p s -> s <= float_of_int p.E.cores +. 0.01) r.E.points
+       speedups)
+
+(* --- Rendering ------------------------------------------------------------------ *)
+
+let test_table_render () =
+  let t =
+    T.make ~title:"demo" ~headers:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+      ~notes:[ "note" ]
+  in
+  let s = T.render t in
+  check "title" true (contains s "== demo ==");
+  check "headers" true (contains s "bb");
+  check "cells" true (contains s "333");
+  check "note" true (contains s "note")
+
+let test_formatters () =
+  Alcotest.(check string) "seconds" "1.500 ms" (T.fmt_seconds 0.0015);
+  Alcotest.(check string) "micro" "12.0 us" (T.fmt_seconds 12e-6);
+  Alcotest.(check string) "big seconds" "2.500 s" (T.fmt_seconds 2.5);
+  Alcotest.(check string) "ratio small" "2.13x" (T.fmt_ratio 2.13);
+  Alcotest.(check string) "ratio big" "356x" (T.fmt_ratio 356.0)
+
+let test_report_tables_render () =
+  let rs = Lazy.force results in
+  check "figure4 renders" true
+    (contains (T.render (E.figure4_table rs)) "ALVEARE x10");
+  check "figure5 renders" true
+    (contains (T.render (E.figure5_table rs)) "Figure 5");
+  check "area renders" true (contains (T.render (E.area_table ())) "84.65");
+  check "table2 renders" true
+    (contains (T.render (E.table2_table (E.table2 ()))) "580x")
+
+let () =
+  Alcotest.run "harness"
+    [ ("table2", [ Alcotest.test_case "exact" `Quick test_table2_exact ]);
+      ( "shapes",
+        [ Alcotest.test_case "alveare vs re2" `Slow test_shapes_alveare_vs_re2;
+          Alcotest.test_case "gpu orders of magnitude" `Slow
+            test_shapes_gpu_orders_of_magnitude;
+          Alcotest.test_case "dpu peak on snort" `Slow test_shapes_dpu;
+          Alcotest.test_case "efficiency winner" `Slow test_shapes_efficiency;
+          Alcotest.test_case "speedup helper" `Slow test_speedup_helper;
+          Alcotest.test_case "scaling monotone" `Slow test_scaling_monotone ] );
+      ( "rendering",
+        [ Alcotest.test_case "table" `Quick test_table_render;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+          Alcotest.test_case "report tables" `Slow test_report_tables_render ] ) ]

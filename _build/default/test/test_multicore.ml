@@ -1,0 +1,128 @@
+(* Multi-core scale-out tests: result equivalence with a single core,
+   overlap-window semantics at slice boundaries, wall-clock accounting,
+   and configuration validation. *)
+
+module Core = Alveare_arch.Core
+module Multicore = Alveare_multicore.Multicore
+module Compile = Alveare_compiler.Compile
+module S = Alveare_engine.Semantics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile pat = (Compile.compile_exn pat).Compile.program
+
+(* Build an input with witnesses at chosen positions over a 'z' field. *)
+let field ~size plants =
+  let buf = Bytes.make size 'z' in
+  List.iter
+    (fun (pos, w) -> Bytes.blit_string w 0 buf pos (String.length w))
+    plants;
+  Bytes.to_string buf
+
+let test_matches_equal_single_core () =
+  let program = compile "ab+c" in
+  let input = field ~size:4096 [ (10, "abbc"); (1030, "abc"); (3000, "abbbbc") ] in
+  let single = Core.find_all program input in
+  List.iter
+    (fun cores ->
+       let mc = Multicore.find_all ~cores ~overlap:64 program input in
+       check (Printf.sprintf "%d cores" cores) true (mc = single))
+    [ 1; 2; 3; 4; 7; 10 ]
+
+let test_boundary_match_found_with_overlap () =
+  let program = compile "abcd" in
+  (* with 4 cores over 400 bytes, slice boundary at 100: plant across it *)
+  let input = field ~size:400 [ (98, "abcd") ] in
+  let with_overlap = Multicore.find_all ~cores:4 ~overlap:16 program input in
+  check "found with overlap" true
+    (with_overlap = [ { S.start = 98; stop = 102 } ]);
+  let without_overlap = Multicore.find_all ~cores:4 ~overlap:0 program input in
+  check "lost without overlap (documented approximation)" true
+    (without_overlap = [])
+
+let test_overlap_dedup () =
+  let program = compile "ab" in
+  (* a match entirely inside the overlap region is attributed only to the
+     owning core *)
+  let input = field ~size:200 [ (101, "ab") ] in
+  let mc = Multicore.run ~config:(Multicore.config ~cores:2 ~overlap:50 ()) program input in
+  check_int "exactly one copy" 1 (List.length mc.Multicore.matches);
+  (* core 1 owns offset 101 (slice 100..200) *)
+  check_int "owned by core 1" 1
+    (List.length mc.Multicore.per_core.(1).Multicore.owned);
+  check_int "core 0 owns none" 0
+    (List.length mc.Multicore.per_core.(0).Multicore.owned)
+
+let test_wall_clock_is_max () =
+  let program = compile "ab+c" in
+  let input = field ~size:8192 [ (100, "abbc"); (5000, "abc") ] in
+  let mc = Multicore.run ~config:(Multicore.config ~cores:4 ~overlap:32 ()) program input in
+  let per_core_cycles =
+    Array.to_list
+      (Array.map (fun c -> c.Multicore.stats.Core.cycles) mc.Multicore.per_core)
+  in
+  check_int "wall = max" (List.fold_left max 0 per_core_cycles) mc.Multicore.cycles;
+  check_int "total = sum" (List.fold_left ( + ) 0 per_core_cycles)
+    mc.Multicore.total_cycles
+
+let test_scaling_reduces_wall_cycles () =
+  let program = compile "[ab]{2,6}c" in
+  let rng = Alveare_workloads.Rng.create 7 in
+  let input =
+    String.init 65536 (fun _ ->
+        Alveare_workloads.Rng.char_of rng "abcxyz")
+  in
+  let wall cores =
+    (Multicore.run ~config:(Multicore.config ~cores ~overlap:16 ()) program input)
+      .Multicore.cycles
+  in
+  let w1 = wall 1 and w4 = wall 4 and w10 = wall 10 in
+  check "4 cores faster than 1" true (w4 < w1);
+  check "10 cores faster than 4" true (w10 < w4);
+  check "speedup bounded by core count" true (w1 / w10 <= 10 + 1)
+
+let test_empty_input () =
+  let program = compile "a*" in
+  let mc = Multicore.run ~config:(Multicore.config ~cores:4 ()) program "" in
+  check "nullable matches empty input once" true
+    (mc.Multicore.matches = [ { S.start = 0; stop = 0 } ])
+
+let test_more_cores_than_bytes () =
+  let program = compile "ab" in
+  let matches = Multicore.find_all ~cores:10 ~overlap:4 program "ab" in
+  check "tiny input" true (matches = [ { S.start = 0; stop = 2 } ])
+
+let test_config_validation () =
+  check "zero cores rejected" true
+    (try ignore (Multicore.config ~cores:0 ()); false
+     with Invalid_argument _ -> true);
+  check "negative overlap rejected" true
+    (try ignore (Multicore.config ~overlap:(-1) ()); false
+     with Invalid_argument _ -> true)
+
+let test_overlap_for_ast () =
+  let ast pat = Alveare_frontend.Desugar.pattern_exn pat in
+  check_int "bounded pattern" 6 (Multicore.overlap_for_ast (ast "a{2,6}"));
+  check_int "unbounded pattern uses cap" 4096
+    (Multicore.overlap_for_ast (ast "a+"));
+  check_int "custom cap" 128 (Multicore.overlap_for_ast ~cap:128 (ast "a*"))
+
+let () =
+  Alcotest.run "multicore"
+    [ ( "equivalence",
+        [ Alcotest.test_case "matches equal single core" `Quick
+            test_matches_equal_single_core;
+          Alcotest.test_case "boundary with overlap" `Quick
+            test_boundary_match_found_with_overlap;
+          Alcotest.test_case "overlap dedup" `Quick test_overlap_dedup ] );
+      ( "cycles",
+        [ Alcotest.test_case "wall clock is max" `Quick test_wall_clock_is_max;
+          Alcotest.test_case "scaling reduces wall cycles" `Quick
+            test_scaling_reduces_wall_cycles ] );
+      ( "edges",
+        [ Alcotest.test_case "empty input" `Quick test_empty_input;
+          Alcotest.test_case "more cores than bytes" `Quick
+            test_more_cores_than_bytes;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "overlap_for_ast" `Quick test_overlap_for_ast ] ) ]

@@ -1,0 +1,189 @@
+(* Mid-end optimiser tests: each rewrite rule, span preservation against
+   the oracle (including the historical counterexamples that shaped the
+   rules), and code-size improvements. *)
+
+module Opt = Alveare_ir.Opt
+module Lower = Alveare_ir.Lower
+module Ir = Alveare_ir.Ir
+module Compile = Alveare_compiler.Compile
+module Backtrack = Alveare_engine.Backtrack
+module Core = Alveare_arch.Core
+module Desugar = Alveare_frontend.Desugar
+module Ast = Alveare_frontend.Ast
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let check_int = Alcotest.(check int)
+
+let opt pat = Opt.optimize (Desugar.pattern_exn pat)
+
+let same msg a b =
+  if not (Ast.equal a b) then
+    Alcotest.failf "%s: got %s, want %s" msg (Fmt.str "%a" Ast.pp a)
+      (Fmt.str "%a" Ast.pp b)
+
+(* --- Rules --------------------------------------------------------------- *)
+
+let test_class_fusion () =
+  same "a|b|c fuses" (opt "a|b|c") (Desugar.pattern_exn "[abc]");
+  same "chars and classes fuse" (opt "a|[0-9]|x") (Desugar.pattern_exn "[a0-9x]");
+  (* a|. fuses into the materialised union (everything but newline) *)
+  (match opt "a|." with
+   | Ast.Class { negated = false; set } ->
+     let want =
+       Alveare_engine.Semantics.class_set
+         Alveare_frontend.Desugar.dot_class
+     in
+     if not (Alveare_frontend.Charset.equal set want) then
+       Alcotest.fail "a|. fused to the wrong set"
+   | other -> Alcotest.failf "a|.: %s" (Fmt.str "%a" Ast.pp other));
+  (* non-adjacent single chars must NOT fuse across a longer branch;
+     (bc|b) does factor to b(c|), which keeps priority *)
+  (match opt "a|bc|b" with
+   | Ast.Alt [ Ast.Char 'a'; Ast.Concat [ Ast.Char 'b'; Ast.Alt [ Ast.Char 'c'; Ast.Empty ] ] ] -> ()
+   | other -> Alcotest.failf "a|bc|b: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_dedup () =
+  same "duplicate branch dropped" (opt "ab|cd|ab") (opt "ab|cd");
+  (* empty branch does NOT remove later branches *)
+  (match opt "a||b" with
+   | Ast.Alt [ _; Ast.Empty; _ ] -> ()
+   | other -> Alcotest.failf "a||b: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_prefix_factoring () =
+  (* abc|abd -> ab[cd] after factoring + fusion *)
+  same "abc|abd" (opt "abc|abd") (Desugar.pattern_exn "ab[cd]");
+  (* a backtrackable head must not factor *)
+  (match opt "[ab]{1,2}b|[ab]{1,2}c" with
+   | Ast.Alt [ _; _ ] -> ()
+   | other ->
+     Alcotest.failf "backtrackable head factored: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_repeat_coalescing () =
+  same "aa* -> a+" (opt "aa*") (Desugar.pattern_exn "a+");
+  same "a*a* -> a*" (opt "a*a*") (Desugar.pattern_exn "a*");
+  same "x{1,2}x{1,3} -> x{2,5}" (opt "x{1,2}x{1,3}")
+    (Desugar.pattern_exn "x{2,5}");
+  same "exact + lazy keeps laziness" (opt "x{2}x{0,3}?")
+    (Desugar.pattern_exn "x{2,5}?");
+  (* different greediness, neither exact: unchanged *)
+  (match opt "a*a+?" with
+   | Ast.Concat [ Ast.Repeat _; Ast.Repeat _ ] -> ()
+   | other -> Alcotest.failf "a*a+?: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_nest_flattening () =
+  same "(x{2}){3} -> x{6}" (opt "(x{2}){3}") (Desugar.pattern_exn "x{6}");
+  (* a non-exact OUTER must not flatten: (x{2}){1,3} matches only even
+     counts, x{2,6} does not *)
+  (match opt "(x{2}){1,4}" with
+   | Ast.Repeat (Ast.Repeat _, _) -> ()
+   | other -> Alcotest.failf "(x{2}){1,4}: %s" (Fmt.str "%a" Ast.pp other));
+  (* a non-exact inner must not flatten either: (x{1,2}){2} != x{2,4} *)
+  (match opt "(x{1,2}){2}" with
+   | Ast.Repeat (Ast.Repeat _, _) -> ()
+   | other -> Alcotest.failf "(x{1,2}){2}: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_fixpoint_idempotent () =
+  List.iter
+    (fun pat ->
+       let once = opt pat in
+       same (pat ^ " idempotent") (Opt.optimize once) once)
+    [ "a|b|c"; "abc|abd|abe"; "aa*bb*"; "(x{2}){3}"; "((a|b)|c)d" ]
+
+(* --- Span preservation --------------------------------------------------- *)
+
+(* Known-tricky cases, including the counterexamples that shaped the
+   adjacency and determinism restrictions. *)
+let preservation_corpus =
+  [ ("a|bc|b", "abc bc b");
+    ("[ab]{1,2}b|[ab]{1,2}c", "abc");
+    ("(a|ab)c", "abc");
+    ("a||b", "b");
+    ("abc|abd", "xxabdxx");
+    ("aa*", "aaa");
+    ("x{1,2}x{1,3}", "xxxx");
+    ("x{2}x{0,3}?", "xxxxx");
+    ("(x{2}){3}", "xxxxxxxx");
+    ("(a{2})+", "aaaaa");
+    ("(x{2}){1,3}", "xxxxx");
+    ("a|a", "aa");
+    ("ab|ac|ad|q", "xacq") ]
+
+let test_span_preservation_corpus () =
+  List.iter
+    (fun (pat, input) ->
+       let raw = Desugar.pattern_exn pat in
+       let optimised = Opt.optimize raw in
+       let a = Backtrack.find_all raw input in
+       let b = Backtrack.find_all optimised input in
+       if a <> b then
+         Alcotest.failf "%s on %S: raw %s, optimised %s" pat input
+           (Fmt.str "%a" Fmt.(list ~sep:semi Alveare_engine.Semantics.pp_span) a)
+           (Fmt.str "%a" Fmt.(list ~sep:semi Alveare_engine.Semantics.pp_span) b))
+    preservation_corpus
+
+let qcheck_preserves_oracle =
+  QCheck2.Test.make ~name:"optimize preserves oracle spans" ~count:600
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      let raw = Desugar.normalize ast in
+      Backtrack.find_all raw input = Backtrack.find_all (Opt.optimize raw) input)
+
+let qcheck_preserves_simulator =
+  QCheck2.Test.make ~name:"optimized program = unoptimized program" ~count:300
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      let compile optimize =
+        Compile.compile_ast
+          ~options:{ Lower.default_options with Lower.optimize }
+          ast
+      in
+      match compile true, compile false with
+      | Ok a, Ok b ->
+        Core.find_all a.Compile.program input
+        = Core.find_all b.Compile.program input
+      | (Error _ | Ok _), _ -> QCheck2.assume_fail ())
+
+(* --- Code-size effect ------------------------------------------------------ *)
+
+let code_size ~optimize pat =
+  let options = { Lower.default_options with Lower.optimize } in
+  Compile.code_size (Compile.compile_exn ~options pat)
+
+let test_code_size_improvements () =
+  let improves pat =
+    let before = code_size ~optimize:false pat in
+    let after = code_size ~optimize:true pat in
+    if after >= before then
+      Alcotest.failf "%s: %d -> %d (no improvement)" pat before after
+  in
+  let not_worse pat =
+    let before = code_size ~optimize:false pat in
+    let after = code_size ~optimize:true pat in
+    if after > before then
+      Alcotest.failf "%s: %d -> %d (regression)" pat before after
+  in
+  improves "a|b|c|d";
+  improves "abc|abd";
+  improves "(x{2}){3}";
+  not_worse "red|green|blue|grey";
+  not_worse "aa*bb*";
+  check_int "a|b|c|d optimises to one instruction" 1
+    (code_size ~optimize:true "a|b|c|d");
+  check_int "never worse on a simple literal" (code_size ~optimize:false "abcd")
+    (code_size ~optimize:true "abcd")
+
+let () =
+  Alcotest.run "opt"
+    [ ( "rules",
+        [ Alcotest.test_case "class fusion" `Quick test_class_fusion;
+          Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "prefix factoring" `Quick test_prefix_factoring;
+          Alcotest.test_case "repeat coalescing" `Quick test_repeat_coalescing;
+          Alcotest.test_case "nest flattening" `Quick test_nest_flattening;
+          Alcotest.test_case "idempotent" `Quick test_fixpoint_idempotent ] );
+      ( "preservation",
+        [ Alcotest.test_case "corpus" `Quick test_span_preservation_corpus;
+          QCheck_alcotest.to_alcotest qcheck_preserves_oracle;
+          QCheck_alcotest.to_alcotest qcheck_preserves_simulator ] );
+      ( "code size",
+        [ Alcotest.test_case "improvements" `Quick test_code_size_improvements ] ) ]

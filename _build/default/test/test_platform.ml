@@ -1,0 +1,186 @@
+(* Platform cost-model tests: the paper's energy formula and power
+   figures, the FPGA area model endpoints, both RE2 regimes, DPU chunking
+   and spill degradation, GPU pricing, and the ALVEARE FPGA wrapper. *)
+
+open Alveare_platform
+module Desugar = Alveare_frontend.Desugar
+module Compile = Alveare_compiler.Compile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let close ?(eps = 1e-9) msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.9g, got %.9g" msg expected actual
+
+(* --- Energy (paper §7.2 formula) ---------------------------------------- *)
+
+let test_powers () =
+  close "10-core board power is the paper's 7.05 W" 7.05
+    (Energy.power_w (Energy.Alveare 10));
+  close "A53" 5.9 (Energy.power_w Energy.A53_re2);
+  close "DPU" 27.0 (Energy.power_w Energy.Dpu);
+  close "V100 TDP" 250.0 (Energy.power_w Energy.Gpu);
+  check "1-core below 10-core" true
+    (Energy.power_w (Energy.Alveare 1) < Energy.power_w (Energy.Alveare 10))
+
+let test_efficiency_formula () =
+  (* Energy_Eff = 1 / (t * P) *)
+  close "efficiency" (1.0 /. (0.002 *. 27.0))
+    (Energy.efficiency ~seconds:0.002 Energy.Dpu);
+  close "energy" (0.002 *. 27.0) (Energy.energy_j ~seconds:0.002 Energy.Dpu);
+  check "non-positive time rejected" true
+    (try ignore (Energy.efficiency ~seconds:0.0 Energy.Dpu); false
+     with Invalid_argument _ -> true)
+
+(* --- Area (paper §7.2 resource numbers) ---------------------------------- *)
+
+let test_area_endpoints () =
+  let u1 = Area.utilization 1 and u10 = Area.utilization 10 in
+  close ~eps:0.01 "1-core BRAM 6.71%" 6.71 u1.Area.bram_pct;
+  close ~eps:0.01 "1-core LUT 11.39%" 11.39 u1.Area.lut_pct;
+  close ~eps:0.01 "10-core BRAM 67.13%" 67.13 u10.Area.bram_pct;
+  close ~eps:0.01 "10-core LUT 84.65%" 84.65 u10.Area.lut_pct;
+  check "10 cores viable" true (Area.viable 10);
+  check "11 cores not viable" false (Area.viable 11);
+  check_int "max cores is the paper's 10" 10 (Area.max_cores ());
+  check_int "sweep length" 11 (List.length (Area.sweep 11));
+  check "zero cores rejected" true
+    (try ignore (Area.utilization 0); false with Invalid_argument _ -> true)
+
+(* --- Measure helpers -------------------------------------------------------- *)
+
+let test_measure_scale () =
+  close "no full bytes" 1.0 (Measure.scale ~sample_bytes:10 ~full_bytes:None);
+  close "ratio" 4.0 (Measure.scale ~sample_bytes:256 ~full_bytes:(Some 1024));
+  check "sample larger than full rejected" true
+    (try ignore (Measure.scale ~sample_bytes:10 ~full_bytes:(Some 5)); false
+     with Invalid_argument _ -> true);
+  let r = Measure.make ~match_count:2 [ ("a", 1.0); ("b", 0.5) ] in
+  close "total" 1.5 r.Measure.seconds
+
+(* --- RE2 / A53 --------------------------------------------------------------- *)
+
+let input_text =
+  let rng = Alveare_workloads.Rng.create 3 in
+  String.init 8192 (fun _ -> Alveare_workloads.Streams.lowercase_text rng)
+
+let test_re2_regimes () =
+  let small = A53_re2.run (Desugar.pattern_exn "abc") input_text in
+  check "small pattern on DFA path" true (small.A53_re2.regime = A53_re2.Dfa_path);
+  (* a big counted pattern exceeds RE2's DFA bound -> NFA fallback *)
+  let big =
+    A53_re2.run
+      (Desugar.pattern_exn "x: [^\\r\\n]{20,60}y: [^\\r\\n]{20,60}")
+      input_text
+  in
+  check "big pattern falls back to NFA" true
+    (big.A53_re2.regime = A53_re2.Nfa_fallback);
+  check "fallback slower per byte" true
+    (big.A53_re2.cycles_per_byte > small.A53_re2.cycles_per_byte);
+  check "positive time" true (small.A53_re2.run.Measure.seconds > 0.0)
+
+let test_re2_footprint_ramp () =
+  let base = A53_re2.dfa_cycles_per_byte ~resident_states:4 in
+  close "small table at base rate" Calibration.re2_cycles_per_dfa_byte base;
+  let mid = A53_re2.dfa_cycles_per_byte ~resident_states:30 in
+  let big = A53_re2.dfa_cycles_per_byte ~resident_states:500 in
+  check "ramp is monotone" true (base < mid && mid < big);
+  close "ramp saturates"
+    (Calibration.re2_cycles_per_dfa_byte
+     +. Calibration.re2_footprint_penalty_cycles)
+    big
+
+let test_re2_extrapolation () =
+  let ast = Desugar.pattern_exn "abc" in
+  let s1 = (A53_re2.run ast input_text).A53_re2.run.Measure.seconds in
+  let s4 =
+    (A53_re2.run ~full_bytes:(4 * 8192) ast input_text).A53_re2.run.Measure.seconds
+  in
+  check "4x stream between 2x and 4x time (fixed compile cost)" true
+    (s4 > 2.0 *. s1 && s4 <= 4.0 *. s1 +. 1e-9)
+
+(* --- DPU ----------------------------------------------------------------------- *)
+
+let test_dpu_chunking () =
+  let ast = Desugar.pattern_exn "abc" in
+  let o = Dpu.run ast (String.make 40_000 'z') in
+  check_int "40KB = 3 chunks" 3 o.Dpu.chunks;
+  check "simple rule at line rate" true (o.Dpu.state_factor = 1.0)
+
+let test_dpu_state_factor () =
+  check "small automaton unpenalised" true (Dpu.state_factor ~nfa_states:8 = 1.0);
+  check "monotone" true
+    (Dpu.state_factor ~nfa_states:100 < Dpu.state_factor ~nfa_states:300);
+  check "superlinear" true
+    (Dpu.state_factor ~nfa_states:240
+     > 2.0 *. Dpu.state_factor ~nfa_states:120)
+
+let test_dpu_boundary_loss () =
+  (* a match straddling a 16 KiB chunk boundary is lost — the documented
+     RXP chunking artefact the paper works under *)
+  let ast = Desugar.pattern_exn "needle" in
+  let size = (2 * 16384) + 100 in
+  let buf = Bytes.make size 'z' in
+  Bytes.blit_string "needle" 0 buf (16384 - 3) 6;
+  Bytes.blit_string "needle" 0 buf 100 6;
+  let o = Dpu.run ast (Bytes.to_string buf) in
+  check_int "only the in-chunk match is seen" 1 o.Dpu.run.Measure.match_count
+
+(* --- GPU ----------------------------------------------------------------------- *)
+
+let test_gpu_pricing () =
+  let ast = Desugar.pattern_exn "[ab]{2,8}c" in
+  let outcomes = Gpu.run_both ast (String.sub input_text 0 2048) in
+  let infant = List.assoc Gpu.Infant outcomes in
+  let obat = List.assoc Gpu.Obat outcomes in
+  check "iNFAnt slower than OBAT" true
+    (infant.Gpu.run.Measure.seconds > obat.Gpu.run.Measure.seconds);
+  check "same matches" true
+    (infant.Gpu.run.Measure.match_count = obat.Gpu.run.Measure.match_count);
+  check "states reported" true (infant.Gpu.nfa_states > 0);
+  check "run selects algorithm" true
+    ((Gpu.run Gpu.Obat ast (String.sub input_text 0 2048)).Gpu.run.Measure.seconds
+     = obat.Gpu.run.Measure.seconds)
+
+(* --- ALVEARE FPGA wrapper --------------------------------------------------------- *)
+
+let test_fpga_wrapper () =
+  let c = Compile.compile_exn "ab+c" in
+  let input = String.sub input_text 0 4096 in
+  let o1 = Alveare_fpga.run ~cores:1 c.Compile.program input in
+  let o10 = Alveare_fpga.run ~cores:10 c.Compile.program input in
+  check "10 cores no slower" true
+    (o10.Alveare_fpga.wall_cycles <= o1.Alveare_fpga.wall_cycles);
+  check "dispatch overhead present" true
+    (List.mem_assoc "dispatch" o1.Alveare_fpga.run.Measure.components);
+  check "11 cores rejected (does not fit)" true
+    (try ignore (Alveare_fpga.run ~cores:11 c.Compile.program input); false
+     with Invalid_argument _ -> true)
+
+let test_fpga_matches_simulator () =
+  let c = Compile.compile_exn "ab" in
+  let input = "xxabyyabzz" in
+  let o = Alveare_fpga.run ~cores:2 ~overlap:4 c.Compile.program input in
+  check_int "match count" 2 o.Alveare_fpga.run.Measure.match_count
+
+let () =
+  Alcotest.run "platform"
+    [ ( "energy",
+        [ Alcotest.test_case "powers" `Quick test_powers;
+          Alcotest.test_case "efficiency formula" `Quick
+            test_efficiency_formula ] );
+      ("area", [ Alcotest.test_case "endpoints" `Quick test_area_endpoints ]);
+      ("measure", [ Alcotest.test_case "scale" `Quick test_measure_scale ]);
+      ( "re2",
+        [ Alcotest.test_case "regimes" `Quick test_re2_regimes;
+          Alcotest.test_case "footprint ramp" `Quick test_re2_footprint_ramp;
+          Alcotest.test_case "extrapolation" `Quick test_re2_extrapolation ] );
+      ( "dpu",
+        [ Alcotest.test_case "chunking" `Quick test_dpu_chunking;
+          Alcotest.test_case "state factor" `Quick test_dpu_state_factor;
+          Alcotest.test_case "boundary loss" `Quick test_dpu_boundary_loss ] );
+      ("gpu", [ Alcotest.test_case "pricing" `Quick test_gpu_pricing ]);
+      ( "fpga",
+        [ Alcotest.test_case "wrapper" `Quick test_fpga_wrapper;
+          Alcotest.test_case "matches simulator" `Quick
+            test_fpga_matches_simulator ] ) ]

@@ -1,0 +1,111 @@
+(* Stream-runner tests: chunked results equal whole-buffer results,
+   refill-boundary handling, double-buffered cycle accounting, and
+   configuration validation. *)
+
+module Stream = Alveare_multicore.Stream_runner
+module Core = Alveare_arch.Core
+module Compile = Alveare_compiler.Compile
+module S = Alveare_engine.Semantics
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let compile pat = (Compile.compile_exn pat).Compile.program
+
+let field ~size plants =
+  let buf = Bytes.make size 'z' in
+  List.iter
+    (fun (pos, w) -> Bytes.blit_string w 0 buf pos (String.length w))
+    plants;
+  Bytes.to_string buf
+
+let test_equal_unchunked () =
+  let program = compile "ab+c" in
+  let input = field ~size:50_000 [ (5, "abc"); (20_000, "abbc"); (44_000, "abbbc") ] in
+  let whole = Core.find_all program input in
+  List.iter
+    (fun buffer_bytes ->
+       let chunked = Stream.find_all ~buffer_bytes ~overlap:64 program input in
+       check (Printf.sprintf "buffer %d" buffer_bytes) true (chunked = whole))
+    [ 1024; 4096; 16_384; 65_536; 200_000 ]
+
+let test_boundary_refill () =
+  let program = compile "needle" in
+  (* plant straddling the first refill boundary (payload = 4096-32) *)
+  let boundary = 4096 - 32 in
+  let input = field ~size:12_000 [ (boundary - 3, "needle") ] in
+  let found = Stream.find_all ~buffer_bytes:4096 ~overlap:32 program input in
+  check "boundary match found via carry" true
+    (found = [ { S.start = boundary - 3; stop = boundary + 3 } ]);
+  (* a straddler wider than the carry window is lost (documented) *)
+  let boundary2 = 4096 - 2 in
+  let input2 = field ~size:12_000 [ (boundary2 - 3, "needle") ] in
+  let lost = Stream.find_all ~buffer_bytes:4096 ~overlap:2 program input2 in
+  check "lost with tiny carry" true (lost = [])
+
+let test_chunk_count () =
+  let program = compile "x" in
+  let input = String.make 10_000 'z' in
+  let r =
+    Stream.run
+      ~config:(Stream.config ~buffer_bytes:4096 ~overlap:96 () )
+      program input
+  in
+  (* payload 4000 per chunk -> ceil(10000/4000) = 3 *)
+  check_int "chunks" 3 r.Stream.chunks;
+  check "load cycles accounted" true (r.Stream.load_cycles > 0);
+  check "wall at least compute" true
+    (r.Stream.wall_cycles >= r.Stream.compute_cycles
+     || r.Stream.wall_cycles >= r.Stream.load_cycles)
+
+let test_double_buffering () =
+  let program = compile "x" in
+  let input = String.make 65_536 'z' in
+  let r =
+    Stream.run ~config:(Stream.config ~buffer_bytes:8192 ~overlap:16 ()) program input
+  in
+  (* overlapped fills: wall below the naive compute+load sum, but at
+     least the larger of the two *)
+  check "wall < compute + load" true
+    (r.Stream.wall_cycles < r.Stream.compute_cycles + r.Stream.load_cycles);
+  check "wall >= max(compute, load)" true
+    (r.Stream.wall_cycles >= max r.Stream.compute_cycles r.Stream.load_cycles)
+
+let test_empty_stream () =
+  let program = compile "a*" in
+  let r = Stream.run ~config:(Stream.config ()) program "" in
+  check "nullable matches empty stream" true
+    (r.Stream.matches = [ { S.start = 0; stop = 0 } ]);
+  check_int "one chunk" 1 r.Stream.chunks
+
+let test_multicore_chunks () =
+  let program = compile "ab" in
+  let input = field ~size:30_000 [ (100, "ab"); (15_000, "ab"); (29_000, "ab") ] in
+  let single = Stream.find_all ~buffer_bytes:8192 ~overlap:8 program input in
+  let multi =
+    (Stream.run
+       ~config:(Stream.config ~buffer_bytes:8192 ~overlap:8 ~cores:4 ())
+       program input)
+      .Stream.matches
+  in
+  check "4-core chunked equals 1-core chunked" true (single = multi)
+
+let test_config_validation () =
+  let bad f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check "zero buffer" true (bad (fun () -> Stream.config ~buffer_bytes:0 ()));
+  check "negative overlap" true (bad (fun () -> Stream.config ~overlap:(-1) ()));
+  check "overlap >= buffer" true
+    (bad (fun () -> Stream.config ~buffer_bytes:64 ~overlap:64 ()))
+
+let () =
+  Alcotest.run "stream"
+    [ ( "chunking",
+        [ Alcotest.test_case "equal unchunked" `Quick test_equal_unchunked;
+          Alcotest.test_case "boundary refill" `Quick test_boundary_refill;
+          Alcotest.test_case "chunk count" `Quick test_chunk_count;
+          Alcotest.test_case "multicore chunks" `Quick test_multicore_chunks;
+          Alcotest.test_case "empty stream" `Quick test_empty_stream ] );
+      ( "cycles",
+        [ Alcotest.test_case "double buffering" `Quick test_double_buffering ] );
+      ( "config",
+        [ Alcotest.test_case "validation" `Quick test_config_validation ] ) ]

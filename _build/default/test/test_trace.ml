@@ -1,0 +1,111 @@
+(* Tracer + VCD tests: event-stream consistency with the statistics
+   counters, event ordering, limits, and VCD structural validity. *)
+
+module Core = Alveare_arch.Core
+module Trace = Alveare_arch.Trace
+module Vcd = Alveare_arch.Vcd
+module Compile = Alveare_compiler.Compile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let traced pat input =
+  let c = Compile.compile_exn pat in
+  let trace = Trace.create () in
+  let stats = Core.fresh_stats () in
+  let matches = Core.find_all ~trace ~stats c.Compile.program input in
+  (trace, stats, matches)
+
+let count_kind trace pred =
+  List.length (List.filter (fun e -> pred e.Trace.kind) (Trace.events trace))
+
+let test_events_match_stats () =
+  let trace, stats, matches = traced "a+b" "xaabxaacab" in
+  let is_instr = function
+    | Trace.Exec_base _ | Trace.Exec_open | Trace.Exec_close _ | Trace.Exec_eor ->
+      true
+    | Trace.Rollback | Trace.Scan_skip _ | Trace.Attempt_start -> false
+  in
+  check_int "instruction events = stats.instructions" stats.Core.instructions
+    (count_kind trace is_instr);
+  check_int "rollback events = stats.rollbacks" stats.Core.rollbacks
+    (count_kind trace (function Trace.Rollback -> true | _ -> false));
+  check_int "attempt events = stats.attempts" stats.Core.attempts
+    (count_kind trace (function Trace.Attempt_start -> true | _ -> false));
+  check_int "eor events = matches" (List.length matches)
+    (count_kind trace (function Trace.Exec_eor -> true | _ -> false))
+
+let test_cycles_monotone () =
+  let trace, _, _ = traced "(ab|a)+c" "ababac abac" in
+  let cycles = List.map (fun e -> e.Trace.cycle) (Trace.events trace) in
+  check "monotone non-decreasing" true
+    (List.for_all2 ( <= ) cycles (List.tl cycles @ [ max_int ]))
+
+let test_scan_skip_recorded () =
+  let trace, stats, _ = traced "needle" (String.make 1000 'z' ^ "needle") in
+  let skipped =
+    List.fold_left
+      (fun acc e ->
+         match e.Trace.kind with Trace.Scan_skip n -> acc + n | _ -> acc)
+      0 (Trace.events trace)
+  in
+  check "skips recorded" true (skipped >= 990);
+  check "scan cycles accounted" true (stats.Core.scan_cycles > 0)
+
+let test_trace_limit () =
+  let c = Compile.compile_exn "a" in
+  let trace = Trace.create ~limit:5 () in
+  ignore (Core.find_all ~trace c.Compile.program (String.make 100 'a'));
+  check_int "limited" 5 (Trace.length trace);
+  check "reports truncation" true (Trace.truncated trace)
+
+let test_pp () =
+  let trace, _, _ = traced "ab" "zab" in
+  let text = Fmt.str "%a" Trace.pp trace in
+  check "mentions eor" true (contains text "EOR");
+  check "mentions attempt" true (contains text "attempt")
+
+let test_vcd_structure () =
+  let trace, _, _ = traced "a+b" "xaab" in
+  let vcd = Vcd.to_string trace in
+  List.iter
+    (fun needle ->
+       if not (contains vcd needle) then Alcotest.failf "missing %S" needle)
+    [ "$timescale 1ps $end"; "$var wire 16 ! pc"; "$var wire 1 % match";
+      "$enddefinitions $end"; "$dumpvars" ];
+  (* one timestamp per event, scaled by the 300 MHz period *)
+  let ev = List.rev (Trace.events trace) in
+  let last_cycle = (List.hd ev).Trace.cycle in
+  check "last timestamp present" true
+    (contains vcd (Printf.sprintf "#%d" (last_cycle * Vcd.ps_per_cycle)));
+  (* a match pulse must appear *)
+  check "match pulse" true (contains vcd "1%")
+
+let test_vcd_file () =
+  let trace, _, _ = traced "ab" "ab" in
+  let path = Filename.temp_file "alveare" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Vcd.write_file path trace;
+       let ic = open_in path in
+       let len = in_channel_length ic in
+       close_in ic;
+       check "non-empty file" true (len > 100))
+
+let () =
+  Alcotest.run "trace"
+    [ ( "trace",
+        [ Alcotest.test_case "events match stats" `Quick test_events_match_stats;
+          Alcotest.test_case "cycles monotone" `Quick test_cycles_monotone;
+          Alcotest.test_case "scan skips" `Quick test_scan_skip_recorded;
+          Alcotest.test_case "limit" `Quick test_trace_limit;
+          Alcotest.test_case "pretty print" `Quick test_pp ] );
+      ( "vcd",
+        [ Alcotest.test_case "structure" `Quick test_vcd_structure;
+          Alcotest.test_case "file output" `Quick test_vcd_file ] ) ]

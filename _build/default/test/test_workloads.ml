@@ -1,0 +1,225 @@
+(* Workload-generation tests: PRNG determinism, the match sampler,
+   pattern-set generators (all three suites), stream planting, and suite
+   assembly reproducibility. *)
+
+module Rng = Alveare_workloads.Rng
+module Sampler = Alveare_workloads.Sampler
+module Streams = Alveare_workloads.Streams
+module Benchmark = Alveare_workloads.Benchmark
+module Microbench = Alveare_workloads.Microbench
+module Compile = Alveare_compiler.Compile
+module Backtrack = Alveare_engine.Backtrack
+module Desugar = Alveare_frontend.Desugar
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- RNG ---------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let seq seed = List.init 20 (fun _ -> Rng.int (Rng.create seed) 1000) in
+  let a = List.init 20 (fun _ -> ()) |> fun _ ->
+    let r = Rng.create 123 in
+    List.init 20 (fun _ -> Rng.int r 1000)
+  in
+  let b =
+    let r = Rng.create 123 in
+    List.init 20 (fun _ -> Rng.int r 1000)
+  in
+  check "same seed same sequence" true (a = b);
+  ignore seq;
+  let c =
+    let r = Rng.create 124 in
+    List.init 20 (fun _ -> Rng.int r 1000)
+  in
+  check "different seed differs" true (a <> c)
+
+let test_rng_bounds () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds";
+    let w = Rng.range r 3 9 in
+    if w < 3 || w > 9 then Alcotest.fail "range out of bounds"
+  done;
+  check "bound 0 rejected" true
+    (try ignore (Rng.int r 0); false with Invalid_argument _ -> true);
+  check "empty pick rejected" true
+    (try ignore (Rng.pick r []); false with Invalid_argument _ -> true)
+
+let test_rng_copy () =
+  let r = Rng.create 9 in
+  ignore (Rng.int r 100);
+  let r' = Rng.copy r in
+  check "copy diverges independently" true (Rng.int r 1000 = Rng.int r' 1000)
+
+let test_rng_shuffle_sample () =
+  let r = Rng.create 11 in
+  let items = [ 1; 2; 3; 4; 5 ] in
+  check "shuffle is a permutation" true
+    (List.sort compare (Rng.shuffle r items) = items);
+  let sample = Rng.sample_without_replacement r 3 items in
+  check_int "sample size" 3 (List.length sample);
+  check "sample distinct" true
+    (List.length (List.sort_uniq compare sample) = 3);
+  check "oversample rejected" true
+    (try ignore (Rng.sample_without_replacement r 9 items); false
+     with Invalid_argument _ -> true)
+
+(* --- Sampler ---------------------------------------------------------------- *)
+
+let test_sampler_witnesses_match () =
+  let r = Rng.create 31 in
+  let patterns =
+    [ "abc"; "[a-f]{2,5}"; "(ab|cd)+x"; "a?b+c*"; "[^x]{3}"; "\\d\\d";
+      "(red|green|blue)-[0-9]{1,3}" ]
+  in
+  List.iter
+    (fun pat ->
+       let ast = Desugar.pattern_exn pat in
+       for _ = 1 to 20 do
+         let w = Sampler.sample r ast in
+         (* an anchored full-string oracle match must exist *)
+         if Backtrack.match_at ast w 0 = None && not (Backtrack.matches ast w)
+         then Alcotest.failf "witness %S does not match %s" w pat
+       done)
+    patterns
+
+let test_sampler_determinism () =
+  let sample seed = Sampler.sample_pattern (Rng.create seed) "[a-z]{4,8}" in
+  check "same seed same witness" true (String.equal (sample 4) (sample 4));
+  check "spread respected" true
+    (let r = Rng.create 8 in
+     let w = Sampler.sample ~spread:0 r (Desugar.pattern_exn "a{2,9}") in
+     String.equal w "aa")
+
+(* --- Streams ----------------------------------------------------------------- *)
+
+let test_stream_generation () =
+  let rng = Rng.create 77 in
+  let s = Streams.generate ~rng ~size:10_000 ~background:Streams.printable () in
+  check_int "size" 10_000 (String.length s.Streams.data);
+  check "no plants without plant fn" true (s.Streams.plants = [])
+
+let test_stream_plants_are_findable () =
+  let rng = Rng.create 78 in
+  let ast = Desugar.pattern_exn "needle[0-9]{1,3}" in
+  let s =
+    Streams.generate ~rng ~size:32_768 ~background:Streams.lowercase_text
+      ~plant:(Streams.plant_of_patterns ~asts:[ ast ])
+      ~plant_every:4096 ()
+  in
+  check "plants exist" true (List.length s.Streams.plants >= 4);
+  let program = (Compile.compile_exn "needle[0-9]{1,3}").Compile.program in
+  let found = Alveare_arch.Core.find_all program s.Streams.data in
+  List.iter
+    (fun (p : Streams.plant) ->
+       if
+         not
+           (List.exists
+              (fun (m : Alveare_engine.Semantics.span) ->
+                 m.start = p.position)
+              found)
+       then Alcotest.failf "plant at %d not found" p.position)
+    s.Streams.plants
+
+let test_backgrounds_in_range () =
+  let rng = Rng.create 79 in
+  for _ = 1 to 2000 do
+    let c = Streams.protein rng in
+    if not (String.contains Streams.amino_acids c) then
+      Alcotest.fail "protein background out of alphabet";
+    let p = Streams.printable rng in
+    if Char.code p < 0x20 || Char.code p > 0x7e then
+      Alcotest.fail "printable background out of range"
+  done;
+  check "binary covers high bytes" true
+    (let r = Rng.create 80 in
+     let rec go n = n > 0 && (Char.code (Streams.binary r) > 127 || go (n - 1)) in
+     go 200)
+
+(* --- Pattern generators --------------------------------------------------------- *)
+
+let test_generators_compile () =
+  List.iter
+    (fun kind ->
+       let rng = Rng.create 99 in
+       let gen, _ = match kind with
+         | Benchmark.Powren -> (Alveare_workloads.Powren.patterns, ())
+         | Benchmark.Protomata -> (Alveare_workloads.Protomata.patterns, ())
+         | Benchmark.Snort -> (Alveare_workloads.Snort.patterns, ())
+       in
+       let pats = gen rng 40 in
+       check_int (Benchmark.kind_name kind ^ " count") 40 (List.length pats);
+       List.iter
+         (fun p ->
+            match Compile.compile p with
+            | Ok _ -> ()
+            | Error e ->
+              Alcotest.failf "%s pattern %S: %s" (Benchmark.kind_name kind) p
+                (Compile.error_message e))
+         pats)
+    Benchmark.all_kinds
+
+let test_generator_determinism () =
+  let pats seed = Alveare_workloads.Snort.patterns (Rng.create seed) 10 in
+  check "same seed" true (pats 5 = pats 5);
+  check "different seed" true (pats 5 <> pats 6)
+
+(* --- Benchmark suites ---------------------------------------------------------- *)
+
+let test_suite_load () =
+  let spec =
+    { (Benchmark.quick_spec Benchmark.Powren) with
+      Benchmark.n_patterns = 10;
+      stream_bytes = 32 * 1024 }
+  in
+  let suite = Benchmark.load spec in
+  check_int "patterns" 10 (List.length suite.Benchmark.patterns);
+  check_int "asts" 10 (List.length suite.Benchmark.asts);
+  check_int "stream size" (32 * 1024)
+    (String.length suite.Benchmark.stream.Streams.data);
+  check "plants planted" true
+    (List.length suite.Benchmark.stream.Streams.plants > 0);
+  (* reproducibility *)
+  let suite' = Benchmark.load spec in
+  check "reproducible" true
+    (suite.Benchmark.patterns = suite'.Benchmark.patterns
+     && String.equal suite.Benchmark.stream.Streams.data
+          suite'.Benchmark.stream.Streams.data)
+
+let test_microbench_table () =
+  check_int "four rows" 4 (List.length Microbench.table2);
+  List.iter
+    (fun (e : Microbench.entry) ->
+       match Compile.compile e.Microbench.pattern with
+       | Ok c ->
+         check_int (e.Microbench.pattern ^ " advanced")
+           e.Microbench.paper_advanced (Compile.code_size c)
+       | Error err ->
+         Alcotest.failf "%s: %s" e.Microbench.pattern
+           (Compile.error_message err))
+    Microbench.table2
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "shuffle/sample" `Quick test_rng_shuffle_sample ] );
+      ( "sampler",
+        [ Alcotest.test_case "witnesses match" `Quick
+            test_sampler_witnesses_match;
+          Alcotest.test_case "determinism" `Quick test_sampler_determinism ] );
+      ( "streams",
+        [ Alcotest.test_case "generation" `Quick test_stream_generation;
+          Alcotest.test_case "plants findable" `Quick
+            test_stream_plants_are_findable;
+          Alcotest.test_case "backgrounds" `Quick test_backgrounds_in_range ] );
+      ( "generators",
+        [ Alcotest.test_case "compile" `Quick test_generators_compile;
+          Alcotest.test_case "determinism" `Quick test_generator_determinism ] );
+      ( "suites",
+        [ Alcotest.test_case "load" `Quick test_suite_load;
+          Alcotest.test_case "microbench table" `Quick test_microbench_table ] ) ]
