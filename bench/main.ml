@@ -3,9 +3,12 @@
    area model), measuring the wall-clock cost of regenerating each one
    at a reduced scale — then a full quick-scale regeneration of every
    table so the run also reproduces the paper's rows (bench_output.txt
-   carries both).
+   carries both). Timings are also written as machine-readable JSON
+   (name -> ns/run) to bench_output.json so the perf trajectory can be
+   tracked across PRs.
 
      dune exec bench/main.exe
+     dune exec bench/main.exe -- --workers 4   # parallel regeneration
 *)
 
 open Bechamel
@@ -15,6 +18,20 @@ module A = Alveare_harness.Ablation
 module X = Alveare_harness.Extended
 module T = Alveare_harness.Table
 module Benchmark_suite = Alveare_workloads.Benchmark
+
+let workers = ref 1
+let json_path = ref "bench_output.json"
+
+let () =
+  Arg.parse
+    [ ("--workers", Arg.Set_int workers,
+       "N  host domains for the regeneration pass (results identical; \
+        wall-clock only)");
+      ("--json", Arg.Set_string json_path,
+       "FILE  where to write the machine-readable timings (default \
+        bench_output.json)") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--workers N] [--json FILE]"
 
 (* A very small evaluation scale so each bechamel iteration is cheap. *)
 let bench_scale : E.scale =
@@ -126,16 +143,51 @@ let print_results results =
     results;
   Fmt.pr "@."
 
+(* Machine-readable sibling of the text report: {"name": ns_per_run, ...}.
+   Benchmark names are bechamel identifiers (alveare/...), so escaping
+   quotes and backslashes covers the whole JSON string grammar here. *)
+let write_json path results =
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let oc = open_out path in
+  let entries =
+    List.filter_map
+      (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ run_ns ] ->
+           Some (Printf.sprintf "  \"%s\": %.3f" (escape name) run_ns)
+         | Some _ | None -> None)
+      results
+  in
+  output_string oc "{\n";
+  output_string oc (String.concat ",\n" entries);
+  output_string oc "\n}\n";
+  close_out oc;
+  Fmt.pr "wrote %s (%d entries, ns/run)@.@." path (List.length entries)
+
 let () =
-  print_results (benchmark ());
+  let results = benchmark () in
+  print_results results;
+  write_json !json_path results;
   (* Regenerate every paper artefact at quick scale. *)
+  let workers = !workers in
   let scale = E.quick_scale () in
   T.print (E.table2_table (E.table2 ()));
-  let results = E.evaluate ~scale () in
+  let results = E.evaluate ~workers ~scale () in
   T.print (E.figure4_table results);
   T.print (E.figure5_table results);
   let scaling =
-    List.map (fun kind -> E.scaling ~scale kind) Benchmark_suite.all_kinds
+    List.map
+      (fun kind -> E.scaling ~workers ~scale kind)
+      Benchmark_suite.all_kinds
   in
   T.print (E.scaling_table scaling);
   T.print (E.area_table ());

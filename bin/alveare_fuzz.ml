@@ -1,157 +1,34 @@
 (* Standalone differential fuzzer: generates random patterns and inputs
    (seeded, reproducible) and cross-checks every engine in the repository
    against the backtracking oracle — the long-running complement to the
-   qcheck properties in the test suite.
+   qcheck properties and the bounded corpus in the test suite. The
+   generator and the per-case check live in test/support
+   (Alveare_test_support.{Gen_ast,Differential}) and are shared with
+   test_differential.ml, so CI and the fuzzer exercise the same oracle.
 
      alveare_fuzz --count 10000 --seed 7
      alveare_fuzz --count 500 --verbose
 *)
 
-module Compile = Alveare_compiler.Compile
-module Core = Alveare_arch.Core
-module Multicore = Alveare_multicore.Multicore
-module Stream = Alveare_multicore.Stream_runner
-module Backtrack = Alveare_engine.Backtrack
-module Pike = Alveare_engine.Pike_vm
-module Nfa = Alveare_engine.Nfa
-module Dfa = Alveare_engine.Lazy_dfa
-module Counting = Alveare_engine.Counting
-module S = Alveare_engine.Semantics
-module Rng = Alveare_workloads.Rng
+module Gen = Alveare_test_support.Gen_ast
+module Diff = Alveare_test_support.Differential
 open Cmdliner
 
-(* Random AST over a small alphabet (mirrors the test generators, but
-   self-contained so the fuzzer links only against the libraries). *)
-let alphabet = "abcdef"
-
-let rec gen_ast rng depth : Alveare_frontend.Ast.t =
-  let module Ast = Alveare_frontend.Ast in
-  if depth = 0 then
-    if Rng.bool rng then Ast.Char (Rng.char_of rng alphabet)
-    else begin
-      let lo = Rng.char_of rng alphabet in
-      let hi = Char.chr (min (Char.code 'f') (Char.code lo + Rng.int rng 3)) in
-      Ast.Class
-        { negated = Rng.chance rng 0.2;
-          set = Alveare_frontend.Charset.range lo hi }
-    end
-  else begin
-    match Rng.int rng 10 with
-    | 0 | 1 | 2 ->
-      Ast.Concat (List.init (Rng.range rng 2 3) (fun _ -> gen_ast rng (depth - 1)))
-    | 3 | 4 ->
-      Ast.Alt (List.init (Rng.range rng 2 3) (fun _ -> gen_ast rng (depth - 1)))
-    | 5 | 6 ->
-      let qmin = Rng.int rng 3 in
-      let qmax = if Rng.bool rng then None else Some (qmin + Rng.int rng 4) in
-      Ast.Repeat
-        (gen_ast rng (depth - 1),
-         { Ast.qmin; qmax; greedy = Rng.bool rng })
-    | _ -> gen_ast rng 0
-  end
-
-let gen_input rng ast =
-  let background () =
-    String.init (Rng.int rng 30) (fun _ -> Rng.char_of rng alphabet)
-  in
-  if Rng.bool rng then background ()
-  else
-    background ()
-    ^ Alveare_workloads.Sampler.sample rng ast
-    ^ background ()
-
-type failure = {
-  engine : string;
-  pattern : string;
-  input : string;
-  detail : string;
-}
-
-let show_spans spans =
-  Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) spans
-
-let check_case rng ast input : failure list =
-  let pattern = Alveare_frontend.Ast.to_pattern ast in
-  ignore rng;
-  match Compile.compile_ast ast with
-  | Error _ -> [] (* jump-field overflow: legitimately uncompilable *)
-  | Ok c ->
-    let oracle = Backtrack.find_all c.Compile.ast input in
-    let failures = ref [] in
-    let fail engine detail = failures := { engine; pattern; input; detail } :: !failures in
-    (* simulator: exact spans *)
-    let sim = Core.find_all c.Compile.program input in
-    if sim <> oracle then
-      fail "simulator" (Fmt.str "sim %s oracle %s" (show_spans sim) (show_spans oracle));
-    (* Multicore and the stream runner restart their non-overlapping scan
-       at slice boundaries, so the reported CHAIN of matches can differ
-       from the single-core chain (the paper's divide-and-conquer
-       semantics). What must hold: soundness — every reported span is the
-       anchored PCRE match at its start — and existence — a stream with
-       oracle matches yields matches (the overlap covers these inputs). *)
-    let genuine engine spans =
-      List.iter
-        (fun (sp : S.span) ->
-           match Backtrack.match_at c.Compile.ast input sp.S.start with
-           | Some stop when stop = sp.S.stop -> ()
-           | Some stop ->
-             fail engine
-               (Fmt.str "span %a but anchored match ends at %d" S.pp_span sp stop)
-           | None ->
-             fail engine (Fmt.str "span %a has no anchored match" S.pp_span sp))
-        spans
-    in
-    let complete engine spans =
-      if oracle <> [] && spans = [] then
-        fail engine "oracle matches but nothing reported"
-    in
-    let mc = Multicore.find_all ~cores:3 ~overlap:64 c.Compile.program input in
-    genuine "multicore" mc;
-    complete "multicore" mc;
-    let st = Stream.find_all ~buffer_bytes:128 ~overlap:64 c.Compile.program input in
-    genuine "stream" st;
-    complete "stream" st;
-    (* pike: existence + leftmost start *)
-    let nfa = Nfa.of_ast_exn c.Compile.ast in
-    (match Pike.search nfa input (), Backtrack.search c.Compile.ast input with
-     | None, None -> ()
-     | Some a, Some b when a.S.start = b.S.start -> ()
-     | a, b ->
-       fail "pike"
-         (Fmt.str "pike %s oracle %s"
-            (match a with Some s -> show_spans [ s ] | None -> "none")
-            (match b with Some s -> show_spans [ s ] | None -> "none")));
-    (* lazy dfa and counting: agreement on earliest end *)
-    let dfa_end = Dfa.search_end (Dfa.create nfa) input in
-    let csa_end = Counting.search_end (Counting.of_ast_exn c.Compile.ast) input in
-    if dfa_end <> csa_end then
-      fail "counting"
-        (Fmt.str "dfa %s csa %s"
-           (match dfa_end with Some e -> string_of_int e | None -> "none")
-           (match csa_end with Some e -> string_of_int e | None -> "none"));
-    !failures
-
 let run count seed verbose =
-  let rng = Rng.create seed in
-  let failures = ref [] in
-  let compiled = ref 0 in
+  let rng = Alveare_workloads.Rng.create seed in
+  let failures = ref 0 in
   for k = 1 to count do
-    let ast = Alveare_frontend.Desugar.normalize (gen_ast rng 3) in
-    let input = gen_input rng ast in
-    let fs = check_case rng ast input in
-    if fs = [] then incr compiled;
+    let ast, input = Gen.random_case rng in
     List.iter
       (fun f ->
-         failures := f :: !failures;
-         Fmt.epr "[%d] %s DIVERGES@.  pattern: %s@.  input:   %S@.  %s@." k
-           f.engine f.pattern f.input f.detail)
-      fs;
+         incr failures;
+         Fmt.epr "[%d] %a@." k Diff.pp_failure f)
+      (Diff.check_case ast input);
     if verbose && k mod 500 = 0 then
-      Fmt.pr "%d/%d cases, %d divergences@." k count (List.length !failures)
+      Fmt.pr "%d/%d cases, %d divergences@." k count !failures
   done;
-  Fmt.pr "fuzzed %d cases (seed %d): %d divergences@." count seed
-    (List.length !failures);
-  if !failures = [] then 0 else 1
+  Fmt.pr "fuzzed %d cases (seed %d): %d divergences@." count seed !failures;
+  if !failures = 0 then 0 else 1
 
 let count_arg =
   Arg.(value & opt int 2000 & info [ "count"; "n" ] ~doc:"Number of cases.")

@@ -19,16 +19,16 @@ let scale_of ~full ~seed =
 
 let run_table2 () = T.print (E.table2_table (E.table2 ()))
 
-let run_figures ~full ~seed ~fig4 ~fig5 =
-  let results = E.evaluate ~scale:(scale_of ~full ~seed) () in
+let run_figures ~full ~seed ~workers ~fig4 ~fig5 =
+  let results = E.evaluate ~workers ~scale:(scale_of ~full ~seed) () in
   if fig4 then T.print (E.figure4_table results);
   if fig5 then T.print (E.figure5_table results)
 
-let run_scaling ~full ~seed =
+let run_scaling ~full ~seed ~workers =
   let scale = scale_of ~full ~seed in
   let results =
     List.map
-      (fun kind -> E.scaling ~scale kind)
+      (fun kind -> E.scaling ~workers ~scale kind)
       Alveare_workloads.Benchmark.all_kinds
   in
   T.print (E.scaling_table results)
@@ -58,8 +58,15 @@ let full_flag =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload generator seed.")
 
+let workers_arg =
+  Arg.(value & opt int 1
+       & info [ "workers" ]
+           ~doc:"Host domains running independent simulation cells in \
+                 parallel. Results are identical for any value; only \
+                 wall-clock changes. Default 1 (sequential).")
+
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ full_flag $ seed_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ full_flag $ seed_arg $ workers_arg)
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Table 2: ISA primitive reductions.")
@@ -91,25 +98,27 @@ let extended_cmd =
     Term.(const run_extended $ const ())
 
 let figure4_cmd =
-  cmd "figure4" "Figure 4: execution time comparison." (fun full seed ->
-      run_figures ~full ~seed ~fig4:true ~fig5:false)
+  cmd "figure4" "Figure 4: execution time comparison." (fun full seed workers ->
+      run_figures ~full ~seed ~workers ~fig4:true ~fig5:false)
 
 let figure5_cmd =
-  cmd "figure5" "Figure 5: energy efficiency comparison." (fun full seed ->
-      run_figures ~full ~seed ~fig4:false ~fig5:true)
+  cmd "figure5" "Figure 5: energy efficiency comparison."
+    (fun full seed workers ->
+       run_figures ~full ~seed ~workers ~fig4:false ~fig5:true)
 
 let scaling_cmd =
-  cmd "scaling" "Multi-core scaling sweep (\xc2\xa77.2)." (fun full seed ->
-      run_scaling ~full ~seed)
+  cmd "scaling" "Multi-core scaling sweep (\xc2\xa77.2)." (fun full seed workers ->
+      run_scaling ~full ~seed ~workers)
 
 let all_cmd =
-  cmd "all" "Every table and figure, plus the ablations." (fun full seed ->
-      run_table2 ();
-      run_figures ~full ~seed ~fig4:true ~fig5:true;
-      run_scaling ~full ~seed;
-      run_area ();
-      run_ablation ();
-      run_extended ())
+  cmd "all" "Every table and figure, plus the ablations."
+    (fun full seed workers ->
+       run_table2 ();
+       run_figures ~full ~seed ~workers ~fig4:true ~fig5:true;
+       run_scaling ~full ~seed ~workers;
+       run_area ();
+       run_ablation ();
+       run_extended ())
 
 let main =
   Cmd.group

@@ -39,6 +39,11 @@ module Vcd = Alveare_arch.Vcd
 module Multicore = Alveare_multicore.Multicore
 module Stream_runner = Alveare_multicore.Stream_runner
 
+module Exec = struct
+  module Pool = Alveare_exec.Pool
+  module Cache = Alveare_exec.Cache
+end
+
 module Platform = struct
   module Calibration = Alveare_platform.Calibration
   module Measure = Alveare_platform.Measure
@@ -72,29 +77,20 @@ let compile pattern = Compile.compile pattern
 let compile_exn pattern = Compile.compile_exn pattern
 
 (* Compiled-pattern cache for the string-level helpers below: matching
-   many inputs against the same pattern should not recompile it. *)
-let cache : (string, compiled) Hashtbl.t = Hashtbl.create 16
-let cache_limit = 256
-
-let cached pattern =
-  match Hashtbl.find_opt cache pattern with
-  | Some c -> Ok c
-  | None ->
-    (match compile pattern with
-     | Error _ as e -> e
-     | Ok c ->
-       if Hashtbl.length cache >= cache_limit then Hashtbl.reset cache;
-       Hashtbl.replace cache pattern c;
-       Ok c)
+   many inputs against the same pattern should not recompile it. Uses
+   the compiler's shared thread-safe LRU, so the helpers are safe to
+   call from pooled domains and share compilations with rulesets and
+   the harness. *)
+let cached pattern = Compile.cached pattern
 
 let string_error r = Result.map_error Compile.error_message r
 
-let find_all ?(cores = 1) pattern input : (span list, string) result =
+let find_all ?(cores = 1) ?workers pattern input : (span list, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
           if cores = 1 then Core.find_all c.Compile.program input
-          else Multicore.find_all ~cores c.Compile.program input)
+          else Multicore.find_all ~cores ?workers c.Compile.program input)
        (cached pattern))
 
 let search pattern input : (span option, string) result =

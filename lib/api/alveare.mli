@@ -42,6 +42,14 @@ module Vcd = Alveare_arch.Vcd
 module Multicore = Alveare_multicore.Multicore
 module Stream_runner = Alveare_multicore.Stream_runner
 
+(** Host-parallel execution: the Domain worker pool (deterministic
+    result ordering) and the thread-safe LRU behind
+    {!Compile.cached}. *)
+module Exec : sig
+  module Pool = Alveare_exec.Pool
+  module Cache = Alveare_exec.Cache
+end
+
 module Platform : sig
   module Calibration = Alveare_platform.Calibration
   module Measure = Alveare_platform.Measure
@@ -79,9 +87,11 @@ type compiled = Compile.compiled
 val compile : string -> (compiled, Compile.error) result
 val compile_exn : string -> compiled
 
-val find_all : ?cores:int -> string -> string -> (span list, string) result
+val find_all :
+  ?cores:int -> ?workers:int -> string -> string -> (span list, string) result
 (** [find_all pattern input] — all non-overlapping matches on the
-    simulated DSA ([cores] > 1 uses the multi-core scale-out). *)
+    simulated DSA ([cores] > 1 uses the multi-core scale-out; [workers]
+    parallelises the simulated cores on host domains). *)
 
 val search : string -> string -> (span option, string) result
 (** Leftmost match. *)

@@ -38,6 +38,49 @@ let compile_exn ?options pattern =
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.compile: " ^ error_message e)
 
+(* --- Compiled-ruleset cache ------------------------------------------- *)
+
+(* Rulesets and the evaluation harness compile the same patterns over
+   and over (every engine cell of Fig. 4/5 recompiles its suite; rule
+   sets share patterns across scans). A shared thread-safe LRU keyed on
+   pattern source + compile options amortises that: RE2 shares compiled
+   Progs across threads the same way. Only successful compilations are
+   cached — errors are cheap to rediscover and keep the cache dense. *)
+
+type cache = compiled Alveare_exec.Cache.t
+
+let create_cache ?capacity () : cache = Alveare_exec.Cache.create ?capacity ()
+
+let default_cache : cache = create_cache ~capacity:1024 ()
+
+(* Key = compile options rendered unambiguously + the pattern source.
+   Every options field participates: two compilations agree on the key
+   iff they would produce the same binary. *)
+let cache_key ~(options : Alveare_ir.Lower.options) pattern =
+  Printf.sprintf "%c:%d:%b:%s"
+    (match options.Alveare_ir.Lower.mode with
+     | Alveare_ir.Lower.Advanced -> 'a'
+     | Alveare_ir.Lower.Minimal -> 'm')
+    options.Alveare_ir.Lower.alphabet_size options.Alveare_ir.Lower.optimize
+    pattern
+
+let cached ?(cache = default_cache) ?(options = Alveare_ir.Lower.default_options)
+    pattern : (compiled, error) result =
+  let key = cache_key ~options pattern in
+  match Alveare_exec.Cache.find_opt cache key with
+  | Some c -> Ok c
+  | None ->
+    (match compile ~options pattern with
+     | Ok c -> Alveare_exec.Cache.add cache key c; Ok c
+     | Error _ as e -> e)
+
+let cached_exn ?cache ?options pattern =
+  match cached ?cache ?options pattern with
+  | Ok c -> c
+  | Error e -> invalid_arg ("Compile.cached: " ^ error_message e)
+
+let cache_stats (cache : cache) = Alveare_exec.Cache.stats cache
+
 (* Code size as in Table 2: instructions excluding the EoR terminator. *)
 let code_size c = Alveare_isa.Program.code_size c.program
 

@@ -25,6 +25,35 @@ val compile_ast :
 
 val compile_exn : ?options:Alveare_ir.Lower.options -> string -> compiled
 
+(** {2 Compiled-pattern cache}
+
+    Thread-safe LRU over compiled programs, keyed on pattern source +
+    compile options, so rule sets and the evaluation harness stop
+    recompiling identical patterns. A cached compilation is the very
+    value an uncached one would produce (same binary, byte for byte). *)
+
+type cache = compiled Alveare_exec.Cache.t
+
+val create_cache : ?capacity:int -> unit -> cache
+
+val default_cache : cache
+(** Process-wide shared cache (capacity 1024) used when [?cache] is
+    omitted. Safe to use from multiple domains. *)
+
+val cached :
+  ?cache:cache ->
+  ?options:Alveare_ir.Lower.options ->
+  string ->
+  (compiled, error) result
+(** Like {!compile}, but consults [cache] first. Only successful
+    compilations are cached; errors always recompile. *)
+
+val cached_exn :
+  ?cache:cache -> ?options:Alveare_ir.Lower.options -> string -> compiled
+
+val cache_stats : cache -> Alveare_exec.Cache.stats
+(** Hit/miss/eviction counters and current occupancy. *)
+
 val code_size : compiled -> int
 (** Instructions excluding EoR (Table 2 metric). *)
 

@@ -32,13 +32,16 @@ type compile_error = {
   reason : string;
 }
 
-let compile ?(options = Alveare_ir.Lower.default_options)
+let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
     (specs : (string * string) list) : (t, compile_error list) result =
+  (* Rules compile independently, so the host pool fans them out; the
+     shared compile cache (thread-safe) deduplicates repeated patterns
+     across rules and across rulesets. *)
   let results =
-    List.mapi
-      (fun id (tag, pattern) ->
+    Alveare_exec.Pool.map_list ?workers
+      (fun (id, (tag, pattern)) ->
          let rule = { id; tag; pattern } in
-         match Compile.compile ~options pattern with
+         match Compile.cached ?cache ~options pattern with
          | Ok compiled ->
            Ok
              { rule;
@@ -47,7 +50,7 @@ let compile ?(options = Alveare_ir.Lower.default_options)
                  Multicore.overlap_for_ast compiled.Compile.ast }
          | Error e ->
            Error { failed_rule = rule; reason = Compile.error_message e })
-      specs
+      (List.mapi (fun id spec -> (id, spec)) specs)
   in
   let failures =
     List.filter_map (function Error e -> Some e | Ok _ -> None) results
@@ -59,8 +62,8 @@ let compile ?(options = Alveare_ir.Lower.default_options)
           Array.of_list
             (List.filter_map (function Ok r -> Some r | Error _ -> None) results) }
 
-let compile_exn ?options specs =
-  match compile ?options specs with
+let compile_exn ?options ?cache ?workers specs =
+  match compile ?options ?cache ?workers specs with
   | Ok t -> t
   | Error (e :: _) ->
     invalid_arg
@@ -91,32 +94,39 @@ type report = {
 
 (* Scan the stream through every rule. Rules run one after another on the
    DSA (the instruction memory holds one compiled RE at a time, §6), so
-   total time sums per-rule wall cycles plus one dispatch per rule. *)
-let scan ?(cores = 1) (t : t) (input : string) : report =
-  let hits = ref [] in
-  let total = ref 0 in
-  let per_rule = ref [] in
-  Array.iter
-    (fun r ->
-       let config =
-         Multicore.config ~cores ~overlap:r.overlap ()
-       in
-       let result = Multicore.run ~config r.compiled.Compile.program input in
-       total := !total + result.Multicore.cycles;
-       per_rule := (r.rule.id, result.Multicore.cycles) :: !per_rule;
-       List.iter
-         (fun span -> hits := { hit_rule = r.rule; span } :: !hits)
-         result.Multicore.matches)
-    t.rules;
+   total time sums per-rule wall cycles plus one dispatch per rule — the
+   modelled DSA cost is unchanged by [workers], which only parallelises
+   the host-side simulation of the independent per-rule runs. Per-rule
+   results are folded back in rule order, so hits and cycle accounting
+   are identical to the sequential scan. *)
+let scan ?(cores = 1) ?workers (t : t) (input : string) : report =
+  let per_rule_results =
+    Alveare_exec.Pool.map ?workers
+      (fun r ->
+         let config = Multicore.config ~cores ~overlap:r.overlap () in
+         let result = Multicore.run ~config r.compiled.Compile.program input in
+         (r.rule, result.Multicore.cycles, result.Multicore.matches))
+      t.rules
+  in
+  let hits =
+    Array.to_list per_rule_results
+    |> List.concat_map (fun (rule, _, matches) ->
+        List.map (fun span -> { hit_rule = rule; span }) matches)
+  in
+  let total =
+    Array.fold_left (fun acc (_, cycles, _) -> acc + cycles) 0 per_rule_results
+  in
   let seconds =
-    (float_of_int !total /. Alveare_platform.Calibration.alveare_clock_hz)
+    (float_of_int total /. Alveare_platform.Calibration.alveare_clock_hz)
     +. (float_of_int (size t)
         *. Alveare_platform.Calibration.alveare_job_overhead_s)
   in
-  { hits = List.rev !hits;
-    total_wall_cycles = !total;
+  { hits;
+    total_wall_cycles = total;
     seconds;
-    per_rule_cycles = List.rev !per_rule }
+    per_rule_cycles =
+      Array.to_list
+        (Array.map (fun (rule, cycles, _) -> (rule.id, cycles)) per_rule_results) }
 
 let hits_for report id =
   List.filter (fun h -> h.hit_rule.id = id) report.hits

@@ -1,0 +1,120 @@
+(* Thread-safe LRU cache, string-keyed.
+
+   Built for the compiled-ruleset use case (Compile.cached): many
+   domains looking up a few hundred distinct patterns, where the cached
+   value is immutable once produced. A mutex guards the table and the
+   counters; recency is a per-entry stamp from a global tick, and
+   eviction removes the least-recently-used entry (minimum stamp — an
+   O(capacity) scan, negligible next to a compilation).
+
+   [find_or_add] computes the value OUTSIDE the lock, so a slow producer
+   never serialises lookups of other keys. Two domains missing the same
+   key concurrently may both compute it (both count as misses, last
+   write wins) — benign duplicated work, never a torn value, and the
+   counter invariant [hits + misses = lookups] always holds. *)
+
+type 'a entry = {
+  value : 'a;
+  mutable stamp : int;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  { capacity;
+    table = Hashtbl.create capacity;
+    lock = Mutex.create ();
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0 }
+
+let capacity (t : _ t) = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+(* Both called with the lock held. *)
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun key entry acc ->
+         match acc with
+         | Some (_, best) when best.stamp <= entry.stamp -> acc
+         | _ -> Some (key, entry))
+      t.table None
+  in
+  match victim with
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+  | None -> ()
+
+let find_opt t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+        t.hits <- t.hits + 1;
+        touch t entry;
+        Some entry.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let add t key value =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+        (* replace in place: no eviction, recency refreshed *)
+        touch t entry;
+        Hashtbl.replace t.table key { value; stamp = entry.stamp }
+      | None ->
+        if Hashtbl.length t.table >= t.capacity then evict_lru t;
+        let entry = { value; stamp = 0 } in
+        touch t entry;
+        Hashtbl.replace t.table key entry)
+
+let find_or_add t key produce =
+  match find_opt t key with
+  | Some v -> v
+  | None ->
+    let v = produce key in
+    add t key v;
+    v
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.tick <- 0)
+
+let stats t =
+  locked t (fun () ->
+      { hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.capacity })

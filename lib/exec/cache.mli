@@ -1,0 +1,41 @@
+(** Thread-safe LRU cache with hit/miss/eviction counters.
+
+    String-keyed, bounded at [capacity] entries; inserting into a full
+    cache evicts the least-recently-used entry ([find_opt] and [add]
+    both refresh recency). Safe for concurrent use from multiple
+    domains: a mutex guards all state, and [hits + misses] always equals
+    the number of lookups performed.
+
+    [find_or_add] runs the producer outside the lock — concurrent misses
+    of the same key may compute it twice (last write wins), which is
+    benign for immutable values like compiled programs. Counters only
+    ever reflect completed operations; [clear] drops entries but keeps
+    the counters (they describe the cache's lifetime). *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : ?capacity:int -> unit -> 'a t
+(** Default capacity 256. Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find_opt : 'a t -> string -> 'a option
+(** Counts a hit or a miss; a hit refreshes recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; inserting into a full cache evicts the LRU entry. *)
+
+val find_or_add : 'a t -> string -> (string -> 'a) -> 'a
+(** [find_opt] then, on miss, [produce key] (outside the lock) + [add]. *)
+
+val clear : 'a t -> unit
+val stats : 'a t -> stats

@@ -1,0 +1,59 @@
+(* Host-parallel execution: a fixed-size Domain-based worker pool with
+   deterministic result ordering.
+
+   The simulator, rule sets and the evaluation harness are dominated by
+   embarrassingly parallel loops (per-core simulations, per-rule scans,
+   per-engine cells); each call here fans one such loop out over OCaml 5
+   domains. Tasks are claimed from a shared atomic counter (work
+   stealing, so unequal task costs balance) but every result is written
+   to its input index, so the output is byte-identical to the sequential
+   map regardless of the worker count or scheduling — the invariant the
+   determinism test battery in test_exec.ml locks down.
+
+   [workers <= 1] (the default) never spawns a domain: parallelism is
+   strictly opt-in and the sequential path stays the reference. *)
+
+let default_workers () = Domain.recommended_domain_count ()
+
+exception Task_error of int * exn
+(* internal marker: task [i] raised; unwrapped before re-raising *)
+
+let map ?(workers = 1) f (xs : 'a array) : 'b array =
+  let n = Array.length xs in
+  if workers <= 1 || n <= 1 then Array.map f xs
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* the calling domain participates, so [workers] is the total
+       parallelism, not the number of extra domains *)
+    let spawned = min workers n - 1 in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    (* re-raise the lowest-index failure, as the sequential map would *)
+    Array.iteri
+      (fun i r -> match r with Some (Error e) -> raise (Task_error (i, e)) | _ -> ())
+      results;
+    Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  end
+
+let map ?workers f xs =
+  try map ?workers f xs with Task_error (_, e) -> raise e
+
+let init ?workers n f =
+  if n < 0 then invalid_arg "Pool.init: negative length";
+  map ?workers f (Array.init n (fun i -> i))
+
+let map_list ?workers f xs = Array.to_list (map ?workers f (Array.of_list xs))
+
+let run ?workers thunks = map_list ?workers (fun t -> t ()) thunks

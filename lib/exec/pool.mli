@@ -1,0 +1,22 @@
+(** Fixed-size [Domain]-based worker pool with deterministic result
+    ordering: for any [workers], every function here returns exactly
+    what its sequential counterpart would ([map f] = [Array.map f],
+    element for element). Tasks are claimed dynamically so unequal task
+    costs load-balance; results are placed by input index.
+
+    [workers <= 1] (the default) runs sequentially in the calling domain
+    and never spawns. With [workers > 1] the calling domain participates,
+    so [workers] is the total parallelism. If a task raises, the
+    lowest-index exception is re-raised after all domains join.
+
+    Tasks must not share unsynchronised mutable state — the repository's
+    simulators and compilers allocate per-call state only, which is what
+    makes routing them through here safe. *)
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
+val init : ?workers:int -> int -> (int -> 'a) -> 'a array
+val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+val run : ?workers:int -> (unit -> 'a) list -> 'a list

@@ -146,38 +146,51 @@ let seconds_of_engine ~scale ~stream engine (c : Compile.compiled) =
     (o.Fpga.run.Alveare_platform.Measure.seconds,
      o.Fpga.run.Alveare_platform.Measure.match_count)
 
-let evaluate_benchmark ?(engines = figure_engines) ~scale kind
+let evaluate_benchmark ?(workers = 1) ?(engines = figure_engines) ~scale kind
   : benchmark_result =
   let suite = Benchmark.load (scale.suite_spec kind) in
   let stream = suite.Benchmark.stream.Alveare_workloads.Streams.data in
   let compiled =
     List.filter_map
-      (fun p -> Result.to_option (Compile.compile p))
+      (fun p -> Result.to_option (Compile.cached p))
       suite.Benchmark.patterns
   in
   let n = List.length compiled in
-  let per_engine engine =
-    let total_seconds, total_matches =
-      List.fold_left
-        (fun (ts, tm) c ->
-           let s, m = seconds_of_engine ~scale ~stream engine c in
-           (ts +. s, tm + m))
-        (0.0, 0) compiled
-    in
-    let avg_seconds = total_seconds /. float_of_int (max 1 n) in
+  (* Every (engine, pattern) cell is an independent simulation, so the
+     whole suite fans out over one flat task array — finer grain than
+     per-engine tasks, which would leave the pool idle behind the
+     slowest engine. Per-engine totals are then folded in the original
+     pattern order, so the float sums (and hence every table row) are
+     byte-identical to the sequential sweep. *)
+  let compiled = Array.of_list compiled in
+  let engines = Array.of_list engines in
+  let cells =
+    Alveare_exec.Pool.init ~workers (Array.length engines * n) (fun i ->
+        let engine = engines.(i / n) in
+        seconds_of_engine ~scale ~stream engine compiled.(i mod n))
+  in
+  let per_engine e_idx =
+    let engine = engines.(e_idx) in
+    let total_seconds = ref 0.0 and total_matches = ref 0 in
+    for p = 0 to n - 1 do
+      let s, m = cells.((e_idx * n) + p) in
+      total_seconds := !total_seconds +. s;
+      total_matches := !total_matches + m
+    done;
+    let avg_seconds = !total_seconds /. float_of_int (max 1 n) in
     { engine;
       avg_seconds;
       avg_efficiency =
         Energy.efficiency ~seconds:avg_seconds (engine_platform engine);
-      total_matches }
+      total_matches = !total_matches }
   in
   { benchmark = kind;
     n_patterns = n;
     stream_bytes = String.length stream;
-    engines = List.map per_engine engines }
+    engines = List.init (Array.length engines) per_engine }
 
-let evaluate ?engines ~scale () : benchmark_result list =
-  List.map (evaluate_benchmark ?engines ~scale) Benchmark.all_kinds
+let evaluate ?workers ?engines ~scale () : benchmark_result list =
+  List.map (evaluate_benchmark ?workers ?engines ~scale) Benchmark.all_kinds
 
 let result_for results kind engine =
   let b = List.find (fun r -> r.benchmark = kind) results in
@@ -263,9 +276,10 @@ type scaling_result = {
   points : scaling_point list;
 }
 
-let scaling ?(core_counts = [ 1; 2; 4; 6; 8; 10 ]) ~scale kind : scaling_result =
+let scaling ?workers ?(core_counts = [ 1; 2; 4; 6; 8; 10 ]) ~scale kind
+  : scaling_result =
   let engines = List.map (fun c -> E_alveare c) core_counts in
-  let r = evaluate_benchmark ~engines ~scale kind in
+  let r = evaluate_benchmark ?workers ~engines ~scale kind in
   let time c =
     (List.find (fun e -> e.engine = E_alveare c) r.engines).avg_seconds
   in

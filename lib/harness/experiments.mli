@@ -59,10 +59,17 @@ type benchmark_result = {
 }
 
 val evaluate_benchmark :
-  ?engines:engine list -> scale:scale ->
+  ?workers:int -> ?engines:engine list -> scale:scale ->
   Alveare_workloads.Benchmark.kind -> benchmark_result
+(** [workers] fans the independent (engine, pattern) cells out over host
+    domains ({!Alveare_exec.Pool}); per-engine totals are folded in the
+    original pattern order, so results are byte-identical to the
+    sequential sweep for any value. Patterns compile through the shared
+    {!Alveare_compiler.Compile.default_cache}. *)
 
-val evaluate : ?engines:engine list -> scale:scale -> unit -> benchmark_result list
+val evaluate :
+  ?workers:int -> ?engines:engine list -> scale:scale -> unit ->
+  benchmark_result list
 (** All three suites. *)
 
 val result_for :
@@ -91,7 +98,7 @@ type scaling_result = {
 }
 
 val scaling :
-  ?core_counts:int list -> scale:scale ->
+  ?workers:int -> ?core_counts:int list -> scale:scale ->
   Alveare_workloads.Benchmark.kind -> scaling_result
 
 val scaling_table : scaling_result list -> Table.t

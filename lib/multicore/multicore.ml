@@ -48,13 +48,19 @@ type result = {
   per_core : core_result array;
 }
 
-let run ~config (program : Alveare_isa.Program.t) (input : string) : result =
+let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
+    (input : string) : result =
   Alveare_isa.Program.validate_exn program;
   let n = String.length input in
   let cores = config.cores in
   let slice = (n + cores - 1) / cores in
+  (* The simulated cores are independent (private memories, disjoint
+     owned regions), so the host runs them on a Domain pool. Each task
+     allocates its own stats and only reads [program]/[input]; results
+     land at their core index, so any [workers] count reproduces the
+     sequential run exactly. *)
   let per_core =
-    Array.init cores (fun k ->
+    Alveare_exec.Pool.init ~workers cores (fun k ->
         let slice_start = min n (k * slice) in
         let slice_stop = min n ((k + 1) * slice) in
         let region_stop = min n (slice_stop + config.overlap) in
@@ -90,5 +96,6 @@ let run ~config (program : Alveare_isa.Program.t) (input : string) : result =
   in
   { matches; cycles; total_cycles; per_core }
 
-let find_all ?(cores = 1) ?overlap ?core_config program input =
-  (run ~config:(config ~cores ?overlap ?core_config ()) program input).matches
+let find_all ?(cores = 1) ?overlap ?core_config ?workers program input =
+  (run ?workers ~config:(config ~cores ?overlap ?core_config ()) program input)
+    .matches

@@ -36,8 +36,11 @@ type result = {
   per_core : core_result array;
 }
 
-val run : config:config -> Alveare_isa.Program.t -> string -> result
+val run : ?workers:int -> config:config -> Alveare_isa.Program.t -> string -> result
+(** [workers] parallelises the per-core simulations on host domains
+    (via {!Alveare_exec.Pool}); results are identical to the sequential
+    run for any value. Default 1 = sequential. *)
 
 val find_all :
-  ?cores:int -> ?overlap:int -> ?core_config:Core.config ->
+  ?cores:int -> ?overlap:int -> ?core_config:Core.config -> ?workers:int ->
   Alveare_isa.Program.t -> string -> Span.span list

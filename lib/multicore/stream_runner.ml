@@ -52,7 +52,8 @@ type result = {
 let load_cycles_of_bytes ~config bytes =
   int_of_float (ceil (float_of_int bytes /. config.load_bytes_per_cycle))
 
-let run ~config (program : Alveare_isa.Program.t) (input : string) : result =
+let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
+    (input : string) : result =
   Alveare_isa.Program.validate_exn program;
   let n = String.length input in
   let payload = config.buffer_bytes - config.overlap in
@@ -60,53 +61,75 @@ let run ~config (program : Alveare_isa.Program.t) (input : string) : result =
     Multicore.config ~cores:config.cores ~overlap:config.overlap
       ~core_config:config.core_config ()
   in
-  let rec go pos chunks matches compute load wall prev_compute =
-    if pos >= n && chunks > 0 then
-      (* drain: the last chunk's compute was not yet added to wall *)
-      (chunks, matches, compute, load, wall + prev_compute)
-    else if n = 0 && chunks = 0 then begin
-      (* empty stream: one empty chunk so nullable patterns still report *)
-      let mc = Multicore.run ~config:mc_config program "" in
-      (1, mc.Multicore.matches, mc.Multicore.cycles, 0, mc.Multicore.cycles)
-    end
-    else begin
+  (* Chunk boundaries are a pure function of the stream length, so they
+     are enumerated up front; each chunk's compute (the expensive part)
+     is independent and fans out over the host pool, while the
+     double-buffered wall-cycle accounting — which chains chunk k's
+     compute against chunk k+1's load — stays a sequential fold over the
+     in-order results. An empty stream still yields one empty chunk so
+     nullable patterns report their match. *)
+  let rec boundaries pos acc =
+    if pos >= n then List.rev acc
+    else
       let slice_start = max 0 (pos - config.overlap) in
       let slice_stop = min n (pos + payload) in
-      let slice = String.sub input slice_start (slice_stop - slice_start) in
-      let mc = Multicore.run ~config:mc_config program slice in
-      (* A chunk owns matches starting at or after its slice start but
-         more than [overlap] before its slice end: those near the end may
-         not fit the buffer and are re-seen (complete) by the next
-         chunk's carry. The cutoffs tile the stream exactly:
-         [0, s0-W) [s0-W, s1-W) ... [sk-W, n]. *)
-      let cutoff = if slice_stop = n then n + 1 else slice_stop - config.overlap in
-      let owned =
-        List.filter_map
-          (fun (s : Span.span) ->
-             let start = s.Span.start + slice_start in
-             let stop = s.Span.stop + slice_start in
-             if start >= slice_start && start < cutoff then
-               Some { Span.start; stop }
-             else None)
-          mc.Multicore.matches
-      in
-      let chunk_load = load_cycles_of_bytes ~config (slice_stop - slice_start) in
-      let wall =
-        if chunks = 0 then wall + chunk_load (* first fill is exposed *)
-        else wall + max prev_compute chunk_load
-      in
-      go slice_stop (chunks + 1)
-        (List.rev_append owned matches)
-        (compute + mc.Multicore.cycles)
-        (load + chunk_load) wall mc.Multicore.cycles
-    end
+      boundaries slice_stop ((slice_start, slice_stop) :: acc)
   in
-  let chunks, matches, compute, load, wall = go 0 0 [] 0 0 0 0 in
+  let bounds = if n = 0 then [ (0, 0) ] else boundaries 0 [] in
+  let chunk_results =
+    Alveare_exec.Pool.map_list ~workers
+      (fun (slice_start, slice_stop) ->
+         let slice = String.sub input slice_start (slice_stop - slice_start) in
+         let mc = Multicore.run ~config:mc_config program slice in
+         (* A chunk owns matches starting at or after its slice start but
+            more than [overlap] before its slice end: those near the end
+            may not fit the buffer and are re-seen (complete) by the next
+            chunk's carry. The cutoffs tile the stream exactly:
+            [0, s0-W) [s0-W, s1-W) ... [sk-W, n]. *)
+         let cutoff =
+           if slice_stop = n then n + 1 else slice_stop - config.overlap
+         in
+         let owned =
+           List.filter_map
+             (fun (s : Span.span) ->
+                let start = s.Span.start + slice_start in
+                let stop = s.Span.stop + slice_start in
+                if start >= slice_start && start < cutoff then
+                  Some { Span.start; stop }
+                else None)
+             mc.Multicore.matches
+         in
+         let chunk_load =
+           if n = 0 then 0
+           else load_cycles_of_bytes ~config (slice_stop - slice_start)
+         in
+         (owned, mc.Multicore.cycles, chunk_load))
+      bounds
+  in
+  let chunks, matches, compute, load, wall, prev_compute =
+    List.fold_left
+      (fun (chunks, matches, compute, load, wall, prev_compute)
+        (owned, chunk_compute, chunk_load) ->
+        let wall =
+          if chunks = 0 then wall + chunk_load (* first fill is exposed *)
+          else wall + max prev_compute chunk_load
+        in
+        ( chunks + 1,
+          List.rev_append owned matches,
+          compute + chunk_compute,
+          load + chunk_load,
+          wall,
+          chunk_compute ))
+      (0, [], 0, 0, 0, 0) chunk_results
+  in
+  (* drain: the last chunk's compute was not yet added to wall *)
+  let wall = wall + prev_compute in
   { matches = List.sort_uniq compare matches;
     chunks;
     compute_cycles = compute;
     load_cycles = load;
     wall_cycles = wall }
 
-let find_all ?buffer_bytes ?overlap ?cores program input =
-  (run ~config:(config ?buffer_bytes ?overlap ?cores ()) program input).matches
+let find_all ?buffer_bytes ?overlap ?cores ?workers program input =
+  (run ?workers ~config:(config ?buffer_bytes ?overlap ?cores ()) program input)
+    .matches

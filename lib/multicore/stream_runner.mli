@@ -36,8 +36,13 @@ type result = {
   wall_cycles : int;  (** first fill + per-chunk max(compute, next fill) *)
 }
 
-val run : config:config -> Alveare_isa.Program.t -> string -> result
+val run : ?workers:int -> config:config -> Alveare_isa.Program.t -> string -> result
+(** [workers] fans the per-chunk compute out over host domains (via
+    {!Alveare_exec.Pool}); the double-buffered cycle accounting is folded
+    sequentially over the in-order chunk results, so matches and every
+    cycle count are identical to the sequential run for any value.
+    Default 1 = sequential. *)
 
 val find_all :
-  ?buffer_bytes:int -> ?overlap:int -> ?cores:int ->
+  ?buffer_bytes:int -> ?overlap:int -> ?cores:int -> ?workers:int ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list

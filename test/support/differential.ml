@@ -1,0 +1,111 @@
+(* Cross-engine differential check: one case = one random AST + input,
+   every engine in the repository checked against the backtracking
+   oracle. Shared by the standalone fuzzer (bin/alveare_fuzz, unbounded
+   case counts) and the bounded CI corpus (test/test_differential.ml),
+   so the oracle agreement is exercised on every `dune runtest` and not
+   only when someone runs the fuzzer by hand. *)
+
+module Compile = Alveare_compiler.Compile
+module Core = Alveare_arch.Core
+module Multicore = Alveare_multicore.Multicore
+module Stream = Alveare_multicore.Stream_runner
+module Backtrack = Alveare_engine.Backtrack
+module Pike = Alveare_engine.Pike_vm
+module Nfa = Alveare_engine.Nfa
+module Dfa = Alveare_engine.Lazy_dfa
+module Counting = Alveare_engine.Counting
+module S = Alveare_engine.Semantics
+
+type failure = {
+  engine : string;
+  pattern : string;
+  input : string;
+  detail : string;
+}
+
+let show_spans spans = Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) spans
+
+let pp_failure ppf f =
+  Fmt.pf ppf "%s DIVERGES@.  pattern: %s@.  input:   %S@.  %s" f.engine
+    f.pattern f.input f.detail
+
+let check_case ast input : failure list =
+  let pattern = Alveare_frontend.Ast.to_pattern ast in
+  match Compile.compile_ast ast with
+  | Error _ -> [] (* jump-field overflow: legitimately uncompilable *)
+  | Ok c ->
+    let oracle = Backtrack.find_all c.Compile.ast input in
+    let failures = ref [] in
+    let fail engine detail =
+      failures := { engine; pattern; input; detail } :: !failures
+    in
+    (* simulator: exact spans *)
+    let sim = Core.find_all c.Compile.program input in
+    if sim <> oracle then
+      fail "simulator"
+        (Fmt.str "sim %s oracle %s" (show_spans sim) (show_spans oracle));
+    (* Multicore and the stream runner restart their non-overlapping scan
+       at slice boundaries, so the reported CHAIN of matches can differ
+       from the single-core chain (the paper's divide-and-conquer
+       semantics). What must hold: soundness — every reported span is the
+       anchored PCRE match at its start — and existence — a stream with
+       oracle matches yields matches (the overlap covers these inputs). *)
+    let genuine engine spans =
+      List.iter
+        (fun (sp : S.span) ->
+           match Backtrack.match_at c.Compile.ast input sp.S.start with
+           | Some stop when stop = sp.S.stop -> ()
+           | Some stop ->
+             fail engine
+               (Fmt.str "span %a but anchored match ends at %d" S.pp_span sp
+                  stop)
+           | None ->
+             fail engine (Fmt.str "span %a has no anchored match" S.pp_span sp))
+        spans
+    in
+    let complete engine spans =
+      if oracle <> [] && spans = [] then
+        fail engine "oracle matches but nothing reported"
+    in
+    let mc = Multicore.find_all ~cores:3 ~overlap:64 c.Compile.program input in
+    genuine "multicore" mc;
+    complete "multicore" mc;
+    let st =
+      Stream.find_all ~buffer_bytes:128 ~overlap:64 c.Compile.program input
+    in
+    genuine "stream" st;
+    complete "stream" st;
+    (* pike: existence + leftmost start *)
+    let nfa = Nfa.of_ast_exn c.Compile.ast in
+    (match Pike.search nfa input (), Backtrack.search c.Compile.ast input with
+     | None, None -> ()
+     | Some a, Some b when a.S.start = b.S.start -> ()
+     | a, b ->
+       fail "pike"
+         (Fmt.str "pike %s oracle %s"
+            (match a with Some s -> show_spans [ s ] | None -> "none")
+            (match b with Some s -> show_spans [ s ] | None -> "none")));
+    (* lazy dfa and counting: agreement on earliest end *)
+    let dfa_end = Dfa.search_end (Dfa.create nfa) input in
+    let csa_end = Counting.search_end (Counting.of_ast_exn c.Compile.ast) input in
+    if dfa_end <> csa_end then
+      fail "counting"
+        (Fmt.str "dfa %s csa %s"
+           (match dfa_end with Some e -> string_of_int e | None -> "none")
+           (match csa_end with Some e -> string_of_int e | None -> "none"));
+    !failures
+
+(* Seeded sweep: [on_failure] fires per divergence (with the 1-based case
+   index) so callers can stream diagnostics; returns all failures. *)
+let run_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed () : failure list =
+  let rng = Alveare_workloads.Rng.create seed in
+  let failures = ref [] in
+  for k = 1 to count do
+    let ast, input = Gen_ast.random_case rng in
+    List.iter
+      (fun f ->
+         failures := f :: !failures;
+         on_failure k f)
+      (check_case ast input)
+  done;
+  List.rev !failures

@@ -1,9 +1,14 @@
-(* QCheck generators shared by the property-based tests.
+(* Random-AST generators shared by the property-based tests, the
+   differential test battery and the standalone fuzzer (bin/alveare_fuzz
+   used to re-implement these; it now links this module).
 
    The generators work over a deliberately small alphabet ('a'..'h') so
    random inputs collide with random patterns often enough to exercise
    real matching, backtracking and boundary behaviour rather than the
-   all-mismatch fast path. *)
+   all-mismatch fast path. Two families are provided: QCheck generators
+   (shrinking, for the qcheck properties) and Rng-driven ones
+   (deterministic per seed, for the fuzzer and the bounded differential
+   corpus). *)
 
 open Alveare_frontend
 
@@ -90,3 +95,50 @@ let print_ast ast = Alveare_frontend.Ast.to_pattern ast
 
 let print_ast_and_input (ast, input) =
   Printf.sprintf "pattern: %s\ninput: %S" (print_ast ast) input
+
+(* --- Rng-driven generators (deterministic per seed) -------------------- *)
+
+module Rng = Alveare_workloads.Rng
+
+let last = alphabet.[String.length alphabet - 1]
+
+let rec random_ast rng depth : Ast.t =
+  if depth = 0 then
+    if Rng.bool rng then Ast.Char (Rng.char_of rng alphabet)
+    else begin
+      let lo = Rng.char_of rng alphabet in
+      let hi = Char.chr (min (Char.code last) (Char.code lo + Rng.int rng 3)) in
+      Ast.Class
+        { negated = Rng.chance rng 0.2;
+          set = Charset.range lo hi }
+    end
+  else begin
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 ->
+      Ast.Concat
+        (List.init (Rng.range rng 2 3) (fun _ -> random_ast rng (depth - 1)))
+    | 3 | 4 ->
+      Ast.Alt
+        (List.init (Rng.range rng 2 3) (fun _ -> random_ast rng (depth - 1)))
+    | 5 | 6 ->
+      let qmin = Rng.int rng 3 in
+      let qmax = if Rng.bool rng then None else Some (qmin + Rng.int rng 4) in
+      Ast.Repeat
+        (random_ast rng (depth - 1), { Ast.qmin; qmax; greedy = Rng.bool rng })
+    | _ -> random_ast rng 0
+  end
+
+(* Half the inputs are pure background noise; the other half embed a
+   witness sampled from the pattern so match paths are exercised. *)
+let random_input rng ast =
+  let background () =
+    String.init (Rng.int rng 30) (fun _ -> Rng.char_of rng alphabet)
+  in
+  if Rng.bool rng then background ()
+  else
+    background () ^ Alveare_workloads.Sampler.sample rng ast ^ background ()
+
+let random_case rng =
+  let ast = Alveare_frontend.Desugar.normalize (random_ast rng 3) in
+  let input = random_input rng ast in
+  (ast, input)

@@ -1,0 +1,37 @@
+(* Differential smoke corpus: a bounded, seeded cross-engine run of the
+   fuzzer's oracle check (backtracking oracle = simulator; multicore /
+   stream soundness+existence; Pike VM leftmost start; lazy-DFA =
+   counting-set earliest end), so engine agreement is exercised on every
+   `dune runtest` and not only when someone runs bin/alveare_fuzz by
+   hand. The per-case check is shared with the fuzzer
+   (Alveare_test_support.Differential). *)
+
+module Diff = Alveare_test_support.Differential
+
+let corpus_count = 200
+let corpus_seed = 2024
+
+let test_corpus () =
+  let failures = Diff.run_corpus ~count:corpus_count ~seed:corpus_seed () in
+  match failures with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "%d/%d cases diverged; first: %a"
+      (List.length failures) corpus_count Diff.pp_failure f
+
+(* A second seed, so a regression cannot hide behind one lucky corpus. *)
+let test_corpus_alt_seed () =
+  match Diff.run_corpus ~count:100 ~seed:7 () with
+  | [] -> ()
+  | f :: rest ->
+    Alcotest.failf "%d/100 cases diverged; first: %a"
+      (List.length rest + 1) Diff.pp_failure f
+
+let () =
+  Alcotest.run "differential"
+    [ ( "smoke corpus",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d seeded cases vs oracle" corpus_count)
+            `Quick test_corpus;
+          Alcotest.test_case "100 cases, alternate seed" `Quick
+            test_corpus_alt_seed ] ) ]
