@@ -1,0 +1,148 @@
+(* Static-analysis front door: lint patterns against the ReDoS /
+   blowup heuristics and verify compiled binaries with the ISA
+   verifier.
+
+     alveare_lint '(a+)+b'
+     alveare_lint --patterns rules.txt
+     alveare_lint --binary pattern.bin --report
+
+   Exit status: 0 everything clean (info-level diagnostics allowed),
+   1 at least one warning or verifier violation, 2 a pattern failed to
+   parse or a binary failed to load. *)
+
+module Lint = Alveare_analysis.Lint
+module Verify = Alveare_analysis.Verify
+open Cmdliner
+
+type outcome = Clean | Warn | Fail
+
+let worst a b =
+  match a, b with
+  | Fail, _ | _, Fail -> Fail
+  | Warn, _ | _, Warn -> Warn
+  | Clean, Clean -> Clean
+
+let lint_pattern quiet p =
+  match Lint.pattern p with
+  | Error e ->
+    Fmt.epr "alveare_lint: %S: %s@." p e;
+    Fail
+  | Ok [] ->
+    if not quiet then Fmt.pr "%S: clean@." p;
+    Clean
+  | Ok ds ->
+    List.iter
+      (fun d -> Fmt.pr "%S:@.%a@." p (Lint.pp_diagnostic_source ~pattern:p) d)
+      ds;
+    if Lint.has_warnings ds then Warn else Clean
+
+let verify_binary quiet report path =
+  match Verify.file path with
+  | Error m ->
+    (* [Verify.file] folds violations and load failures into one
+       message; telling them apart matters for the exit code, so probe
+       the load separately. *)
+    (match Alveare_isa.Binary.read_file ~verify:false path with
+     | Error _ ->
+       Fmt.epr "alveare_lint: %s: %s@." path m;
+       Fail
+     | Ok _ ->
+       Fmt.pr "%s: REJECTED@.%s@." path
+         (String.concat "\n"
+            (List.map (fun l -> "  " ^ l) (String.split_on_char '\n' m)));
+       Warn)
+  | Ok r ->
+    if not quiet then Fmt.pr "%s: verified OK@." path;
+    if report then Fmt.pr "%a" Verify.pp_report r;
+    Clean
+
+let patterns_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+       let rec go acc =
+         match input_line ic with
+         | line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+         | exception End_of_file -> List.rev acc
+       in
+       go [])
+
+let main patterns pattern_files binaries quiet report =
+  let file_patterns =
+    List.concat_map
+      (fun path ->
+         try patterns_of_file path
+         with Sys_error m ->
+           Fmt.epr "alveare_lint: %s@." m;
+           exit 2)
+      pattern_files
+  in
+  let all_patterns = patterns @ file_patterns in
+  if all_patterns = [] && binaries = [] then begin
+    Fmt.epr "alveare_lint: nothing to do (give PATTERNs, --patterns or \
+             --binary)@.";
+    2
+  end
+  else begin
+    let outcome =
+      List.fold_left
+        (fun acc p -> worst acc (lint_pattern quiet p))
+        Clean all_patterns
+    in
+    let outcome =
+      List.fold_left
+        (fun acc path -> worst acc (verify_binary quiet report path))
+        outcome binaries
+    in
+    match outcome with Clean -> 0 | Warn -> 1 | Fail -> 2
+  end
+
+let patterns_arg =
+  Arg.(value & pos_all string []
+       & info [] ~docv:"PATTERN" ~doc:"Regular expressions to lint.")
+
+let patterns_file_arg =
+  Arg.(value & opt_all string []
+       & info [ "patterns" ] ~docv:"FILE"
+           ~doc:"Lint every pattern in FILE (one per line; blank lines and \
+                 # comments ignored). Repeatable.")
+
+let binary_arg =
+  Arg.(value & opt_all string []
+       & info [ "binary" ] ~docv:"FILE"
+           ~doc:"Run the ISA verifier over a compiled ALVEARE binary. \
+                 Repeatable.")
+
+let quiet_flag =
+  Arg.(value & flag
+       & info [ "quiet"; "q" ] ~doc:"Only print findings, not clean results.")
+
+let report_flag =
+  Arg.(value & flag
+       & info [ "report" ]
+           ~doc:"Print the verifier report (reachability, CFG size, \
+                 speculation-stack bound) for each accepted binary.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "alveare_lint" ~version:"1.0"
+       ~doc:"Lint regular expressions and verify ALVEARE binaries."
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Level-2 static analysis for patterns (nested-quantifier and \
+               overlapping-alternation ReDoS heuristics, bounded-repeat \
+               blowup, empty quantifier bodies) and level-1 verification \
+               for compiled binaries (jump targets, dead code, speculation \
+               balance, zero-advance loops).";
+           `S "EXIT STATUS";
+           `P "0 on success, 1 when any warning-severity diagnostic or \
+               verifier violation is found, 2 when a pattern fails to \
+               parse or a binary fails to load." ])
+    Term.(
+      const main $ patterns_arg $ patterns_file_arg $ binary_arg $ quiet_flag
+      $ report_flag)
+
+let () = exit (Cmd.eval' cmd)

@@ -18,14 +18,25 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let load_program pattern binary =
+let load_program ~verify ~lint pattern binary =
   match pattern, binary with
   | Some p, None ->
-    (match Compile.compile p with
-     | Ok c -> Ok (c.Compile.program, Some c.Compile.ast)
+    (match Compile.compile ~verify p with
+     | Ok c ->
+       if lint then
+         List.iter
+           (fun d ->
+              Fmt.epr "%a@."
+                (Alveare_analysis.Lint.pp_diagnostic_source ~pattern:p)
+                d)
+           c.Compile.lint;
+       Ok (c.Compile.program, Some c.Compile.ast)
      | Error e -> Error (Compile.error_message e))
   | None, Some path ->
-    (match Alveare_isa.Binary.read_file path with
+    if lint then
+      Fmt.epr "alveare_run: --lint needs a PATTERN (binaries carry no \
+               source)@.";
+    (match Alveare_isa.Binary.read_file ~verify path with
      | Ok prog -> Ok (prog, None)
      | Error e -> Error (Alveare_isa.Binary.error_message e))
   | Some _, Some _ -> Error "give either PATTERN or --binary, not both"
@@ -55,7 +66,8 @@ let compare_engines ast program data =
          r.M.match_count)
     rows
 
-let run pattern binary text file cores quiet stats_flag trace_path compare =
+let run pattern binary text file cores quiet stats_flag trace_path compare
+    lint no_verify =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -64,7 +76,7 @@ let run pattern binary text file cores quiet stats_flag trace_path compare =
     | Some _, Some _ -> Error "give either --text or --file, not both"
     | None, None -> Error "give --text or --file input"
   in
-  match load_program pattern binary, input with
+  match load_program ~verify:(not no_verify) ~lint pattern binary, input with
   | Error m, _ | _, Error m ->
     Fmt.epr "alveare_run: %s@." m;
     1
@@ -158,12 +170,24 @@ let compare_flag =
        & info [ "compare" ]
            ~doc:"Print every engine's modelled time on this input (a                  mini Figure 4 for your own pattern).")
 
+let lint_flag =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Print lint diagnostics for the PATTERN before running.")
+
+let no_verify_flag =
+  Arg.(value & flag
+       & info [ "no-verify" ]
+           ~doc:"Skip static verification of the compiled or loaded \
+                 program.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_run" ~version:"1.0"
        ~doc:"Match a pattern over data on the simulated ALVEARE DSA.")
     Term.(
       const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
-      $ quiet_flag $ stats_flag $ trace_arg $ compare_flag)
+      $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
+      $ no_verify_flag)
 
 let () = exit (Cmd.eval' cmd)

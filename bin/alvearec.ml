@@ -11,17 +11,24 @@ module Lower = Alveare_ir.Lower
 open Cmdliner
 
 let compile_and_report pattern minimal alphabet strict no_opt out disasm
-    show_ir show_ast stats words =
+    show_ir show_ast stats words lint no_verify =
   let options =
     { Lower.mode = (if minimal then Lower.Minimal else Lower.Advanced);
       alphabet_size = alphabet;
       optimize = (not no_opt) && not minimal }
   in
-  match Compile.compile ~options pattern with
+  match Compile.compile ~options ~verify:(not no_verify) pattern with
   | Error e ->
     Fmt.epr "alvearec: %s@." (Compile.error_message e);
     1
   | Ok c ->
+    if lint then
+      List.iter
+        (fun d ->
+           Fmt.epr "%a@."
+             (Alveare_analysis.Lint.pp_diagnostic_source ~pattern)
+             d)
+        c.Compile.lint;
     if show_ast then
       Fmt.pr "AST: %a@." Alveare_frontend.Ast.pp c.Compile.ast;
     if show_ir then Fmt.pr "IR: %a@." Alveare_ir.Ir.pp c.Compile.ir;
@@ -91,6 +98,17 @@ let no_opt_flag =
   Arg.(value & flag
        & info [ "no-opt" ] ~doc:"Disable the mid-end AST optimiser.")
 
+let lint_flag =
+  Arg.(value & flag
+       & info [ "lint" ]
+           ~doc:"Print lint diagnostics (ReDoS heuristics, repeat blowup) \
+                 for the pattern. Advisory: does not fail the compile.")
+
+let no_verify_flag =
+  Arg.(value & flag
+       & info [ "no-verify" ]
+           ~doc:"Skip the post-emission static-verifier self-check.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alvearec" ~version:"1.0"
@@ -98,6 +116,6 @@ let cmd =
     Term.(
       const compile_and_report $ pattern_arg $ minimal_flag $ alphabet_arg
       $ strict_flag $ no_opt_flag $ out_arg $ disasm_flag $ ir_flag $ ast_flag
-      $ stats_flag $ words_flag)
+      $ stats_flag $ words_flag $ lint_flag $ no_verify_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,287 @@
+(* RE lint pass over the positioned AST (Spanned.t).
+
+   Heuristics, in the order they fire:
+
+   - nested quantifiers: a variable quantifier that can iterate twice
+     whose body contains another variable quantifier with a consuming
+     body. The inner loop gives the outer one many ways to partition
+     the same slice of input, the classic (a+)+ exponential-
+     backtracking shape (Rathnayake & Thielecke's search-tree blowup);
+     on this architecture every retried partition is a speculation-
+     stack rollback.
+
+   - overlapping alternation: two branches whose first-character sets
+     intersect (or which both match empty). Under a variable
+     quantifier this compounds per iteration (warning); elsewhere it
+     only doubles local speculation (info).
+
+   - bounded-repeat blowup: {n,m} repeats unfold multiplicatively when
+     the compiler has to split counters, so deeply-nested bounded
+     repeats inflate instruction memory; separately, a single count
+     beyond the ISA's 6-bit counter limit forces a split (info).
+
+   - empty quantifier body: (a?)* style — every iteration can match
+     nothing, so forward progress relies entirely on the core's
+     zero-width cutoff and each empty iteration is wasted speculation.
+
+   All checks over-approximate: they flag shapes that CAN be
+   pathological, which is the useful polarity for a lint gate. *)
+
+module F = Alveare_frontend
+module Spanned = F.Spanned
+module Ast = F.Ast
+module Charset = F.Charset
+
+type severity = Info | Warning
+
+type kind =
+  | Nested_quantifiers
+  | Overlapping_alternation
+  | Repeat_blowup
+  | Empty_quantifier_body
+
+type diagnostic = {
+  kind : kind;
+  severity : severity;
+  left : int;
+  right : int;
+  message : string;
+}
+
+let kind_name = function
+  | Nested_quantifiers -> "redos-nested-quantifiers"
+  | Overlapping_alternation -> "redos-overlapping-alternation"
+  | Repeat_blowup -> "bounded-repeat-blowup"
+  | Empty_quantifier_body -> "empty-quantifier-body"
+
+let severity_name = function Info -> "info" | Warning -> "warning"
+
+(* --- Quantifier shape predicates --------------------------------------- *)
+
+(* Can iterate a variable number of times: the matcher gets to choose
+   how often the body runs. *)
+let variable_quant (q : Ast.quant) =
+  match q.Ast.qmax with None -> true | Some m -> m > q.Ast.qmin
+
+(* Can run the body at least twice. *)
+let repeats (q : Ast.quant) =
+  match q.Ast.qmax with None -> true | Some m -> m >= 2
+
+let quant_text (q : Ast.quant) =
+  match q.Ast.qmin, q.Ast.qmax with
+  | 0, None -> "*"
+  | 1, None -> "+"
+  | 0, Some 1 -> "?"
+  | n, None -> Printf.sprintf "{%d,}" n
+  | n, Some m when n = m -> Printf.sprintf "{%d}" n
+  | n, Some m -> Printf.sprintf "{%d,%d}" n m
+
+(* --- First sets -------------------------------------------------------- *)
+
+(* Possible first bytes of a match, plus nullability. Over the full
+   byte alphabet so negated classes stay conservative. *)
+let rec first (s : Spanned.t) : Charset.t * bool =
+  match s.Spanned.node with
+  | Spanned.Empty -> (Charset.empty, true)
+  | Spanned.Char c -> (Charset.singleton c, false)
+  | Spanned.Class { Ast.negated; set } ->
+    let set =
+      if negated then Charset.complement ~alphabet_size:256 set else set
+    in
+    (set, false)
+  | Spanned.Any ->
+    (Charset.complement ~alphabet_size:256 Charset.newline, false)
+  | Spanned.Concat xs ->
+    let rec go acc = function
+      | [] -> (acc, true)
+      | x :: rest ->
+        let fx, nx = first x in
+        let acc = Charset.union acc fx in
+        if nx then go acc rest else (acc, false)
+    in
+    go Charset.empty xs
+  | Spanned.Alt xs ->
+    List.fold_left
+      (fun (acc, nul) x ->
+         let fx, nx = first x in
+         (Charset.union acc fx, nul || nx))
+      (Charset.empty, false) xs
+  | Spanned.Repeat (x, q) ->
+    let fx, nx = first x in
+    (fx, q.Ast.qmin = 0 || nx)
+  | Spanned.Group x -> first x
+
+let nullable s = snd (first s)
+let consumes s = not (Charset.is_empty (fst (first s)))
+
+(* Charset exposes no intersection; a merge scan over the sorted
+   disjoint ranges answers the only question we have (do they touch?). *)
+let overlap_witness (a : Charset.t) (b : Charset.t) : int option =
+  let rec go ra rb =
+    match ra, rb with
+    | [], _ | _, [] -> None
+    | (alo, ahi) :: ra', (blo, bhi) :: rb' ->
+      if ahi < blo then go ra' rb
+      else if bhi < alo then go ra rb'
+      else Some (max alo blo)
+  in
+  go (Charset.ranges a) (Charset.ranges b)
+
+let byte_text c =
+  if c >= 0x20 && c < 0x7f then Printf.sprintf "'%c'" (Char.chr c)
+  else Printf.sprintf "0x%02x" c
+
+(* --- Unfold cost model ------------------------------------------------- *)
+
+(* Rough instruction-count weight of a node once bounded counters are
+   unfolded: a {n,m} repeat replicates its body up to m times (the
+   minimal-ISA lowering), so nested bounded repeats multiply. *)
+let rec unfold_weight (s : Spanned.t) : int =
+  match s.Spanned.node with
+  | Spanned.Empty -> 0
+  | Spanned.Char _ | Spanned.Class _ | Spanned.Any -> 1
+  | Spanned.Concat xs | Spanned.Alt xs ->
+    List.fold_left (fun k x -> k + unfold_weight x) 1 xs
+  | Spanned.Repeat (x, q) ->
+    let body = unfold_weight x in
+    (match q.Ast.qmax with
+     | Some m -> (max m 1 * body) + 2
+     | None -> body + 2)
+  | Spanned.Group x -> unfold_weight x
+
+let blowup_threshold = 256
+
+(* --- The walk ---------------------------------------------------------- *)
+
+(* [in_variable_repeat] is true when an ancestor quantifier can run
+   this sub-expression a variable number of times — the condition
+   under which local ambiguity compounds into backtracking blowup. *)
+let check (root : Spanned.t) : diagnostic list =
+  let out = ref [] in
+  let emit kind severity (s : Spanned.t) message =
+    out :=
+      { kind; severity; left = s.Spanned.left; right = s.Spanned.right;
+        message }
+      :: !out
+  in
+  (* Innermost variable quantifier with a consuming body underneath
+     [s], for the nested-quantifier message. *)
+  let rec find_inner_variable (s : Spanned.t) : Spanned.t option =
+    match s.Spanned.node with
+    | Spanned.Empty | Spanned.Char _ | Spanned.Class _ | Spanned.Any -> None
+    | Spanned.Concat xs | Spanned.Alt xs ->
+      List.fold_left
+        (fun acc x ->
+           match acc with Some _ -> acc | None -> find_inner_variable x)
+        None xs
+    | Spanned.Repeat (x, q) ->
+      if variable_quant q && consumes x then Some s
+      else find_inner_variable x
+    | Spanned.Group x -> find_inner_variable x
+  in
+  let rec walk in_variable_repeat (s : Spanned.t) =
+    (match s.Spanned.node with
+     | Spanned.Empty | Spanned.Char _ | Spanned.Class _ | Spanned.Any -> ()
+     | Spanned.Concat xs -> List.iter (walk in_variable_repeat) xs
+     | Spanned.Alt branches ->
+       List.iter (walk in_variable_repeat) branches;
+       let firsts = List.map (fun b -> (b, first b)) branches in
+       let rec pairs = function
+         | [] -> ()
+         | (b1, (f1, n1)) :: rest ->
+           List.iter
+             (fun (b2, (f2, n2)) ->
+                let clash =
+                  if n1 && n2 then Some "both branches can match empty"
+                  else
+                    Option.map
+                      (fun c ->
+                         Printf.sprintf
+                           "both branches can start with %s" (byte_text c))
+                      (overlap_witness f1 f2)
+                in
+                match clash with
+                | None -> ()
+                | Some why ->
+                  let severity, tail =
+                    if in_variable_repeat then
+                      ( Warning,
+                        "; under a variable quantifier the ambiguity \
+                         compounds per iteration (ReDoS risk)" )
+                    else (Info, "; the engine speculates both")
+                  in
+                  emit Overlapping_alternation severity s
+                    (Printf.sprintf
+                       "ambiguous alternation: %s (branches at %d..%d and \
+                        %d..%d)%s"
+                       why b1.Spanned.left b1.Spanned.right b2.Spanned.left
+                       b2.Spanned.right tail))
+             rest;
+           pairs rest
+       in
+       pairs firsts
+     | Spanned.Repeat (body, q) ->
+       if repeats q && nullable body then
+         emit Empty_quantifier_body Warning s
+           (Printf.sprintf
+              "quantifier '%s' over a body that can match empty: every \
+               iteration can be zero-width, so the match leans on the \
+               core's zero-advance cutoff and each empty pass is wasted \
+               speculation"
+              (quant_text q));
+       if repeats q && variable_quant q then begin
+         match find_inner_variable body with
+         | Some inner ->
+           emit Nested_quantifiers Warning s
+             (Printf.sprintf
+                "nested variable quantifiers: outer '%s' over an inner \
+                 variable quantifier at %d..%d gives exponentially many \
+                 ways to split the same input (catastrophic backtracking)"
+                (quant_text q) inner.Spanned.left inner.Spanned.right)
+         | None -> ()
+       end;
+       (match q.Ast.qmax with
+        | Some m ->
+          let cost = unfold_weight s in
+          if cost >= blowup_threshold then
+            emit Repeat_blowup Warning s
+              (Printf.sprintf
+                 "bounded repeat unfolds to ~%d instructions (threshold \
+                  %d): nested {n,m} counts multiply under counter \
+                  splitting"
+                 cost blowup_threshold)
+          else if m > Alveare_isa.Instruction.max_bounded_count then
+            emit Repeat_blowup Info s
+              (Printf.sprintf
+                 "repeat count %d exceeds the ISA's 6-bit counter limit \
+                  (%d); the compiler splits it into chained repeats"
+                 m Alveare_isa.Instruction.max_bounded_count)
+        | None -> ());
+       walk (in_variable_repeat || (repeats q && variable_quant q)) body
+     | Spanned.Group x -> walk in_variable_repeat x)
+  in
+  walk false root;
+  List.stable_sort
+    (fun a b ->
+       match compare a.left b.left with 0 -> compare a.right b.right | c -> c)
+    (List.rev !out)
+
+let pattern (src : string) : (diagnostic list, string) result =
+  match F.Parser.parse_spanned_result src with
+  | Ok spanned -> Ok (check spanned)
+  | Error msg -> Error msg
+
+let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s[%s] %d..%d: %s" (severity_name d.severity) (kind_name d.kind)
+    d.left d.right d.message
+
+let pp_diagnostic_source ~pattern ppf d =
+  pp_diagnostic ppf d;
+  let n = String.length pattern in
+  let left = max 0 (min d.left n) in
+  let right = max left (min d.right n) in
+  Fmt.pf ppf "@.  %s@.  %s%s" pattern
+    (String.make left ' ')
+    (String.make (max 1 (right - left)) '^')

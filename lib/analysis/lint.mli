@@ -1,0 +1,57 @@
+(** Level-2 static analysis: lint pass over the positioned frontend AST.
+
+    The checks target the pathologies a backtracking-style speculation
+    engine inherits from PCRE semantics (paper §3): catastrophic
+    backtracking (ReDoS) from nested variable quantifiers or ambiguous
+    alternations under repetition, instruction-memory blowup from
+    bounded-repeat unfolding, and nullable quantifier bodies that lean
+    on the core's zero-width cutoff every iteration. Diagnostics carry
+    the byte span of the offending sub-expression. *)
+
+type severity =
+  | Info  (** stylistic / informational; never fails a lint gate *)
+  | Warning  (** likely pathological at match time or compile time *)
+
+type kind =
+  | Nested_quantifiers
+      (** variable quantifier whose body contains another variable
+          quantifier with a consuming body, e.g. [(a+)+] *)
+  | Overlapping_alternation
+      (** two alternation branches can start with the same byte (or
+          both match empty); a [Warning] when the alternation sits
+          under a variable quantifier, [Info] otherwise *)
+  | Repeat_blowup
+      (** bounded repeat whose unfolded form is large ([Warning]) or
+          whose count exceeds the ISA's 6-bit counters and must be
+          split by the compiler ([Info]) *)
+  | Empty_quantifier_body
+      (** quantifier that can iterate more than once over a body that
+          matches the empty string, e.g. [(a?)*] *)
+
+type diagnostic = {
+  kind : kind;
+  severity : severity;
+  left : int;  (** inclusive byte offset into the pattern *)
+  right : int;  (** exclusive byte offset *)
+  message : string;
+}
+
+val kind_name : kind -> string
+(** Stable kebab-case identifier, e.g. ["redos-nested-quantifiers"]. *)
+
+val severity_name : severity -> string
+
+val check : Alveare_frontend.Spanned.t -> diagnostic list
+(** All diagnostics for one positioned AST, sorted by start offset. *)
+
+val pattern : string -> (diagnostic list, string) result
+(** Parse and lint one pattern; [Error] carries the parse error. *)
+
+val has_warnings : diagnostic list -> bool
+
+val pp_diagnostic : diagnostic Fmt.t
+(** ["warning[redos-nested-quantifiers] 0..5: ..."]. *)
+
+val pp_diagnostic_source : pattern:string -> diagnostic Fmt.t
+(** The one-line rendering followed by the pattern with a caret
+    underline beneath the offending span. *)

@@ -1,0 +1,17 @@
+(* Re-export of the ISA-layer verifier (see the .mli for why it lives
+   there), plus file-level conveniences for the CLI tools. *)
+
+include Alveare_isa.Verify
+
+let violations_message vs =
+  String.concat "\n" (List.map violation_message vs)
+
+let file path =
+  (* Load without the embedded verifier pass so a rejection surfaces as
+     a violation list we can render uniformly. *)
+  match Alveare_isa.Binary.read_file ~verify:false path with
+  | Error e -> Error (Alveare_isa.Binary.error_message e)
+  | Ok program ->
+    (match run program with
+     | Ok r -> Ok r
+     | Error vs -> Error (violations_message vs))

@@ -1,0 +1,18 @@
+(** Level-1 static analysis: the ISA binary verifier.
+
+    The implementation lives in {!Alveare_isa.Verify} so the loader
+    ({!Alveare_isa.Binary}) can run it without a dependency cycle; this
+    module re-exports it under the analysis namespace and adds the
+    convenience entry points the CLI tools use. *)
+
+include module type of struct
+  include Alveare_isa.Verify
+end
+
+val file : string -> (report, string) result
+(** Load a binary image and verify it. All failure modes — I/O,
+    container, decoding, validation, verification — collapse into one
+    rendered message. *)
+
+val violations_message : violation list -> string
+(** One line per violation. *)

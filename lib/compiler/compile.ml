@@ -10,31 +10,50 @@ type compiled = {
   ir : Alveare_ir.Ir.t;
   program : Alveare_isa.Program.t;
   options : Alveare_ir.Lower.options;
+  lint : Alveare_analysis.Lint.diagnostic list;
 }
 
 type error =
   | Frontend_error of string
   | Backend_error of Alveare_backend.Emit.error
+  | Verify_error of Alveare_isa.Verify.violation list
 
 let error_message = function
   | Frontend_error m -> m
   | Backend_error e -> Alveare_backend.Emit.error_message e
+  | Verify_error vs ->
+    "emitted program failed verification (compiler bug): "
+    ^ String.concat "; "
+        (List.map Alveare_isa.Verify.violation_message vs)
 
 let compile_ast ?(options = Alveare_ir.Lower.default_options)
-    ?(pattern = "<ast>") ast : (compiled, error) result =
+    ?(pattern = "<ast>") ?(verify = true) ?(lint = []) ast
+  : (compiled, error) result =
   let ast = Alveare_frontend.Desugar.normalize ast in
   let ir = Alveare_ir.Lower.lower ~options ast in
   match Alveare_backend.Emit.program_of_ir ir with
-  | Ok program -> Ok { pattern; ast; ir; program; options }
   | Error e -> Error (Backend_error e)
+  | Ok program ->
+    (* Post-emission self-check: the verifier accepting every program
+       the backend emits is a compiler invariant, so a rejection here
+       is a bug in emission, not in the pattern. *)
+    if verify then begin
+      match Alveare_isa.Verify.run program with
+      | Ok _ -> Ok { pattern; ast; ir; program; options; lint }
+      | Error vs -> Error (Verify_error vs)
+    end
+    else Ok { pattern; ast; ir; program; options; lint }
 
-let compile ?options pattern : (compiled, error) result =
-  match Alveare_frontend.Desugar.pattern pattern with
+let compile ?options ?verify pattern : (compiled, error) result =
+  match Alveare_frontend.Parser.parse_spanned_result pattern with
   | Error m -> Error (Frontend_error m)
-  | Ok ast -> compile_ast ?options ~pattern ast
+  | Ok spanned ->
+    let lint = Alveare_analysis.Lint.check spanned in
+    compile_ast ?options ~pattern ?verify ~lint
+      (Alveare_frontend.Spanned.strip spanned)
 
-let compile_exn ?options pattern =
-  match compile ?options pattern with
+let compile_exn ?options ?verify pattern =
+  match compile ?options ?verify pattern with
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.compile: " ^ error_message e)
 
@@ -65,12 +84,12 @@ let cache_key ~(options : Alveare_ir.Lower.options) pattern =
     pattern
 
 let cached ?(cache = default_cache) ?(options = Alveare_ir.Lower.default_options)
-    pattern : (compiled, error) result =
+    ?verify pattern : (compiled, error) result =
   let key = cache_key ~options pattern in
   match Alveare_exec.Cache.find_opt cache key with
   | Some c -> Ok c
   | None ->
-    (match compile ~options pattern with
+    (match compile ~options ?verify pattern with
      | Ok c -> Alveare_exec.Cache.add cache key c; Ok c
      | Error _ as e -> e)
 

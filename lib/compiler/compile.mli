@@ -6,24 +6,41 @@ type compiled = {
   ir : Alveare_ir.Ir.t;
   program : Alveare_isa.Program.t;
   options : Alveare_ir.Lower.options;
+  lint : Alveare_analysis.Lint.diagnostic list;
+      (** lint diagnostics for the source pattern (empty when compiled
+          from a bare AST) — advisory, never a compile failure *)
 }
 
 type error =
   | Frontend_error of string
   | Backend_error of Alveare_backend.Emit.error
+  | Verify_error of Alveare_isa.Verify.violation list
+      (** the emitted program failed the static verifier — a compiler
+          bug, not a pattern error *)
 
 val error_message : error -> string
 
 val compile :
-  ?options:Alveare_ir.Lower.options -> string -> (compiled, error) result
+  ?options:Alveare_ir.Lower.options ->
+  ?verify:bool ->
+  string ->
+  (compiled, error) result
+(** Pattern → AST → IR → program. With [verify] (the default) the
+    emitted program must pass {!Alveare_isa.Verify.run} — a
+    post-emission self-check that turns any emission bug into a
+    structured [Verify_error] instead of a latent bad binary. The
+    result also carries the pattern's lint diagnostics. *)
 
 val compile_ast :
   ?options:Alveare_ir.Lower.options ->
   ?pattern:string ->
+  ?verify:bool ->
+  ?lint:Alveare_analysis.Lint.diagnostic list ->
   Alveare_frontend.Ast.t ->
   (compiled, error) result
 
-val compile_exn : ?options:Alveare_ir.Lower.options -> string -> compiled
+val compile_exn :
+  ?options:Alveare_ir.Lower.options -> ?verify:bool -> string -> compiled
 
 (** {2 Compiled-pattern cache}
 
@@ -43,6 +60,7 @@ val default_cache : cache
 val cached :
   ?cache:cache ->
   ?options:Alveare_ir.Lower.options ->
+  ?verify:bool ->
   string ->
   (compiled, error) result
 (** Like {!compile}, but consults [cache] first. Only successful

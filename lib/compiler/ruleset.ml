@@ -71,6 +71,15 @@ let compile_exn ?options ?cache ?workers specs =
          e.failed_rule.tag e.reason)
   | Error [] -> assert false
 
+(* Per-rule lint diagnostics, carried along by Compile so a ruleset
+   build can report its ReDoS-suspect rules without re-parsing. *)
+let lint_report (t : t) =
+  Array.to_list t.rules
+  |> List.filter_map (fun r ->
+      match r.compiled.Compile.lint with
+      | [] -> None
+      | ds -> Some (r.rule, ds))
+
 let size t = Array.length t.rules
 
 let rules t = Array.to_list (Array.map (fun r -> r.rule) t.rules)

@@ -41,6 +41,11 @@ val compile_exn :
   (string * string) list ->
   t
 
+val lint_report : t -> (rule * Alveare_analysis.Lint.diagnostic list) list
+(** Rules with at least one lint diagnostic (ReDoS heuristics, repeat
+    blowup, …), in rule order. Compilation never fails on lint; this
+    is how a ruleset build surfaces its suspect rules. *)
+
 val size : t -> int
 val rules : t -> rule list
 val find_rule : t -> int -> rule option

@@ -7,7 +7,13 @@
      atom          := CHAR | DOT | CLASS | '(' alternation ')'
 
    Stacked quantifiers (e.g. "a**") are rejected as in PCRE; a quantifier
-   with nothing to its left is an error. *)
+   with nothing to its left is an error.
+
+   The parser builds the position-annotated tree ({!Spanned.t}) that the
+   lint pass reports against; the plain {!Ast.t} is obtained by erasure,
+   so the two views can never disagree. Tokens are contiguous (the lexer
+   consumes every source byte), so a token ends where the next one
+   starts. *)
 
 type error = {
   pos : int;
@@ -22,14 +28,20 @@ let error_message { pos; reason } =
   Printf.sprintf "syntax error at offset %d: %s" pos reason
 
 type state = {
-  mutable toks : (Lexer.token * int) list;
+  (* token, start offset, stop offset (exclusive) *)
+  mutable toks : (Lexer.token * int * int) list;
   src_len : int;
 }
 
-let peek st = match st.toks with [] -> None | (t, p) :: _ -> Some (t, p)
+let peek st = match st.toks with [] -> None | (t, p, _) :: _ -> Some (t, p)
+
+let peek_stop st = match st.toks with [] -> None | (_, _, s) :: _ -> Some s
 
 let advance st =
   match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+(* Where the next token starts — the position of a zero-width node. *)
+let here st = match st.toks with [] -> st.src_len | (_, p, _) :: _ -> p
 
 let quantifier_of_token = function
   | Lexer.STAR -> Some Ast.star
@@ -40,7 +52,9 @@ let quantifier_of_token = function
   | Lexer.CLASS _ ->
     None
 
-let rec parse_alternation st : Ast.t =
+let mk node left right = { Spanned.node; left; right }
+
+let rec parse_alternation st : Spanned.t =
   let first = parse_concatenation st in
   let rec more acc =
     match peek st with
@@ -54,9 +68,13 @@ let rec parse_alternation st : Ast.t =
   in
   match more [ first ] with
   | [ one ] -> one
-  | branches -> Ast.Alt branches
+  | branches ->
+    let left = (List.hd branches).Spanned.left in
+    let right = (List.hd (List.rev branches)).Spanned.right in
+    mk (Spanned.Alt branches) left right
 
-and parse_concatenation st : Ast.t =
+and parse_concatenation st : Spanned.t =
+  let start = here st in
   let rec atoms acc =
     match peek st with
     | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.CLASS _ | Lexer.LPAR), _) ->
@@ -66,73 +84,97 @@ and parse_concatenation st : Ast.t =
     | Some ((Lexer.ALTER | Lexer.RPAR), _) | None -> List.rev acc
   in
   match atoms [] with
-  | [] -> Ast.Empty
+  | [] -> mk Spanned.Empty start start
   | [ one ] -> one
-  | parts -> Ast.Concat parts
+  | parts ->
+    let left = (List.hd parts).Spanned.left in
+    let right = (List.hd (List.rev parts)).Spanned.right in
+    mk (Spanned.Concat parts) left right
 
-and parse_quantified st : Ast.t =
+and parse_quantified st : Spanned.t =
   let atom = parse_atom st in
   match peek st with
   | Some (tok, pos) ->
     (match quantifier_of_token tok with
      | None -> atom
      | Some q ->
+       let stop = Option.value (peek_stop st) ~default:st.src_len in
        advance st;
-       let q =
+       let q, stop =
          match peek st with
          | Some (Lexer.QUESTION, _) ->
+           let stop = Option.value (peek_stop st) ~default:st.src_len in
            advance st;
-           Ast.lazy_of q
+           (Ast.lazy_of q, stop)
          | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.STAR | Lexer.PLUS
                  | Lexer.REPEAT _ | Lexer.ALTER | Lexer.LPAR | Lexer.RPAR
                  | Lexer.CLASS _), _)
          | None ->
-           q
+           (q, stop)
        in
        (match peek st with
         | Some (next, npos) when quantifier_of_token next <> None ->
           ignore npos;
           fail pos "stacked quantifiers are not allowed"
-        | Some _ | None -> Ast.Repeat (atom, q)))
+        | Some _ | None ->
+          mk (Spanned.Repeat (atom, q)) atom.Spanned.left stop))
   | None -> atom
 
-and parse_atom st : Ast.t =
-  match peek st with
-  | Some (Lexer.CHAR c, _) ->
+and parse_atom st : Spanned.t =
+  match st.toks with
+  | (Lexer.CHAR c, pos, stop) :: _ ->
     advance st;
-    Ast.Char c
-  | Some (Lexer.DOT, _) ->
+    mk (Spanned.Char c) pos stop
+  | (Lexer.DOT, pos, stop) :: _ ->
     advance st;
-    Ast.Any
-  | Some (Lexer.CLASS cls, _) ->
+    mk Spanned.Any pos stop
+  | (Lexer.CLASS cls, pos, stop) :: _ ->
     advance st;
-    Ast.Class cls
-  | Some (Lexer.LPAR, pos) ->
+    mk (Spanned.Class cls) pos stop
+  | (Lexer.LPAR, pos, _) :: _ ->
     advance st;
     let inner = parse_alternation st in
-    (match peek st with
-     | Some (Lexer.RPAR, _) ->
+    (match st.toks with
+     | (Lexer.RPAR, _, stop) :: _ ->
        advance st;
-       Ast.Group inner
-     | Some _ | None -> fail pos "unclosed group")
-  | Some ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _
-          | Lexer.ALTER | Lexer.RPAR), pos) ->
+       mk (Spanned.Group inner) pos stop
+     | _ :: _ | [] -> fail pos "unclosed group")
+  | ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _
+     | Lexer.ALTER | Lexer.RPAR), pos, _) :: _ ->
     fail pos "expected an atom"
-  | None -> fail st.src_len "expected an atom"
+  | [] -> fail st.src_len "expected an atom"
 
-let parse_tokens src_len toks : Ast.t =
-  let st = { toks; src_len } in
+(* Attach stop offsets: tokens are contiguous, so each ends where the
+   next begins (the last at the end of the source). *)
+let with_stops src_len toks =
+  let rec go = function
+    | [] -> []
+    | [ (t, p) ] -> [ (t, p, src_len) ]
+    | (t, p) :: ((_, p') :: _ as rest) -> (t, p, p') :: go rest
+  in
+  go toks
+
+let parse_spanned_tokens src_len toks : Spanned.t =
+  let st = { toks = with_stops src_len toks; src_len } in
   let ast = parse_alternation st in
   match peek st with
   | Some (Lexer.RPAR, pos) -> fail pos "unmatched ')'"
   | Some (_, pos) -> fail pos "trailing input"
   | None -> ast
 
-let parse src : Ast.t =
-  parse_tokens (String.length src) (Lexer.tokenize src)
+let parse_spanned src : Spanned.t =
+  parse_spanned_tokens (String.length src) (Lexer.tokenize src)
+
+let parse src : Ast.t = Spanned.strip (parse_spanned src)
 
 let parse_result src : (Ast.t, string) result =
   match parse src with
+  | ast -> Ok ast
+  | exception Lexer.Lex_error e -> Error (Lexer.error_message e)
+  | exception Parse_error e -> Error (error_message e)
+
+let parse_spanned_result src : (Spanned.t, string) result =
+  match parse_spanned src with
   | ast -> Ok ast
   | exception Lexer.Lex_error e -> Error (Lexer.error_message e)
   | exception Parse_error e -> Error (error_message e)

@@ -16,3 +16,13 @@ val parse : string -> Ast.t
 
 val parse_result : string -> (Ast.t, string) result
 (** Exception-free wrapper returning a rendered error message. *)
+
+val parse_spanned : string -> Spanned.t
+(** Like {!parse} but keeps byte spans on every node — the view the lint
+    pass reports diagnostics against. [Spanned.strip (parse_spanned s)]
+    equals [parse s].
+    @raise Parse_error on syntax errors.
+    @raise Lexer.Lex_error on lexical errors. *)
+
+val parse_spanned_result : string -> (Spanned.t, string) result
+(** Exception-free wrapper around {!parse_spanned}. *)

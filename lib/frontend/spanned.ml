@@ -1,0 +1,50 @@
+(* Position-annotated AST mirror of Ast.t. The parser builds this tree;
+   the plain AST is obtained by erasure, so both views always agree. *)
+
+type t = {
+  node : node;
+  left : int;
+  right : int;
+}
+
+and node =
+  | Empty
+  | Char of char
+  | Class of Ast.charclass
+  | Any
+  | Concat of t list
+  | Alt of t list
+  | Repeat of t * Ast.quant
+  | Group of t
+
+let rec strip (s : t) : Ast.t =
+  match s.node with
+  | Empty -> Ast.Empty
+  | Char c -> Ast.Char c
+  | Class cls -> Ast.Class cls
+  | Any -> Ast.Any
+  | Concat xs -> Ast.Concat (List.map strip xs)
+  | Alt xs -> Ast.Alt (List.map strip xs)
+  | Repeat (x, q) -> Ast.Repeat (strip x, q)
+  | Group x -> Ast.Group (strip x)
+
+let span_text src (s : t) =
+  let left = max 0 (min s.left (String.length src)) in
+  let right = max left (min s.right (String.length src)) in
+  String.sub src left (right - left)
+
+let rec pp ppf (s : t) =
+  let tag name inner = Fmt.pf ppf "%s(%a)@%d..%d" name inner () s.left s.right in
+  match s.node with
+  | Empty -> Fmt.pf ppf "eps@%d..%d" s.left s.right
+  | Char c -> Fmt.pf ppf "%C@%d..%d" c s.left s.right
+  | Class cls ->
+    Fmt.pf ppf "[%s%a]@%d..%d"
+      (if cls.Ast.negated then "^" else "")
+      Charset.pp cls.Ast.set s.left s.right
+  | Any -> Fmt.pf ppf ".@%d..%d" s.left s.right
+  | Concat xs -> tag "seq" (fun ppf () -> Fmt.(list ~sep:sp pp) ppf xs)
+  | Alt xs -> tag "alt" (fun ppf () -> Fmt.(list ~sep:(any "|") pp) ppf xs)
+  | Repeat (x, q) ->
+    tag "rep" (fun ppf () -> Fmt.pf ppf "%a %a" pp x Ast.pp_quant q)
+  | Group x -> tag "grp" (fun ppf () -> pp ppf x)

@@ -1,0 +1,29 @@
+(** Position-annotated AST: the same shape as {!Ast.t} with every node
+    carrying the byte span of the source text it was parsed from. The
+    lint pass reports diagnostics against these spans; {!strip} erases
+    them back to the plain AST the rest of the pipeline consumes. *)
+
+type t = {
+  node : node;
+  left : int;   (** inclusive byte offset of the node's first character *)
+  right : int;  (** exclusive byte offset one past the node's last character *)
+}
+
+and node =
+  | Empty
+  | Char of char
+  | Class of Ast.charclass
+  | Any
+  | Concat of t list
+  | Alt of t list
+  | Repeat of t * Ast.quant
+  | Group of t
+
+val strip : t -> Ast.t
+(** Erase spans. [strip (Parser.parse_spanned src) = Parser.parse src]. *)
+
+val span_text : string -> t -> string
+(** The source slice a node covers (clipped to the string bounds). *)
+
+val pp : t Fmt.t
+(** Debug printer: the stripped AST with [@left..right] span suffixes. *)

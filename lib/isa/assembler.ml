@@ -16,15 +16,22 @@
 
 type error = {
   line : int;
+  text : string;  (* the offending source line, "" when not line-specific *)
   reason : string;
 }
 
-let error_message { line; reason } =
-  Printf.sprintf "assembly error at line %d: %s" line reason
+let error_message { line; text; reason } =
+  if String.trim text = "" then
+    Printf.sprintf "assembly error at line %d: %s" line reason
+  else
+    Printf.sprintf "assembly error at line %d: %s\n  %d | %s" line reason line
+      text
 
 exception Asm_error of error
 
-let fail line reason = raise (Asm_error { line; reason })
+(* Helpers raise with the line number only; [parse] attaches the source
+   line text at the boundary, where the split lines are in scope. *)
+let fail line reason = raise (Asm_error { line; text = ""; reason })
 
 (* Split a line into whitespace-separated tokens, keeping quoted char
    blocks ('...') as single tokens. *)
@@ -188,22 +195,45 @@ let strip_address toks =
     -> rest
   | toks -> toks
 
+(* Map a whole-program validation error back to the instruction it
+   points at, so the diagnostic names the source line, not "line 0". *)
+let pc_of_program_error (e : Program.error) n =
+  match e with
+  | Program.Empty_program -> None
+  | Program.Missing_eor -> if n > 0 then Some (n - 1) else None
+  | Program.Interior_eor pc | Program.Instruction_error (pc, _)
+  | Program.Jump_out_of_range (pc, _) | Program.Unbalanced_close pc
+  | Program.Unclosed_open pc ->
+    Some pc
+
 let parse (source : string) : (Program.t, error) result =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let line_text lineno =
+    if lineno >= 1 && lineno <= Array.length lines then
+      String.trim lines.(lineno - 1)
+    else ""
+  in
   match
-    String.split_on_char '\n' source
+    Array.to_list lines
     |> List.mapi (fun k line -> (k + 1, line))
     |> List.filter_map (fun (lineno, line) ->
         let toks = strip_address (tokens_of_line lineno line) in
         match toks with
         | [] -> None
-        | toks -> Some (parse_instruction lineno toks))
-    |> Array.of_list
+        | toks -> Some (lineno, parse_instruction lineno toks))
   with
-  | program ->
+  | entries ->
+    let program = Array.of_list (List.map snd entries) in
     (match Program.validate program with
      | Ok () -> Ok program
-     | Error e -> Error { line = 0; reason = Program.error_message e })
-  | exception Asm_error e -> Error e
+     | Error e ->
+       let line =
+         match pc_of_program_error e (Array.length program) with
+         | Some pc when pc < List.length entries -> fst (List.nth entries pc)
+         | Some _ | None -> 0
+       in
+       Error { line; text = line_text line; reason = Program.error_message e })
+  | exception Asm_error e -> Error { e with text = line_text e.line }
 
 let parse_exn source =
   match parse source with

@@ -4,6 +4,9 @@
 
 type error = {
   line : int;
+  text : string;
+      (** the offending source line (trimmed), [""] when the error is
+          not tied to one line *)
   reason : string;
 }
 

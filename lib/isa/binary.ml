@@ -19,6 +19,8 @@ type error =
   | Truncated of string
   | Word_error of int * Encoding.error
   | Program_error of Program.error
+  | Verify_error of Verify.violation list
+  | Io_error of string
 
 let error_message = function
   | Bad_magic -> "bad magic (not an ALVEARE binary)"
@@ -27,6 +29,10 @@ let error_message = function
   | Word_error (idx, e) ->
     Printf.sprintf "word %d: %s" idx (Encoding.error_message e)
   | Program_error e -> Program.error_message e
+  | Verify_error vs ->
+    Printf.sprintf "verifier rejected the program: %s"
+      (String.concat "; " (List.map Verify.violation_message vs))
+  | Io_error m -> "i/o error: " ^ m
 
 let header_size = 12
 let word_size = 8
@@ -58,7 +64,7 @@ let to_bytes_exn ?strict p =
   | Ok b -> b
   | Error e -> invalid_arg ("Binary.to_bytes: " ^ error_message e)
 
-let of_bytes (buf : bytes) : (Program.t, error) result =
+let of_bytes ?(verify = true) (buf : bytes) : (Program.t, error) result =
   let len = Bytes.length buf in
   if len < header_size then Error (Truncated "header")
   else if Bytes.sub_string buf 0 4 <> magic then Error Bad_magic
@@ -84,8 +90,16 @@ let of_bytes (buf : bytes) : (Program.t, error) result =
         | Some e -> Error e
         | None ->
           (match Program.validate program with
-           | Ok () -> Ok program
-           | Error e -> Error (Program_error e))
+           | Error e -> Error (Program_error e)
+           | Ok () ->
+             if not verify then Ok program
+             else begin
+               (* Load-time verification: a decoded image that the
+                  static verifier rejects never reaches the core. *)
+               match Verify.run program with
+               | Ok _ -> Ok program
+               | Error vs -> Error (Verify_error vs)
+             end)
       end
     end
   end
@@ -103,14 +117,19 @@ let write_file ?strict path p =
        close_out_noerr oc;
        raise e)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let buf = Bytes.create len in
-  (try
-     really_input ic buf 0 len;
-     close_in ic
-   with e ->
-     close_in_noerr ic;
-     raise e);
-  of_bytes buf
+let read_file ?verify path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let buf = Bytes.create len in
+    (try
+       really_input ic buf 0 len;
+       close_in ic
+     with e ->
+       close_in_noerr ic;
+       raise e);
+    buf
+  with
+  | buf -> of_bytes ?verify buf
+  | exception Sys_error m -> Error (Io_error m)
+  | exception End_of_file -> Error (Io_error (path ^ ": unexpected end of file"))

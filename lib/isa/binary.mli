@@ -13,6 +13,9 @@ type error =
   | Truncated of string
   | Word_error of int * Encoding.error
   | Program_error of Program.error
+  | Verify_error of Verify.violation list
+      (** the image decodes but the static verifier rejects it *)
+  | Io_error of string
 
 val error_message : error -> string
 
@@ -25,8 +28,15 @@ val to_bytes : ?strict:bool -> Program.t -> (bytes, error) result
 
 val to_bytes_exn : ?strict:bool -> Program.t -> bytes
 
-val of_bytes : bytes -> (Program.t, error) result
-(** Parse and fully validate a binary image. *)
+val of_bytes : ?verify:bool -> bytes -> (Program.t, error) result
+(** Parse and fully validate a binary image. With [verify] (the
+    default) the static verifier ({!Verify.run}) must also accept the
+    program — jump targets in range, no dead code, balanced
+    speculation, no zero-advance cycles — so a corrupted or adversarial
+    image is rejected before it can reach the core. [~verify:false]
+    restores the load-time structural checks only. Never raises: every
+    failure mode is a structured [error]. *)
 
 val write_file : ?strict:bool -> string -> Program.t -> (bytes, error) result
-val read_file : string -> (Program.t, error) result
+val read_file : ?verify:bool -> string -> (Program.t, error) result
+(** [verify] as in {!of_bytes}. I/O failures return [Io_error]. *)

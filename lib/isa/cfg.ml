@@ -1,0 +1,224 @@
+(* CFG construction over Instruction.t arrays, mirroring the controller
+   FSM in lib/arch/core.ml edge for edge:
+
+   - a base instruction advances the cursor, then either falls through or
+     executes its fused close;
+   - a quantifier OPEN enters its body (open+1) and, when the minimum is
+     zero (or the maximum is zero), can continue at open+fwd without
+     entering it;
+   - an alternation OPEN enters its member body and, on rollback, resumes
+     at open+bwd (the next member);
+   - a plain close falls through; an alternation close jumps to the
+     matching OPEN's continuation; a quantified close either loops back
+     to the body start or exits to the continuation.
+
+   The core reads the fwd field unconditionally (the enable bit gates
+   only bwd), so exit addresses here use fwd as encoded — exactly what
+   the hardware would dereference. *)
+
+module I = Instruction
+
+type node_kind =
+  | Eor
+  | Base of { close : I.close_op option }
+  | Open_quant of {
+      qmin : int;
+      qmax : int option;
+      lazy_mode : bool;
+      body : int;
+      exit : int;
+    }
+  | Open_alt of {
+      body : int;
+      next : int option;
+      exit : int;
+    }
+  | Close of I.close_op
+  | Junk
+
+type edge_role =
+  | Fallthrough
+  | Body_entry
+  | Skip
+  | Alt_next
+  | Loop_back
+  | Exit
+
+type edge = {
+  src : int;
+  dst : int;
+  role : edge_role;
+  consumes : bool;
+}
+
+type t = {
+  program : Program.t;
+  kinds : node_kind array;
+  succ : edge list array;
+  pairs : (int * int) list;
+}
+
+let kind_of_instruction pc (i : I.t) : node_kind =
+  if I.is_eor i then Eor
+  else if i.I.opn then begin
+    match i.I.reference with
+    | I.Ref_open o ->
+      if o.I.min_enabled || o.I.max_enabled then
+        Open_quant
+          { qmin = (if o.I.min_enabled then o.I.min_count else 0);
+            qmax =
+              (if not o.I.max_enabled then None
+               else if o.I.max_count = I.unbounded_max then None
+               else Some o.I.max_count);
+            lazy_mode = o.I.lazy_mode;
+            body = pc + 1;
+            exit = pc + o.I.fwd }
+      else
+        Open_alt
+          { body = pc + 1;
+            next = (if o.I.bwd_enabled then Some (pc + o.I.bwd) else None);
+            exit = pc + o.I.fwd }
+    | I.Ref_none | I.Ref_chars _ -> Junk
+  end
+  else begin
+    match i.I.base, i.I.close with
+    | Some _, close ->
+      (match i.I.reference with
+       | I.Ref_chars _ -> Base { close }
+       | I.Ref_none | I.Ref_open _ -> Junk)
+    | None, Some c -> Close c
+    | None, None -> Junk (* non-EoR instruction with no operator *)
+  end
+
+(* Match closes to opens with a stack scan. Unbalanced closes and
+   unclosed opens simply produce no pair — the verifier reports them. *)
+let match_pairs (kinds : node_kind array) : (int * int) list =
+  let pairs = ref [] in
+  let stack = ref [] in
+  Array.iteri
+    (fun pc k ->
+       (match k with
+        | Open_quant _ | Open_alt _ -> stack := pc :: !stack
+        | Eor | Base _ | Close _ | Junk -> ());
+       let closes = match k with
+         | Base { close = Some _ } | Close _ -> true
+         | Base { close = None } | Eor | Open_quant _ | Open_alt _ | Junk ->
+           false
+       in
+       if closes then begin
+         match !stack with
+         | open_pc :: rest ->
+           stack := rest;
+           pairs := (open_pc, pc) :: !pairs
+         | [] -> ()
+       end)
+    kinds;
+  List.rev !pairs
+
+(* Edges a close operator at [pc] produces, given its matching open (if
+   any). [consumes] is true when the close is fused into a base
+   instruction (the base consumed input before the close executed). *)
+let close_edges kinds pairs pc (c : I.close_op) ~consumes : edge list =
+  let matching =
+    List.filter_map (fun (o, cl) -> if cl = pc then Some o else None) pairs
+  in
+  match c, matching with
+  | I.Close, _ -> [ { src = pc; dst = pc + 1; role = Fallthrough; consumes } ]
+  | I.Alt_close, [ open_pc ] ->
+    (match kinds.(open_pc) with
+     | Open_alt { exit; _ } | Open_quant { exit; _ } ->
+       [ { src = pc; dst = exit; role = Exit; consumes } ]
+     | Eor | Base _ | Close _ | Junk -> [])
+  | (I.Quant_greedy | I.Quant_lazy), [ open_pc ] ->
+    (match kinds.(open_pc) with
+     | Open_quant { body; exit; _ } ->
+       [ { src = pc; dst = body; role = Loop_back; consumes };
+         { src = pc; dst = exit; role = Exit; consumes } ]
+     | Open_alt { exit; _ } ->
+       (* kind mismatch (flagged by the verifier); the exit address is
+          still what the context would carry *)
+       [ { src = pc; dst = exit; role = Exit; consumes } ]
+     | Eor | Base _ | Close _ | Junk -> [])
+  | (I.Alt_close | I.Quant_greedy | I.Quant_lazy), _ -> []
+
+let build (program : Program.t) : t =
+  let n = Array.length program in
+  let kinds = Array.mapi kind_of_instruction program in
+  let pairs = match_pairs kinds in
+  let in_range e = e.dst >= 0 && e.dst < n in
+  let succ =
+    Array.mapi
+      (fun pc k ->
+         let edges =
+           match k with
+           | Eor | Junk -> []
+           | Base { close = None } ->
+             [ { src = pc; dst = pc + 1; role = Fallthrough; consumes = true } ]
+           | Base { close = Some c } ->
+             close_edges kinds pairs pc c ~consumes:true
+           | Close c -> close_edges kinds pairs pc c ~consumes:false
+           | Open_quant { qmin; qmax; body; exit; _ } ->
+             let entry =
+               { src = pc; dst = body; role = Body_entry; consumes = false }
+             in
+             (* The core continues at the exit without entering the body
+                only when the minimum is zero (greedy/lazy alike) or the
+                maximum is zero. *)
+             if qmin = 0 || qmax = Some 0 then
+               [ entry; { src = pc; dst = exit; role = Skip; consumes = false } ]
+             else [ entry ]
+           | Open_alt { body; next; _ } ->
+             let entry =
+               { src = pc; dst = body; role = Body_entry; consumes = false }
+             in
+             (match next with
+              | Some dst ->
+                [ entry; { src = pc; dst; role = Alt_next; consumes = false } ]
+              | None -> [ entry ])
+         in
+         List.filter in_range edges)
+      kinds
+  in
+  { program; kinds; succ; pairs }
+
+let successors t pc = t.succ.(pc)
+
+let edge_count t = Array.fold_left (fun acc es -> acc + List.length es) 0 t.succ
+
+(* The quantified-close loop back is excluded: past the minimum count the
+   core cuts off zero-width iterations (cursor = iteration start exits
+   the loop), and the below-minimum iterations are bounded by the 6-bit
+   counter, so that edge alone can never diverge. *)
+let epsilon_edge e = (not e.consumes) && e.role <> Loop_back
+
+let pp_role ppf = function
+  | Fallthrough -> Fmt.string ppf "fall"
+  | Body_entry -> Fmt.string ppf "body"
+  | Skip -> Fmt.string ppf "skip"
+  | Alt_next -> Fmt.string ppf "alt-next"
+  | Loop_back -> Fmt.string ppf "loop"
+  | Exit -> Fmt.string ppf "exit"
+
+let pp_kind ppf = function
+  | Eor -> Fmt.string ppf "eor"
+  | Base { close = None } -> Fmt.string ppf "base"
+  | Base { close = Some c } -> Fmt.pf ppf "base+%a" I.pp_close_op c
+  | Open_quant { qmin; qmax; lazy_mode; _ } ->
+    Fmt.pf ppf "open-quant{%d,%s}%s" qmin
+      (match qmax with Some m -> string_of_int m | None -> "inf")
+      (if lazy_mode then " lazy" else "")
+  | Open_alt _ -> Fmt.string ppf "open-alt"
+  | Close c -> Fmt.pf ppf "close %a" I.pp_close_op c
+  | Junk -> Fmt.string ppf "junk"
+
+let pp ppf t =
+  Array.iteri
+    (fun pc k ->
+       Fmt.pf ppf "%3d: %-22s" pc (Fmt.str "%a" pp_kind k);
+       List.iter
+         (fun e ->
+            Fmt.pf ppf " %a->%d%s" pp_role e.role e.dst
+              (if e.consumes then "!" else ""))
+         t.succ.(pc);
+       Fmt.pf ppf "@.")
+    t.kinds

@@ -1,0 +1,70 @@
+(** Control-flow graph over a compiled program — the substrate of the
+    binary verifier. Nodes are instruction addresses; edges model every
+    control transfer the speculative core can take: fallthrough, body
+    entry, quantifier skip, alternation rollback, quantified-close loop
+    back and sub-RE exit. Each edge records whether traversing it
+    consumes input, which is what the zero-advance (epsilon-loop)
+    analysis keys on. *)
+
+(** Decoded role of an instruction in the graph. *)
+type node_kind =
+  | Eor
+  | Base of { close : Instruction.close_op option }
+      (** consuming instruction, possibly with a fused close *)
+  | Open_quant of {
+      qmin : int;
+      qmax : int option;  (** [None] = unbounded *)
+      lazy_mode : bool;
+      body : int;         (** first body address, open + 1 *)
+      exit : int;         (** continuation address, open + fwd *)
+    }
+  | Open_alt of {
+      body : int;
+      next : int option;  (** next member's OPEN (rollback path) *)
+      exit : int;         (** end of the whole chain, open + fwd *)
+    }
+  | Close of Instruction.close_op  (** standalone close *)
+  | Junk  (** malformed instruction — no outgoing edges *)
+
+type edge_role =
+  | Fallthrough  (** next instruction after a base or plain close *)
+  | Body_entry   (** OPEN → first body instruction *)
+  | Skip         (** quantifier OPEN → exit without entering the body *)
+  | Alt_next     (** alternation OPEN → next member (rollback target) *)
+  | Loop_back    (** quantified close → body start; progress-guarded by
+                     the core's zero-width-iteration cutoff, so it never
+                     participates in a zero-advance cycle *)
+  | Exit         (** close → the matching OPEN's continuation *)
+
+type edge = {
+  src : int;
+  dst : int;
+  role : edge_role;
+  consumes : bool;  (** the edge is only taken after consuming input *)
+}
+
+type t = {
+  program : Program.t;
+  kinds : node_kind array;
+  succ : edge list array;
+  pairs : (int * int) list;
+      (** matched (open, close) address pairs; a fused close is
+          identified by its carrier instruction's address *)
+}
+
+val build : Program.t -> t
+(** Total on arbitrary instruction arrays: malformed instructions become
+    {!Junk}, unmatched closes get no exit edges, and edges whose target
+    falls outside the program are dropped (the verifier reports those as
+    violations instead). *)
+
+val successors : t -> int -> edge list
+
+val edge_count : t -> int
+
+val epsilon_edge : edge -> bool
+(** True for edges traversable without consuming input and without a
+    progress guard — the sub-graph searched for zero-advance cycles. *)
+
+val pp : t Fmt.t
+(** One line per node: address, kind, outgoing edges. *)

@@ -1,0 +1,71 @@
+(* Seeded corpus of corrupted ALVEARE binary images for loader
+   robustness tests: every mutation is derived deterministically
+   (fixed Rng seed) from a handful of pristine compiled binaries, so a
+   corpus failure reproduces byte-for-byte.
+
+   Mutation classes mirror how images go bad in practice: truncation
+   at every prefix length (torn writes), single- and multi-bit flips
+   (transport corruption), header field damage (magic, version, count)
+   and unstructured garbage. The contract under test is that
+   {!Alveare_isa.Binary.of_bytes} never raises on any of them. *)
+
+module Rng = Alveare_workloads.Rng
+module Binary = Alveare_isa.Binary
+module Compile = Alveare_compiler.Compile
+
+let seed_patterns =
+  [ "abc";
+    "([^A-Z])+";
+    "(a+)+b";
+    "(ab|cd)+?e";
+    "[a-z]{3,9}x";
+    "x(y|z){2,5}?w";
+    "a{100}";
+    "(\\.\\./){2,8}[a-z]{2,12}" ]
+
+let pristine () : bytes list =
+  List.map
+    (fun p -> Binary.to_bytes_exn (Compile.compile_exn p).Compile.program)
+    seed_patterns
+
+let truncations (buf : bytes) : bytes list =
+  List.init (Bytes.length buf) (fun n -> Bytes.sub buf 0 n)
+
+let bit_flips rng ~copies (buf : bytes) : bytes list =
+  List.init copies (fun _ ->
+      let b = Bytes.copy buf in
+      let flips = 1 + Rng.int rng 3 in
+      for _ = 1 to flips do
+        let pos = Rng.int rng (Bytes.length b) in
+        let bit = Rng.int rng 8 in
+        Bytes.set_uint8 b pos (Bytes.get_uint8 b pos lxor (1 lsl bit))
+      done;
+      b)
+
+(* Targeted header damage: each mutant breaks one field the loader
+   checks explicitly. *)
+let header_damage (buf : bytes) : bytes list =
+  let patch f =
+    let b = Bytes.copy buf in
+    f b;
+    b
+  in
+  [ patch (fun b -> Bytes.set b 0 'X');                     (* magic *)
+    patch (fun b -> Bytes.set_uint8 b 4 99);                (* version *)
+    patch (fun b -> Bytes.set_int32_le b 8 0x7fffffffl);    (* huge count *)
+    patch (fun b -> Bytes.set_int32_le b 8 (-1l));          (* negative count *)
+    patch (fun b -> Bytes.set_int32_le b 8 0l) ]            (* empty program *)
+
+let garbage rng ~copies : bytes list =
+  List.init copies (fun _ ->
+      let len = Rng.int rng 64 in
+      Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)))
+
+let corpus ?(flips_per_image = 24) ?(garbage_images = 64) () : bytes list =
+  let rng = Rng.create 0xC0FFEE in
+  let seeds = pristine () in
+  List.concat
+    [ List.concat_map truncations seeds;
+      List.concat_map (bit_flips rng ~copies:flips_per_image) seeds;
+      List.concat_map header_damage seeds;
+      garbage rng ~copies:garbage_images ]

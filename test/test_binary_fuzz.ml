@@ -1,0 +1,70 @@
+(* Loader robustness: Binary.of_bytes must never raise, whatever bytes
+   it is fed. The corpus (test/support/fuzz_corpus.ml) derives
+   truncations, bit flips, header damage and garbage deterministically
+   from compiled seed binaries, and a qcheck property adds arbitrary
+   byte strings on top. *)
+
+module Binary = Alveare_isa.Binary
+module Corpus = Alveare_test_support.Fuzz_corpus
+
+let test_pristine_load () =
+  List.iter
+    (fun image ->
+       match Binary.of_bytes image with
+       | Ok _ -> ()
+       | Error e ->
+         Alcotest.failf "pristine image rejected: %s" (Binary.error_message e))
+    (Corpus.pristine ())
+
+let load_never_raises ~verify image =
+  match Binary.of_bytes ~verify image with
+  | Ok _ | Error _ -> ()
+  | exception e ->
+    Alcotest.failf "of_bytes raised %s on a %d-byte image"
+      (Printexc.to_string e) (Bytes.length image)
+
+let test_corpus_never_raises () =
+  let corpus = Corpus.corpus () in
+  Alcotest.(check bool) "corpus is non-trivial" true (List.length corpus > 500);
+  List.iter
+    (fun image ->
+       load_never_raises ~verify:true image;
+       load_never_raises ~verify:false image)
+    corpus
+
+(* Flipped images that still decode must either load or fail with a
+   rendered error — error_message is total too. *)
+let test_error_messages_total () =
+  List.iter
+    (fun image ->
+       match Binary.of_bytes image with
+       | Ok _ -> ()
+       | Error e ->
+         Alcotest.(check bool) "non-empty message" true
+           (String.length (Binary.error_message e) > 0))
+    (Corpus.corpus ())
+
+let test_read_file_errors () =
+  (match Binary.read_file "/nonexistent/alveare.bin" with
+   | Error (Binary.Io_error _) -> ()
+   | Error e -> Alcotest.failf "wrong error: %s" (Binary.error_message e)
+   | Ok _ -> Alcotest.fail "expected an I/O error")
+
+let arbitrary_bytes_prop =
+  QCheck.Test.make ~count:500 ~name:"of_bytes total on arbitrary bytes"
+    QCheck.(string_of_size Gen.(int_bound 128))
+    (fun s ->
+       match Binary.of_bytes (Bytes.of_string s) with
+       | Ok _ | Error _ -> true)
+
+let () =
+  Alcotest.run "binary-fuzz"
+    [ ( "corpus",
+        [ Alcotest.test_case "pristine images load" `Quick test_pristine_load;
+          Alcotest.test_case "corpus never raises" `Quick
+            test_corpus_never_raises;
+          Alcotest.test_case "error messages total" `Quick
+            test_error_messages_total;
+          Alcotest.test_case "read_file errors" `Quick test_read_file_errors ] );
+      ( "property",
+        [ QCheck_alcotest.to_alcotest arbitrary_bytes_prop ] ) ]

@@ -200,7 +200,8 @@ let test_ir_count_matches_emission () =
 let test_compile_errors () =
   (match Compile.compile "(a" with
    | Error (Compile.Frontend_error _) -> ()
-   | Error (Compile.Backend_error _) -> Alcotest.fail "wrong error class"
+   | Error (Compile.Backend_error _ | Compile.Verify_error _) ->
+     Alcotest.fail "wrong error class"
    | Ok _ -> Alcotest.fail "expected error");
   check "error message" true
     (match Compile.compile "[z-a]" with

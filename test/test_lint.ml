@@ -1,0 +1,94 @@
+(* Corpus-level guarantee behind the @lint gate: every pattern the
+   workload samplers (PowerEN / Protomata / Snort) and the examples
+   emit compiles to a program the static verifier accepts with zero
+   violations, and the curated example patterns carry no
+   warning-severity lint diagnostics. *)
+
+module Compile = Alveare_compiler.Compile
+module Verify = Alveare_analysis.Verify
+module Lint = Alveare_analysis.Lint
+module Rng = Alveare_workloads.Rng
+
+let compile_and_verify pat =
+  (* Compile.compile already runs the verifier; re-running it here
+     gives the report so the test can also assert full reachability. *)
+  match Compile.compile pat with
+  | Error e -> Alcotest.failf "%S: %s" pat (Compile.error_message e)
+  | Ok c ->
+    (match Verify.run c.Compile.program with
+     | Error (v :: _) ->
+       Alcotest.failf "%S rejected: %s" pat (Verify.violation_message v)
+     | Error [] -> Alcotest.failf "%S rejected with no violations" pat
+     | Ok r ->
+       if r.Verify.reachable <> r.Verify.instructions then
+         Alcotest.failf "%S: dead code in compiler output" pat;
+       c)
+
+let verify_sampler name patterns =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter (fun p -> ignore (compile_and_verify p)) patterns)
+
+let powren () = Alveare_workloads.Powren.patterns (Rng.create 11) 200
+let protomata () = Alveare_workloads.Protomata.patterns (Rng.create 12) 200
+let snort () = Alveare_workloads.Snort.patterns (Rng.create 13) 200
+
+(* The example programs' pattern sets, kept in sync by hand with
+   examples/*.ml (they are string literals there, not exported). *)
+let example_patterns =
+  [ (* examples/quickstart.ml *)
+    "([^A-Z])+";
+    (* examples/snort_dpi.ml *)
+    "GET /admin[a-z0-9_]{0,16}\\.php";
+    "(\\.\\./){2,8}[a-z]{2,12}";
+    "(user|login|passwd)=[^&\\r\\n]{1,24}";
+    "\\x90{8,40}";
+    "cmd=[^&\\r\\n]{0,20}[;|`]";
+    "User-Agent: (sqlmap|nikto|nmap)";
+    (* examples/log_scanner.ml *)
+    "(ERROR|FATAL|PANIC)";
+    "WARN(ING)?";
+    "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}";
+    "took [0-9]{4,8}ms";
+    "(api|secret)_key=[A-Za-z0-9]{16,32}";
+    "at [a-z_.]{3,40}:[0-9]{1,5}";
+    (* examples/binary_patterns.ml *)
+    "\\x7fELF[\\x01\\x02][\\x01\\x02]";
+    "\\x89PNG\\r\\n\\x1a\\n";
+    "\\x90{6,32}";
+    "\\xcd\\x80";
+    "M\\x00Z\\x00";
+    "[\\xf0-\\xff]{4,8}";
+    (* examples/protein_motifs.ml *)
+    "[ST][ACDEFGHIKLMNPQRSTVWY][RK]";
+    "[ST][ACDEFGHIKLMNPQRSTVWY]{2}[DE]" ]
+
+let test_examples () =
+  List.iter
+    (fun pat ->
+       let c = compile_and_verify pat in
+       if Lint.has_warnings c.Compile.lint then
+         let d = List.find (fun d -> d.Lint.severity = Lint.Warning) c.Compile.lint in
+         Alcotest.failf "%S has a lint warning: %s" pat d.Lint.message)
+    example_patterns
+
+(* Workload patterns may trip lint heuristics (they are adversarial by
+   design) but must always PARSE for the linter — a lint crash on a
+   generated rule would break the gate. *)
+let test_lint_total_on_workloads () =
+  List.iter
+    (fun p ->
+       match Lint.pattern p with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "lint failed to parse %S: %s" p e)
+    (powren () @ protomata () @ snort ())
+
+let () =
+  Alcotest.run "lint-corpus"
+    [ ( "verify-workloads",
+        [ verify_sampler "powren" (powren ());
+          verify_sampler "protomata" (protomata ());
+          verify_sampler "snort" (snort ()) ] );
+      ( "examples",
+        [ Alcotest.test_case "verify + lint clean" `Quick test_examples;
+          Alcotest.test_case "lint total on samplers" `Quick
+            test_lint_total_on_workloads ] ) ]
