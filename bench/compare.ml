@@ -1,0 +1,145 @@
+(* Bench regression gate: diff a fresh bench_output.json against the
+   checked-in BENCH_BASELINE.json and fail (exit 1) when the run shows a
+   real regression:
+
+   - the geometric mean over the shared alveare/... bechamel timings
+     more than 20% slower than the baseline (ns/run, lower is better).
+     The mean, not each timing: back-to-back runs on a shared machine
+     drift individual microbenchmarks by 30-50%, so a per-timing 20%
+     gate flakes on noise alone. A single timing still hard-fails when
+     it is more than 2x the baseline (catastrophic, not noise), and
+     per-timing drift past 20% is printed as a warning;
+   - any prefilter/.../hits-identical flag not 1 (the prefilter changed
+     the match report — a correctness bug, not a perf question);
+   - no workload left with an attempts-ratio >= 2 (the prefilter's
+     reason to exist: at least one unanchored ruleset scan must start
+     2x fewer attempts than the dense scan).
+
+   Counters other than the gated ones are informational. Wired as the
+   @benchcheck alias — deliberately not part of the default runtest,
+   because wall-clock gates belong in an opt-in lane, not in every
+   sandboxed test run.
+
+     dune build @benchcheck
+     dune exec bench/compare.exe -- BENCH_BASELINE.json bench_output.json
+
+   BENCH_BASELINE.json holds the element-wise noise envelope (slowest
+   observed value) of the wall-clock entries over the runs used to
+   establish it, with the deterministic counters (attempts, offsets,
+   hits) taken verbatim — they must never vary between runs. Refresh it
+   by re-running the bench a few times and keeping the per-timing max.
+*)
+
+let regression_slack = 1.20 (* suite geomean >20% slower than baseline fails *)
+let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
+let required_attempts_ratio = 2.0
+
+(* The JSON both files carry is the flat {"name": number} map
+   bench/main.ml writes; a line-oriented parse of that shape keeps the
+   gate dependency-free. Anything else is rejected loudly. *)
+let parse path : (string * float) list =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" || line = "{" || line = "}" then ()
+       else begin
+         match String.index_opt line '"' with
+         | None -> failwith (Printf.sprintf "%s: unparseable line %S" path line)
+         | Some q0 ->
+           let q1 = String.index_from line (q0 + 1) '"' in
+           let name = String.sub line (q0 + 1) (q1 - q0 - 1) in
+           let colon = String.index_from line q1 ':' in
+           let value =
+             let v = String.sub line (colon + 1) (String.length line - colon - 1) in
+             let v = String.trim v in
+             let v =
+               if String.length v > 0 && v.[String.length v - 1] = ',' then
+                 String.sub v 0 (String.length v - 1)
+               else v
+             in
+             float_of_string v
+           in
+           entries := (name, value) :: !entries
+       end
+     done
+   with End_of_file -> close_in ic);
+  List.rev !entries
+
+let () =
+  let baseline_path, fresh_path =
+    match Sys.argv with
+    | [| _; b; f |] -> (b, f)
+    | _ ->
+      prerr_endline "usage: compare BASELINE.json FRESH.json";
+      exit 2
+  in
+  let baseline = parse baseline_path in
+  let fresh = parse fresh_path in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let prefix p (n, _) = String.length n >= String.length p
+                        && String.sub n 0 (String.length p) = p in
+  let suffix s n = String.length n >= String.length s
+                   && String.sub n (String.length n - String.length s)
+                        (String.length s) = s in
+  (* Throughput gate over the shared bechamel timings: suite geometric
+     mean within 20% of baseline; any single timing past 2x fails. *)
+  let compared = ref 0 in
+  let log_ratio_sum = ref 0.0 in
+  List.iter
+    (fun (name, fresh_ns) ->
+       match List.assoc_opt name baseline with
+       | None -> ()
+       | Some base_ns ->
+         incr compared;
+         let ratio = fresh_ns /. base_ns in
+         log_ratio_sum := !log_ratio_sum +. log ratio;
+         if ratio > outlier_slack then
+           fail "%s: %.0f ns/run vs baseline %.0f (%.1fx, outlier limit %.0fx)"
+             name fresh_ns base_ns ratio outlier_slack
+         else if ratio > regression_slack then
+           Printf.printf
+             "benchcheck warn: %s %.0f ns/run vs baseline %.0f \
+              (%.0f%% slower — within machine noise, not gated per-timing)\n"
+             name fresh_ns base_ns (100.0 *. (ratio -. 1.0)))
+    (List.filter (prefix "alveare/") fresh);
+  if !compared = 0 then
+    fail "no shared alveare/ timings between %s and %s" baseline_path fresh_path
+  else begin
+    let geomean = exp (!log_ratio_sum /. float_of_int !compared) in
+    if geomean > regression_slack then
+      fail
+        "suite geomean %.2fx slower than baseline over %d shared timings \
+         (limit %.2fx)"
+        geomean !compared regression_slack
+  end;
+  (* Prefilter semantics flags: every workload's hits must be identical
+     with prefiltering on and off. *)
+  let flags = List.filter (fun (n, _) -> suffix "/hits-identical" n) fresh in
+  if flags = [] then fail "no prefilter/.../hits-identical entries in %s" fresh_path;
+  List.iter
+    (fun (name, v) ->
+       if v <> 1.0 then fail "%s = %g: prefiltered scan changed the hits" name v)
+    flags;
+  (* Attempts criterion: at least one workload >= 2x fewer attempts. *)
+  let ratios = List.filter (fun (n, _) -> suffix "/attempts-ratio" n) fresh in
+  if ratios = [] then fail "no prefilter/.../attempts-ratio entries in %s" fresh_path
+  else if not (List.exists (fun (_, r) -> r >= required_attempts_ratio) ratios)
+  then
+    fail "no workload reaches a %.0fx attempts reduction (best %.2fx)"
+      required_attempts_ratio
+      (List.fold_left (fun acc (_, r) -> Float.max acc r) 0.0 ratios);
+  match !failures with
+  | [] ->
+    Printf.printf
+      "benchcheck OK: %d shared timings, geomean within %d%% of baseline, \
+       hits identical, attempts ratios %s\n"
+      !compared
+      (int_of_float ((regression_slack -. 1.0) *. 100.0))
+      (String.concat ", "
+         (List.map (fun (n, r) -> Printf.sprintf "%s=%.1fx" n r) ratios))
+  | fs ->
+    List.iter (fun m -> Printf.eprintf "benchcheck FAIL: %s\n" m) (List.rev fs);
+    exit 1

@@ -99,6 +99,18 @@ let sim_scan_test =
   Test.make ~name:"micro-simulate-16KiB-scan"
     (Staged.stage (fun () -> Alveare_arch.Core.find_all program input))
 
+let sim_scan_prefilter_test =
+  let c = Alveare_compiler.Compile.compile_exn "ab+c" in
+  let rng = Alveare_workloads.Rng.create 5 in
+  let input =
+    String.init 16384 (fun _ -> Alveare_workloads.Streams.lowercase_text rng)
+  in
+  Test.make ~name:"micro-simulate-16KiB-scan-prefilter"
+    (Staged.stage (fun () ->
+         Alveare_arch.Core.find_all
+           ~prefilter:c.Alveare_compiler.Compile.prefilter
+           c.Alveare_compiler.Compile.program input))
+
 let tests =
   Test.make_grouped ~name:"alveare"
     [ table2_test;
@@ -112,7 +124,8 @@ let tests =
       fabric_test;
       breakdown_test;
       compile_test;
-      sim_scan_test ]
+      sim_scan_test;
+      sim_scan_prefilter_test ]
 
 let benchmark () =
   let ols =
@@ -143,10 +156,20 @@ let print_results results =
     results;
   Fmt.pr "@."
 
-(* Machine-readable sibling of the text report: {"name": ns_per_run, ...}.
-   Benchmark names are bechamel identifiers (alveare/...), so escaping
-   quotes and backslashes covers the whole JSON string grammar here. *)
-let write_json path results =
+(* Machine-readable sibling of the text report: a flat {"name": value}
+   map. Bechamel timings land as alveare/... -> ns/run; the prefilter
+   ablation adds prefilter/... counters and seconds. Names are
+   identifiers, so escaping quotes and backslashes covers the whole JSON
+   string grammar here. *)
+let timing_entries results =
+  List.filter_map
+    (fun (name, ols) ->
+       match Analyze.OLS.estimates ols with
+       | Some [ run_ns ] -> Some (name, run_ns)
+       | Some _ | None -> None)
+    results
+
+let write_json path entries =
   let escape s =
     let buf = Buffer.create (String.length s) in
     String.iter
@@ -159,24 +182,100 @@ let write_json path results =
   in
   let oc = open_out path in
   let entries =
-    List.filter_map
-      (fun (name, ols) ->
-         match Analyze.OLS.estimates ols with
-         | Some [ run_ns ] ->
-           Some (Printf.sprintf "  \"%s\": %.3f" (escape name) run_ns)
-         | Some _ | None -> None)
-      results
+    List.map
+      (fun (name, v) -> Printf.sprintf "  \"%s\": %.3f" (escape name) v)
+      entries
   in
   output_string oc "{\n";
   output_string oc (String.concat ",\n" entries);
   output_string oc "\n}\n";
   close_out oc;
-  Fmt.pr "wrote %s (%d entries, ns/run)@.@." path (List.length entries)
+  Fmt.pr "wrote %s (%d entries)@.@." path (List.length entries)
+
+(* --- Prefilter ablation -------------------------------------------------
+
+   The headline numbers for the software prefilter: scan a witness-
+   planted stream through a sampled PowerEN and Snort ruleset with
+   start-of-match prefiltering on and off, and record attempts started,
+   offsets pruned, host wall-clock, and whether the match reports are
+   identical (they must be — the prefilter is semantics-preserving).
+   The counters are deterministic (seeded samplers, cycle-level
+   simulator); only the seconds are host-dependent. *)
+
+module Ruleset = Alveare_compiler.Ruleset
+module Streams = Alveare_workloads.Streams
+module Rng = Alveare_workloads.Rng
+
+let ablation_rules = 16
+let ablation_bytes = 128 * 1024
+
+let prefilter_ablation () : (string * float) list =
+  let workloads =
+    [ ("powren", Alveare_workloads.Powren.patterns (Rng.create 21) ablation_rules,
+       Streams.lowercase_text);
+      ("snort", Alveare_workloads.Snort.patterns (Rng.create 22) ablation_rules,
+       Streams.network) ]
+  in
+  Fmt.pr "== Prefilter ablation (ruleset scan, %d rules, %d KiB) ==@."
+    ablation_rules (ablation_bytes / 1024);
+  List.concat_map
+    (fun (name, patterns, background) ->
+       let specs =
+         List.mapi (fun i p -> (Printf.sprintf "%s-%d" name i, p)) patterns
+       in
+       let rs = Ruleset.compile_exn specs in
+       let asts =
+         List.map
+           (fun (r : Ruleset.compiled_rule) ->
+              r.Ruleset.compiled.Alveare_compiler.Compile.ast)
+           (Array.to_list rs.Ruleset.rules)
+       in
+       let stream =
+         Streams.generate ~rng:(Rng.create 23) ~size:ablation_bytes ~background
+           ~plant:(Streams.plant_of_patterns ~asts) ()
+       in
+       let time f =
+         let t0 = Sys.time () in
+         let r = f () in
+         (r, Sys.time () -. t0)
+       in
+       let on, on_s = time (fun () -> Ruleset.scan rs stream.Streams.data) in
+       let off, off_s =
+         time (fun () -> Ruleset.scan ~prefilter:false rs stream.Streams.data)
+       in
+       let identical = on.Ruleset.hits = off.Ruleset.hits in
+       let ratio den num = float_of_int den /. float_of_int (max 1 num) in
+       Fmt.pr
+         "  %-8s attempts %d -> %d (%.1fx fewer), pruned %d, AC rules %d/%d, \
+          wall %.3fs -> %.3fs (%.2fx), hits %s (%d)@."
+         name off.Ruleset.total_attempts on.Ruleset.total_attempts
+         (ratio off.Ruleset.total_attempts on.Ruleset.total_attempts)
+         on.Ruleset.total_offsets_pruned on.Ruleset.prefiltered_rules
+         (Ruleset.size rs) off_s on_s
+         (off_s /. Float.max 1e-9 on_s)
+         (if identical then "identical" else "DIVERGED")
+         (List.length on.Ruleset.hits);
+       let k fmt = Printf.sprintf ("prefilter/%s/" ^^ fmt) name in
+       [ (k "attempts-off", float_of_int off.Ruleset.total_attempts);
+         (k "attempts-on", float_of_int on.Ruleset.total_attempts);
+         (k "attempts-ratio",
+          ratio off.Ruleset.total_attempts on.Ruleset.total_attempts);
+         (k "offsets-scanned", float_of_int on.Ruleset.total_offsets_scanned);
+         (k "offsets-pruned-on", float_of_int on.Ruleset.total_offsets_pruned);
+         (k "offsets-pruned-off", float_of_int off.Ruleset.total_offsets_pruned);
+         (k "prefiltered-rules", float_of_int on.Ruleset.prefiltered_rules);
+         (k "seconds-off", off_s);
+         (k "seconds-on", on_s);
+         (k "speedup", off_s /. Float.max 1e-9 on_s);
+         (k "hits", float_of_int (List.length on.Ruleset.hits));
+         (k "hits-identical", if identical then 1.0 else 0.0) ])
+    workloads
 
 let () =
   let results = benchmark () in
   print_results results;
-  write_json !json_path results;
+  let ablation = prefilter_ablation () in
+  write_json !json_path (timing_entries results @ ablation);
   (* Regenerate every paper artefact at quick scale. *)
   let workers = !workers in
   let scale = E.quick_scale () in

@@ -18,6 +18,27 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Prefilter facts for a loaded binary come from the [.pf] sidecar
+   alvearec writes next to it. A missing sidecar just means no
+   prefiltering; a malformed one is worth a warning (stale or
+   truncated) but never fails the run. *)
+let load_sidecar path =
+  let pf_path = path ^ ".pf" in
+  if not (Sys.file_exists pf_path) then None
+  else begin
+    let ic = open_in_bin pf_path in
+    let buf =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Alveare_prefilter.Prefilter.of_bytes (Bytes.of_string buf) with
+    | Ok pf -> Some pf
+    | Error m ->
+      Fmt.epr "alveare_run: ignoring %s: %s@." pf_path m;
+      None
+  end
+
 let load_program ~verify ~lint pattern binary =
   match pattern, binary with
   | Some p, None ->
@@ -30,14 +51,14 @@ let load_program ~verify ~lint pattern binary =
                 (Alveare_analysis.Lint.pp_diagnostic_source ~pattern:p)
                 d)
            c.Compile.lint;
-       Ok (c.Compile.program, Some c.Compile.ast)
+       Ok (c.Compile.program, Some c.Compile.ast, Some c.Compile.prefilter)
      | Error e -> Error (Compile.error_message e))
   | None, Some path ->
     if lint then
       Fmt.epr "alveare_run: --lint needs a PATTERN (binaries carry no \
                source)@.";
     (match Alveare_isa.Binary.read_file ~verify path with
-     | Ok prog -> Ok (prog, None)
+     | Ok prog -> Ok (prog, None, load_sidecar path)
      | Error e -> Error (Alveare_isa.Binary.error_message e))
   | Some _, Some _ -> Error "give either PATTERN or --binary, not both"
   | None, None -> Error "give a PATTERN or --binary FILE"
@@ -67,7 +88,7 @@ let compare_engines ast program data =
     rows
 
 let run pattern binary text file cores quiet stats_flag trace_path compare
-    lint no_verify =
+    lint no_verify no_prefilter =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -80,7 +101,8 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
   | Error m, _ | _, Error m ->
     Fmt.epr "alveare_run: %s@." m;
     1
-  | Ok (program, ast), Ok data ->
+  | Ok (program, ast, prefilter), Ok data ->
+    let prefilter = if no_prefilter then None else prefilter in
     let overlap =
       match ast with
       | Some ast -> Multicore.overlap_for_ast ast
@@ -98,7 +120,7 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
          (Alveare_arch.Trace.length trace)
          (if Alveare_arch.Trace.truncated trace then ", truncated" else "")
          path);
-    let outcome = Fpga.run ~cores ~overlap program data in
+    let outcome = Fpga.run ~cores ~overlap ?prefilter program data in
     let result = outcome.Fpga.result in
     if not quiet then
       List.iter
@@ -127,9 +149,10 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
            let s = c.Multicore.stats in
            Fmt.pr
              "core %d [%d,%d): cycles %d, instr %d, rollbacks %d, attempts \
-              %d, max stack %d, matches %d@."
+              %d, offsets %d (%d pruned), max stack %d, matches %d@."
              k c.Multicore.slice_start c.Multicore.slice_stop s.Core.cycles
              s.Core.instructions s.Core.rollbacks s.Core.attempts
+             s.Core.offsets_scanned s.Core.offsets_pruned
              s.Core.max_stack_depth (List.length c.Multicore.owned))
         result.Multicore.per_core;
     0
@@ -181,6 +204,14 @@ let no_verify_flag =
            ~doc:"Skip static verification of the compiled or loaded \
                  program.")
 
+let no_prefilter_flag =
+  Arg.(value & flag
+       & info [ "no-prefilter" ]
+           ~doc:"Disable the start-of-match prefilter (first-byte-set \
+                 skip loop); every offset is attempted. Matches are \
+                 identical either way — this flag only affects \
+                 attempts/cycles, for ablation runs.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_run" ~version:"1.0"
@@ -188,6 +219,6 @@ let cmd =
     Term.(
       const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
       $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
-      $ no_verify_flag)
+      $ no_verify_flag $ no_prefilter_flag)
 
 let () = exit (Cmd.eval' cmd)

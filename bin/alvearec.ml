@@ -39,7 +39,11 @@ let compile_and_report pattern minimal alphabet strict no_opt out disasm
            Fmt.pr "%3d: %a@." k Alveare_isa.Encoding.pp_word
              (Alveare_isa.Encoding.encode_exn ~strict i))
         c.Compile.program;
-    if stats then Fmt.pr "%a" Compile.pp_stats (Compile.stats c);
+    if stats then begin
+      Fmt.pr "%a" Compile.pp_stats (Compile.stats c);
+      Fmt.pr "prefilter: %s@."
+        (Alveare_prefilter.Prefilter.describe c.Compile.prefilter)
+    end;
     (match out with
      | None ->
        if not (disasm || show_ir || show_ast || stats || words) then
@@ -53,6 +57,17 @@ let compile_and_report pattern minimal alphabet strict no_opt out disasm
           Fmt.pr "wrote %s (%d bytes, %d instructions)@." path
             (Bytes.length buf)
             (Alveare_isa.Program.length c.Compile.program);
+          (* Prefilter sidecar: binaries carry no AST, so the scan-time
+             skip facts ride along in FILE.pf (picked up by
+             alveare_run --binary). *)
+          let pf_path = path ^ ".pf" in
+          let pf = Alveare_prefilter.Prefilter.to_bytes c.Compile.prefilter in
+          let oc = open_out_bin pf_path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_bytes oc pf);
+          Fmt.pr "wrote %s (%d bytes, %s)@." pf_path (Bytes.length pf)
+            (Alveare_prefilter.Prefilter.describe c.Compile.prefilter);
           0
         | Error e ->
           Fmt.epr "alvearec: %s@." (Alveare_isa.Binary.error_message e);

@@ -85,22 +85,30 @@ let cached pattern = Compile.cached pattern
 
 let string_error r = Result.map_error Compile.error_message r
 
-let find_all ?(cores = 1) ?workers pattern input : (span list, string) result =
+(* The helpers run with the compiled pattern's prefilter unless the
+   caller turns it off; matches are identical either way. *)
+let find_all ?(cores = 1) ?workers ?(prefilter = true) pattern input
+  : (span list, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
-          if cores = 1 then Core.find_all c.Compile.program input
-          else Multicore.find_all ~cores ?workers c.Compile.program input)
+          let pf = if prefilter then Some c.Compile.prefilter else None in
+          if cores = 1 then Core.find_all ?prefilter:pf c.Compile.program input
+          else
+            Multicore.find_all ~cores ?workers ?prefilter:pf
+              c.Compile.program input)
        (cached pattern))
 
-let search pattern input : (span option, string) result =
+let search ?(prefilter = true) pattern input : (span option, string) result =
   string_error
     (Result.map
-       (fun (c : compiled) -> Core.search c.Compile.program input)
+       (fun (c : compiled) ->
+          let pf = if prefilter then Some c.Compile.prefilter else None in
+          Core.search ?prefilter:pf c.Compile.program input)
        (cached pattern))
 
-let matches pattern input : (bool, string) result =
-  Result.map Option.is_some (search pattern input)
+let matches ?prefilter pattern input : (bool, string) result =
+  Result.map Option.is_some (search ?prefilter pattern input)
 
 let disassemble pattern : (string, string) result =
   string_error (Result.map Compile.disassemble (cached pattern))

@@ -88,15 +88,18 @@ val compile : string -> (compiled, Compile.error) result
 val compile_exn : string -> compiled
 
 val find_all :
-  ?cores:int -> ?workers:int -> string -> string -> (span list, string) result
+  ?cores:int -> ?workers:int -> ?prefilter:bool ->
+  string -> string -> (span list, string) result
 (** [find_all pattern input] — all non-overlapping matches on the
     simulated DSA ([cores] > 1 uses the multi-core scale-out; [workers]
-    parallelises the simulated cores on host domains). *)
+    parallelises the simulated cores on host domains). [prefilter]
+    (default [true]) skips start offsets the compiled pattern's first
+    byte-set rules out; matches are identical either way. *)
 
-val search : string -> string -> (span option, string) result
+val search : ?prefilter:bool -> string -> string -> (span option, string) result
 (** Leftmost match. *)
 
-val matches : string -> string -> (bool, string) result
+val matches : ?prefilter:bool -> string -> string -> (bool, string) result
 
 val disassemble : string -> (string, string) result
 

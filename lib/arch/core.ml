@@ -42,13 +42,14 @@ type stats = {
   mutable scan_cycles : int;     (* vector-unit start-offset pruning *)
   mutable attempts : int;        (* full matching attempts started *)
   mutable offsets_scanned : int;
+  mutable offsets_pruned : int;  (* offsets rejected without an attempt *)
   mutable match_count : int;
 }
 
 let fresh_stats () =
   { cycles = 0; instructions = 0; rollbacks = 0; stack_pushes = 0;
     max_stack_depth = 0; scan_cycles = 0; attempts = 0; offsets_scanned = 0;
-    match_count = 0 }
+    offsets_pruned = 0; match_count = 0 }
 
 type error =
   | Stack_overflow of int
@@ -268,11 +269,20 @@ let match_at ?(config = default_config) ?stats ?trace (program : I.t array)
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   attempt ?trace ~config ~stats program input start
 
-(* Scan for matches from [from]; [mode] selects first-match or all
+(* Scan for matches from [from]; [all] selects first-match or all
    non-overlapping matches. The scan models the vector unit: runs of
-   offsets rejected by the leading instruction cost
-   ceil(run / compute_units) cycles. *)
-let scan_from ?trace ~config ~stats ~all program input from =
+   offsets rejected without an attempt — by the leading instruction or
+   by the software prefilter — cost ceil(run / compute_units) cycles.
+
+   [next] generalises the candidate source: [next offset] is the
+   smallest offset >= [offset] worth attempting, or [None] when no
+   candidate remains before end-of-input. The dense scan uses the
+   identity; the prefiltered scans skip straight to the next candidate.
+   Skipped offsets are still counted in [offsets_scanned] and
+   [offsets_pruned] and charged the same vector-unit scan cycles, so
+   cycle/offset accounting stays comparable across modes (the ablation
+   tables rely on this). *)
+let scan_from ?trace ~config ~stats ~all ~next program input from =
   let n = String.length input in
   let filter = leading_filter program in
   let found = ref [] in
@@ -293,47 +303,111 @@ let scan_from ?trace ~config ~stats ~all program input from =
       rejected_run := 0
     end
   in
+  let prune k =
+    stats.offsets_scanned <- stats.offsets_scanned + k;
+    stats.offsets_pruned <- stats.offsets_pruned + k;
+    rejected_run := !rejected_run + k
+  in
   let rec go offset =
     if offset > n then flush_run ()
     else begin
-      stats.offsets_scanned <- stats.offsets_scanned + 1;
-      let prefilter_pass =
-        match filter with
-        | Some f -> offset < n && f input offset
-        | None -> true
-      in
-      if not prefilter_pass then begin
-        incr rejected_run;
-        go (offset + 1)
-      end
-      else begin
-        flush_run ();
-        match attempt ?trace ~config ~stats program input offset with
-        | Some stop ->
-          let span = { Span.start = offset; stop } in
-          found := span :: !found;
-          stats.match_count <- stats.match_count + 1;
-          if all then go (Span.next_scan_position span) else flush_run ()
-        | None -> go (offset + 1)
-      end
+      match next offset with
+      | None ->
+        (* No candidate remains: offsets offset..n are all pruned. *)
+        prune (n - offset + 1);
+        flush_run ()
+      | Some cand ->
+        if cand > offset then prune (cand - offset);
+        stats.offsets_scanned <- stats.offsets_scanned + 1;
+        let prefilter_pass =
+          match filter with
+          | Some f -> cand < n && f input cand
+          | None -> true
+        in
+        if not prefilter_pass then begin
+          stats.offsets_pruned <- stats.offsets_pruned + 1;
+          incr rejected_run;
+          go (cand + 1)
+        end
+        else begin
+          flush_run ();
+          match attempt ?trace ~config ~stats program input cand with
+          | Some stop ->
+            let span = { Span.start = cand; stop } in
+            found := span :: !found;
+            stats.match_count <- stats.match_count + 1;
+            if all then go (Span.next_scan_position span) else flush_run ()
+          | None -> go (cand + 1)
+        end
     end
   in
   go from;
   List.rev !found
 
-let search ?(config = default_config) ?stats ?trace ?(from = 0) program input
-  : Span.span option =
+let dense_next offset = Some offset
+
+(* Candidate sources from compile-time prefilter facts are built inline
+   in [search]/[find_all] (they close over the input string). Soundness:
+   the first set over-approximates, so a byte outside it can never begin
+   a match, and the skip loop is only engaged for non-nullable patterns
+   — empty matches could otherwise start at any offset, including the
+   end-of-input position. Anchored patterns attempt only at the initial
+   offset. *)
+
+let search ?(config = default_config) ?stats ?trace ?prefilter ?(from = 0)
+    program input : Span.span option =
   Alveare_isa.Program.validate_exn program;
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  match scan_from ?trace ~config ~stats ~all:false program input from with
+  let next =
+    match prefilter with
+    | Some pf when Alveare_prefilter.Prefilter.first_usable pf ->
+      if pf.Alveare_prefilter.Prefilter.anchored then
+        fun offset -> if offset = from then Some offset else None
+      else fun offset ->
+        Alveare_prefilter.Prefilter.next_candidate pf input offset
+    | Some _ | None -> dense_next
+  in
+  match scan_from ?trace ~config ~stats ~all:false ~next program input from with
   | [] -> None
   | span :: _ -> Some span
 
-let find_all ?(config = default_config) ?stats ?trace program input
+let find_all ?(config = default_config) ?stats ?trace ?prefilter program input
   : Span.span list =
   Alveare_isa.Program.validate_exn program;
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  scan_from ?trace ~config ~stats ~all:true program input 0
+  let next =
+    match prefilter with
+    | Some pf when Alveare_prefilter.Prefilter.first_usable pf ->
+      if pf.Alveare_prefilter.Prefilter.anchored then
+        fun offset -> if offset = 0 then Some offset else None
+      else fun offset ->
+        Alveare_prefilter.Prefilter.next_candidate pf input offset
+    | Some _ | None -> dense_next
+  in
+  scan_from ?trace ~config ~stats ~all:true ~next program input 0
 
-let matches ?config ?stats program input =
-  Option.is_some (search ?config ?stats program input)
+(* Scan restricted to an explicit sorted candidate-offset array (from
+   the ruleset Aho-Corasick pass): every other offset is pruned without
+   an attempt, with the same accounting as the skip loop. *)
+let find_all_candidates ?(config = default_config) ?stats ?trace ~candidates
+    program input : Span.span list =
+  Alveare_isa.Program.validate_exn program;
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let m = Array.length candidates in
+  (* Smallest candidate >= offset, by binary search (candidates are
+     sorted ascending). *)
+  let next offset =
+    if m = 0 || candidates.(m - 1) < offset then None
+    else begin
+      let lo = ref 0 and hi = ref (m - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if candidates.(mid) < offset then lo := mid + 1 else hi := mid
+      done;
+      Some candidates.(!lo)
+    end
+  in
+  scan_from ?trace ~config ~stats ~all:true ~next program input 0
+
+let matches ?config ?stats ?prefilter program input =
+  Option.is_some (search ?config ?stats ?prefilter program input)

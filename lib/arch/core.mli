@@ -20,6 +20,11 @@ type stats = {
   mutable scan_cycles : int;   (** vector-unit start-offset pruning cycles *)
   mutable attempts : int;
   mutable offsets_scanned : int;
+  mutable offsets_pruned : int;
+      (** offsets rejected without a matching attempt — by the leading
+          instruction's vector-unit gate or by the software prefilter.
+          Counted identically in dense and prefiltered scans, so
+          ablation tables stay comparable. *)
   mutable match_count : int;
 }
 
@@ -39,15 +44,32 @@ val match_at :
 (** Anchored attempt at an offset; returns the match end. *)
 
 val search :
-  ?config:config -> ?stats:stats -> ?trace:Trace.t -> ?from:int ->
+  ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  ?prefilter:Alveare_prefilter.Prefilter.t -> ?from:int ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span option
-(** Leftmost match at or after [from]. *)
+(** Leftmost match at or after [from]. When [prefilter] is passed and
+    usable ({!Alveare_prefilter.Prefilter.first_usable}), offsets whose
+    byte cannot start a match are skipped without an attempt; results
+    are identical to the dense scan. *)
 
 val find_all :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  ?prefilter:Alveare_prefilter.Prefilter.t ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
 (** All non-overlapping matches, left to right. [trace] records one
-    {!Trace.event} per cycle for waveform inspection ({!Vcd}). *)
+    {!Trace.event} per cycle for waveform inspection ({!Vcd}).
+    [prefilter] as in {!search}. *)
+
+val find_all_candidates :
+  ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  candidates:int array ->
+  Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
+(** Like {!find_all} but attempts only at the given sorted start
+    offsets (e.g. from the ruleset Aho-Corasick pass); all other
+    offsets are counted as pruned. Equal to {!find_all} whenever
+    [candidates] contains every true match start. *)
 
 val matches :
-  ?config:config -> ?stats:stats -> Alveare_isa.Program.t -> string -> bool
+  ?config:config -> ?stats:stats ->
+  ?prefilter:Alveare_prefilter.Prefilter.t ->
+  Alveare_isa.Program.t -> string -> bool

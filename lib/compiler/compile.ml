@@ -11,6 +11,7 @@ type compiled = {
   program : Alveare_isa.Program.t;
   options : Alveare_ir.Lower.options;
   lint : Alveare_analysis.Lint.diagnostic list;
+  prefilter : Alveare_prefilter.Prefilter.t;
 }
 
 type error =
@@ -31,6 +32,10 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options)
   : (compiled, error) result =
   let ast = Alveare_frontend.Desugar.normalize ast in
   let ir = Alveare_ir.Lower.lower ~options ast in
+  (* Prefilter facts come from the same normalised AST the program is
+     lowered from, so they describe exactly the language the binary
+     matches. *)
+  let prefilter = Alveare_prefilter.Prefilter.analyze ast in
   match Alveare_backend.Emit.program_of_ir ir with
   | Error e -> Error (Backend_error e)
   | Ok program ->
@@ -39,10 +44,10 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options)
        is a bug in emission, not in the pattern. *)
     if verify then begin
       match Alveare_isa.Verify.run program with
-      | Ok _ -> Ok { pattern; ast; ir; program; options; lint }
+      | Ok _ -> Ok { pattern; ast; ir; program; options; lint; prefilter }
       | Error vs -> Error (Verify_error vs)
     end
-    else Ok { pattern; ast; ir; program; options; lint }
+    else Ok { pattern; ast; ir; program; options; lint; prefilter }
 
 let compile ?options ?verify pattern : (compiled, error) result =
   match Alveare_frontend.Parser.parse_spanned_result pattern with

@@ -9,6 +9,11 @@ type compiled = {
   lint : Alveare_analysis.Lint.diagnostic list;
       (** lint diagnostics for the source pattern (empty when compiled
           from a bare AST) — advisory, never a compile failure *)
+  prefilter : Alveare_prefilter.Prefilter.t;
+      (** start-of-match prefilter facts extracted from the normalised
+          AST (first byte-set, required literals, min match length);
+          feed to {!Alveare_arch.Core.search}/[find_all] or serialise as
+          a [.pf] sidecar with {!Alveare_prefilter.Prefilter.to_bytes} *)
 }
 
 type error =

@@ -23,14 +23,64 @@ type compiled_rule = {
   overlap : int;
 }
 
+(* Aho-Corasick literal index over the union of all rules' required
+   literals. One pass over the stream yields, per rule, the candidate
+   match-start offsets (literal position minus the literal's offset
+   within the pattern); each covered rule then attempts only at its
+   candidates. Rules without usable literals are not covered and scan
+   with their first-set prefilter instead. *)
+type index = {
+  ac : Alveare_prefilter.Ac.t;
+  refs : (int * int) array;  (* AC pattern idx -> (rule array idx, lit offset) *)
+  covered : bool array;      (* per rule: scanned via the candidate path *)
+}
+
 type t = {
   rules : compiled_rule array;
+  index : index option;
 }
 
 type compile_error = {
   failed_rule : rule;
   reason : string;
 }
+
+let build_index (rules : compiled_rule array) : index option =
+  let lits = ref [] and refs = ref [] and n_lits = ref 0 in
+  let covered =
+    Array.mapi
+      (fun i r ->
+         match
+           Alveare_prefilter.Prefilter.usable_literals
+             r.compiled.Compile.prefilter
+         with
+         | Some l when l.Alveare_prefilter.Prefilter.lits <> [] ->
+           List.iter
+             (fun s ->
+                lits := s :: !lits;
+                refs := (i, l.Alveare_prefilter.Prefilter.offset) :: !refs;
+                incr n_lits)
+             l.Alveare_prefilter.Prefilter.lits;
+           true
+         | Some _ | None -> false)
+      rules
+  in
+  if !n_lits = 0 then None
+  else
+    Some
+      { ac = Alveare_prefilter.Ac.build (List.rev !lits);
+        refs = Array.of_list (List.rev !refs);
+        covered }
+
+(* One automaton pass over the stream; candidate start offsets per rule,
+   sorted ascending and deduplicated. *)
+let candidates_by_rule idx input n_rules =
+  let buckets = Array.make n_rules [] in
+  Alveare_prefilter.Ac.find_iter idx.ac input (fun ~pat ~pos ->
+      let rule_idx, lit_offset = idx.refs.(pat) in
+      let start = pos - lit_offset in
+      if start >= 0 then buckets.(rule_idx) <- start :: buckets.(rule_idx));
+  Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) buckets
 
 let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
     (specs : (string * string) list) : (t, compile_error list) result =
@@ -57,10 +107,11 @@ let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
   in
   if failures <> [] then Error failures
   else
-    Ok
-      { rules =
-          Array.of_list
-            (List.filter_map (function Ok r -> Some r | Error _ -> None) results) }
+    let rules =
+      Array.of_list
+        (List.filter_map (function Ok r -> Some r | Error _ -> None) results)
+    in
+    Ok { rules; index = build_index rules }
 
 let compile_exn ?options ?cache ?workers specs =
   match compile ?options ?cache ?workers specs with
@@ -99,6 +150,10 @@ type report = {
   total_wall_cycles : int;       (* sum over rules of per-rule wall cycles *)
   seconds : float;               (* modelled DSA time incl. dispatch/rule *)
   per_rule_cycles : (int * int) list;
+  total_attempts : int;
+  total_offsets_scanned : int;
+  total_offsets_pruned : int;
+  prefiltered_rules : int;       (* rules scanned via the AC candidate path *)
 }
 
 (* Scan the stream through every rule. Rules run one after another on the
@@ -107,23 +162,70 @@ type report = {
    modelled DSA cost is unchanged by [workers], which only parallelises
    the host-side simulation of the independent per-rule runs. Per-rule
    results are folded back in rule order, so hits and cycle accounting
-   are identical to the sequential scan. *)
-let scan ?(cores = 1) ?workers (t : t) (input : string) : report =
+   are identical to the sequential scan.
+
+   With [prefilter] (the default) rules whose required literals are in
+   the Aho-Corasick index attempt only at candidate offsets from one
+   automaton pass over the stream (single-core scans only: candidates
+   are stream-global offsets); every other rule scans with its first-set
+   skip loop. Hits are identical to the unfiltered scan either way. *)
+let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
+  : report =
+  let candidates =
+    match t.index with
+    | Some idx when prefilter && cores = 1 ->
+      Some (idx, candidates_by_rule idx input (Array.length t.rules))
+    | Some _ | None -> None
+  in
   let per_rule_results =
     Alveare_exec.Pool.map ?workers
-      (fun r ->
-         let config = Multicore.config ~cores ~overlap:r.overlap () in
-         let result = Multicore.run ~config r.compiled.Compile.program input in
-         (r.rule, result.Multicore.cycles, result.Multicore.matches))
-      t.rules
+      (fun (i, r) ->
+         match candidates with
+         | Some (idx, cands) when idx.covered.(i) ->
+           let stats = Core.fresh_stats () in
+           let matches =
+             Core.find_all_candidates ~stats ~candidates:cands.(i)
+               r.compiled.Compile.program input
+           in
+           ( r.rule, stats.Core.cycles, matches,
+             (stats.Core.attempts, stats.Core.offsets_scanned,
+              stats.Core.offsets_pruned),
+             true )
+         | _ ->
+           let config = Multicore.config ~cores ~overlap:r.overlap () in
+           let pf =
+             if prefilter then Some r.compiled.Compile.prefilter else None
+           in
+           let result =
+             Multicore.run ?prefilter:pf ~config r.compiled.Compile.program
+               input
+           in
+           let sum f =
+             Array.fold_left
+               (fun acc c -> acc + f c.Multicore.stats)
+               0 result.Multicore.per_core
+           in
+           ( r.rule, result.Multicore.cycles, result.Multicore.matches,
+             ( sum (fun s -> s.Core.attempts),
+               sum (fun s -> s.Core.offsets_scanned),
+               sum (fun s -> s.Core.offsets_pruned) ),
+             false ))
+      (Array.mapi (fun i r -> (i, r)) t.rules)
   in
   let hits =
     Array.to_list per_rule_results
-    |> List.concat_map (fun (rule, _, matches) ->
+    |> List.concat_map (fun (rule, _, matches, _, _) ->
         List.map (fun span -> { hit_rule = rule; span }) matches)
   in
   let total =
-    Array.fold_left (fun acc (_, cycles, _) -> acc + cycles) 0 per_rule_results
+    Array.fold_left
+      (fun acc (_, cycles, _, _, _) -> acc + cycles)
+      0 per_rule_results
+  in
+  let sum_stat k =
+    Array.fold_left
+      (fun acc (_, _, _, stats, _) -> acc + k stats)
+      0 per_rule_results
   in
   let seconds =
     (float_of_int total /. Alveare_platform.Calibration.alveare_clock_hz)
@@ -135,7 +237,16 @@ let scan ?(cores = 1) ?workers (t : t) (input : string) : report =
     seconds;
     per_rule_cycles =
       Array.to_list
-        (Array.map (fun (rule, cycles, _) -> (rule.id, cycles)) per_rule_results) }
+        (Array.map
+           (fun (rule, cycles, _, _, _) -> (rule.id, cycles))
+           per_rule_results);
+    total_attempts = sum_stat (fun (a, _, _) -> a);
+    total_offsets_scanned = sum_stat (fun (_, s, _) -> s);
+    total_offsets_pruned = sum_stat (fun (_, _, p) -> p);
+    prefiltered_rules =
+      Array.fold_left
+        (fun acc (_, _, _, _, ac) -> if ac then acc + 1 else acc)
+        0 per_rule_results }
 
 let hits_for report id =
   List.filter (fun h -> h.hit_rule.id = id) report.hits

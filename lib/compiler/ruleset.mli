@@ -14,8 +14,15 @@ type compiled_rule = {
   overlap : int;  (** multi-core boundary window for this rule *)
 }
 
+type index
+(** Aho-Corasick automaton over the union of all rules' required
+    literals, plus the mapping from literal occurrences back to
+    per-rule candidate match-start offsets. Built once at
+    {!val-compile} time. *)
+
 type t = {
   rules : compiled_rule array;
+  index : index option;  (** [None] when no rule has usable literals *)
 }
 
 type compile_error = {
@@ -60,14 +67,26 @@ type report = {
   total_wall_cycles : int;
   seconds : float;  (** modelled DSA time including per-rule dispatch *)
   per_rule_cycles : (int * int) list;
+  total_attempts : int;         (** matching attempts started, all rules *)
+  total_offsets_scanned : int;  (** offsets considered, all rules *)
+  total_offsets_pruned : int;   (** offsets rejected without an attempt *)
+  prefiltered_rules : int;
+      (** rules scanned via the Aho-Corasick candidate path this scan *)
 }
 
-val scan : ?cores:int -> ?workers:int -> t -> string -> report
+val scan : ?cores:int -> ?workers:int -> ?prefilter:bool -> t -> string -> report
 (** Rules run sequentially on the DSA (one compiled RE in instruction
     memory at a time); [cores] parallelises each rule over the stream on
     the simulated hardware. [workers] parallelises the host-side
     simulation of the independent per-rule runs ({!Alveare_exec.Pool});
     the report — hits, per-rule cycles, modelled seconds — is identical
-    to the sequential scan for any value. *)
+    to the sequential scan for any value.
+
+    [prefilter] (default [true]): rules covered by the literal {!index}
+    attempt only at candidate offsets from one Aho-Corasick pass over
+    the stream (single-core scans; multi-core slicing falls back to the
+    per-slice first-set skip loop), and every other rule scans with its
+    first-set prefilter. Hits are identical with prefiltering on or
+    off — only attempts/cycles change. *)
 
 val hits_for : report -> int -> hit list

@@ -48,7 +48,7 @@ type result = {
   per_core : core_result array;
 }
 
-let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
+let run ?(workers = 1) ?prefilter ~config (program : Alveare_isa.Program.t)
     (input : string) : result =
   Alveare_isa.Program.validate_exn program;
   let n = String.length input in
@@ -69,7 +69,10 @@ let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
           if slice_start >= region_stop && not (slice_start = n && k = 0) then []
           else begin
             let region = String.sub input slice_start (region_stop - slice_start) in
-            Core.find_all ~config:config.core_config ~stats program region
+            (* The prefilter is position-independent (a per-byte first-set
+               test), so applying it per slice is sound. *)
+            Core.find_all ?prefilter ~config:config.core_config ~stats program
+              region
             |> List.filter_map (fun (s : Span.span) ->
                 let start = s.Span.start + slice_start in
                 let stop = s.Span.stop + slice_start in
@@ -96,6 +99,9 @@ let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
   in
   { matches; cycles; total_cycles; per_core }
 
-let find_all ?(cores = 1) ?overlap ?core_config ?workers program input =
-  (run ?workers ~config:(config ~cores ?overlap ?core_config ()) program input)
+let find_all ?(cores = 1) ?overlap ?core_config ?workers ?prefilter program
+    input =
+  (run ?workers ?prefilter
+     ~config:(config ~cores ?overlap ?core_config ())
+     program input)
     .matches

@@ -36,11 +36,16 @@ type result = {
   per_core : core_result array;
 }
 
-val run : ?workers:int -> config:config -> Alveare_isa.Program.t -> string -> result
+val run :
+  ?workers:int -> ?prefilter:Alveare_prefilter.Prefilter.t -> config:config ->
+  Alveare_isa.Program.t -> string -> result
 (** [workers] parallelises the per-core simulations on host domains
     (via {!Alveare_exec.Pool}); results are identical to the sequential
-    run for any value. Default 1 = sequential. *)
+    run for any value. Default 1 = sequential. [prefilter] applies the
+    first-set skip loop inside every core's slice scan (sound: the test
+    is per-byte and position-independent); matches are unchanged. *)
 
 val find_all :
   ?cores:int -> ?overlap:int -> ?core_config:Core.config -> ?workers:int ->
+  ?prefilter:Alveare_prefilter.Prefilter.t ->
   Alveare_isa.Program.t -> string -> Span.span list

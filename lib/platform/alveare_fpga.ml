@@ -14,14 +14,16 @@ type outcome = {
 }
 
 let run ?full_bytes ?(cores = 1) ?(overlap = Multicore.default_overlap)
-    ?(core_config = Alveare_arch.Core.default_config)
+    ?(core_config = Alveare_arch.Core.default_config) ?prefilter
     (program : Alveare_isa.Program.t) (input : string) : outcome =
   if cores > Area.max_cores () then
     invalid_arg
       (Printf.sprintf "Alveare_fpga.run: %d cores do not fit the XCZU3EG (max %d)"
          cores (Area.max_cores ()));
   let mc =
-    Multicore.run ~config:(Multicore.config ~cores ~overlap ~core_config ()) program input
+    Multicore.run ?prefilter
+      ~config:(Multicore.config ~cores ~overlap ~core_config ())
+      program input
   in
   let k = Measure.scale ~sample_bytes:(max 1 (String.length input)) ~full_bytes in
   let matching =

@@ -13,6 +13,7 @@ val run :
   ?cores:int ->
   ?overlap:int ->
   ?core_config:Alveare_arch.Core.config ->
+  ?prefilter:Alveare_prefilter.Prefilter.t ->
   Alveare_isa.Program.t ->
   string ->
   outcome

@@ -1,0 +1,27 @@
+(** Aho-Corasick multi-literal matcher.
+
+    Built once over the union of all rules' required literals
+    ({!Prefilter.literals}), then driven over the input in a single
+    pass; every occurrence of every literal is reported, which the
+    ruleset scanner turns into [(rule, candidate offset)] pairs. The
+    goto function is frozen into a compact CSR form (sorted byte /
+    target arrays per state) so memory stays proportional to the trie,
+    not [states x 256]. *)
+
+type t
+
+val build : string list -> t
+(** Patterns are indexed by list position. Raises [Invalid_argument]
+    on an empty literal (it would match at every offset). Duplicate
+    literals are fine — each index is reported separately. *)
+
+val pattern_count : t -> int
+val state_count : t -> int
+
+val find_iter : ?from:int -> t -> string -> (pat:int -> pos:int -> unit) -> unit
+(** Single pass over [input] from [from]; [f ~pat ~pos] fires for every
+    occurrence of pattern [pat] starting at byte offset [pos],
+    in nondecreasing end-position order. *)
+
+val find_all : ?from:int -> t -> string -> (int * int) list
+(** [(pat, pos)] pairs, in the order {!find_iter} reports them. *)

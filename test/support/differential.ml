@@ -44,6 +44,27 @@ let check_case ast input : failure list =
     if sim <> oracle then
       fail "simulator"
         (Fmt.str "sim %s oracle %s" (show_spans sim) (show_spans oracle));
+    (* prefiltered simulator: the start-of-match skip loop must be
+       invisible in the reported spans — same oracle, same chain *)
+    let simf = Core.find_all ~prefilter:c.Compile.prefilter c.Compile.program input in
+    if simf <> oracle then
+      fail "simulator+prefilter"
+        (Fmt.str "sim %s oracle %s" (show_spans simf) (show_spans oracle));
+    (* search ~from: prefiltered leftmost search agrees with the dense
+       one from every interesting starting offset *)
+    List.iter
+      (fun from ->
+         let dense = Core.search ~from c.Compile.program input in
+         let fast =
+           Core.search ~prefilter:c.Compile.prefilter ~from c.Compile.program
+             input
+         in
+         if dense <> fast then
+           fail "search+prefilter"
+             (Fmt.str "from %d: dense %s prefiltered %s" from
+                (match dense with Some s -> show_spans [ s ] | None -> "none")
+                (match fast with Some s -> show_spans [ s ] | None -> "none")))
+      [ 0; 1; String.length input / 2; String.length input ];
     (* Multicore and the stream runner restart their non-overlapping scan
        at slice boundaries, so the reported CHAIN of matches can differ
        from the single-core chain (the paper's divide-and-conquer

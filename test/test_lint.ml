@@ -82,6 +82,33 @@ let test_lint_total_on_workloads () =
        | Error e -> Alcotest.failf "lint failed to parse %S: %s" p e)
     (powren () @ protomata () @ snort ())
 
+(* Prefilter extraction over the same 600-pattern sampler sweep: must be
+   total (compilation carries it, so a raise would surface here), and
+   the fraction of patterns yielding a non-trivial literal prefilter is
+   reported on stderr — a coverage gauge for the Aho-Corasick ruleset
+   path, not an assertion (sampler drift should not break the gate). *)
+let test_prefilter_total_on_workloads () =
+  let module Pf = Alveare_prefilter.Prefilter in
+  let total = ref 0 and with_lits = ref 0 and skip_usable = ref 0 in
+  List.iter
+    (fun p ->
+       match Compile.compile p with
+       | Error e -> Alcotest.failf "%S failed to compile: %s" p (Compile.error_message e)
+       | Ok c ->
+         let t = c.Compile.prefilter in
+         ignore (Pf.describe t);
+         incr total;
+         if Pf.usable_literals t <> None then incr with_lits;
+         if Pf.first_usable t then incr skip_usable)
+    (powren () @ protomata () @ snort ());
+  Printf.eprintf
+    "prefilter sweep: %d patterns, %d (%.1f%%) with a literal prefilter, \
+     %d (%.1f%%) with a usable first-set skip loop\n%!"
+    !total !with_lits
+    (100.0 *. float_of_int !with_lits /. float_of_int (max 1 !total))
+    !skip_usable
+    (100.0 *. float_of_int !skip_usable /. float_of_int (max 1 !total))
+
 let () =
   Alcotest.run "lint-corpus"
     [ ( "verify-workloads",
@@ -91,4 +118,6 @@ let () =
       ( "examples",
         [ Alcotest.test_case "verify + lint clean" `Quick test_examples;
           Alcotest.test_case "lint total on samplers" `Quick
-            test_lint_total_on_workloads ] ) ]
+            test_lint_total_on_workloads;
+          Alcotest.test_case "prefilter total on samplers" `Quick
+            test_prefilter_total_on_workloads ] ) ]
