@@ -13,7 +13,14 @@
      the match report — a correctness bug, not a perf question);
    - no workload left with an attempts-ratio >= 2 (the prefilter's
      reason to exist: at least one unanchored ruleset scan must start
-     2x fewer attempts than the dense scan).
+     2x fewer attempts than the dense scan);
+   - any server/.../results-identical flag not 1 (a daemon response
+     diverged from the direct library scan of the same slice — a
+     serving-layer correctness bug);
+   - a server/... latency entry (-ns suffix) more than 2x its baseline,
+     or a server/.../throughput-rps below half its baseline. Wide
+     envelopes for the same reason as the timing gate: the serving
+     bench shares the machine with everything else.
 
    Counters other than the gated ones are informational. Wired as the
    @benchcheck alias — deliberately not part of the default runtest,
@@ -33,6 +40,8 @@
 let regression_slack = 1.20 (* suite geomean >20% slower than baseline fails *)
 let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
 let required_attempts_ratio = 2.0
+let server_latency_slack = 2.0 (* server/... -ns entries: >2x baseline fails *)
+let server_throughput_slack = 0.5 (* throughput-rps below half baseline fails *)
 
 (* The JSON both files carry is the flat {"name": number} map
    bench/main.ml writes; a line-oriented parse of that shape keeps the
@@ -131,6 +140,32 @@ let () =
     fail "no workload reaches a %.0fx attempts reduction (best %.2fx)"
       required_attempts_ratio
       (List.fold_left (fun acc (_, r) -> Float.max acc r) 0.0 ratios);
+  (* Serving gates: the daemon must agree with the direct scan, and its
+     measured latency/throughput must stay inside the wide envelopes. *)
+  let server_entries = List.filter (prefix "server/") fresh in
+  let server_flags =
+    List.filter (fun (n, _) -> suffix "/results-identical" n) server_entries
+  in
+  if server_flags = [] then
+    fail "no server/.../results-identical entries in %s" fresh_path;
+  List.iter
+    (fun (name, v) ->
+       if v <> 1.0 then
+         fail "%s = %g: daemon responses diverged from the direct scan" name v)
+    server_flags;
+  List.iter
+    (fun (name, v) ->
+       match List.assoc_opt name baseline with
+       | None -> ()
+       | Some base ->
+         if suffix "-ns" name && v > server_latency_slack *. base then
+           fail "%s: %.0f ns vs baseline %.0f (%.1fx, limit %.1fx)" name v base
+             (v /. base) server_latency_slack
+         else if suffix "/throughput-rps" name
+                 && v < server_throughput_slack *. base then
+           fail "%s: %.1f req/s vs baseline %.1f (below the %.0f%% floor)"
+             name v base (100.0 *. server_throughput_slack))
+    server_entries;
   match !failures with
   | [] ->
     Printf.printf

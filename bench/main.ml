@@ -271,11 +271,127 @@ let prefilter_ablation () : (string * float) list =
          (k "hits-identical", if identical then 1.0 else 0.0) ])
     workloads
 
+(* --- Serving-path benchmark ---------------------------------------------
+
+   End-to-end cost of the daemon: an in-process server on a /tmp Unix
+   socket, [serving_clients] client threads each issuing
+   [serving_requests] ruleset scans of 16 KiB stream slices through the
+   real wire protocol, reader threads and worker pool. Latencies are the
+   client-observed round trips; every response is checked against the
+   direct Ruleset.scan of the same slice, so the benchmark doubles as a
+   correctness run (server/snort/results-identical gates it in
+   compare.ml, alongside the 2x latency and half-throughput envelopes). *)
+
+module Server = Alveare_server.Server
+module Sclient = Alveare_server.Client
+module P = Alveare_server.Protocol
+
+let serving_clients = 4
+let serving_requests = 12
+let serving_slice = 16 * 1024
+
+let serving_bench () : (string * float) list =
+  let patterns =
+    Alveare_workloads.Snort.patterns (Rng.create 22) ablation_rules
+  in
+  let rules = List.mapi (fun i p -> (Printf.sprintf "snort-%d" i, p)) patterns in
+  let rs = Ruleset.compile_exn rules in
+  let asts =
+    List.map
+      (fun (r : Ruleset.compiled_rule) ->
+         r.Ruleset.compiled.Alveare_compiler.Compile.ast)
+      (Array.to_list rs.Ruleset.rules)
+  in
+  let stream =
+    Streams.generate ~rng:(Rng.create 24) ~size:(256 * 1024)
+      ~background:Streams.network ~plant:(Streams.plant_of_patterns ~asts) ()
+  in
+  let slices =
+    let span = String.length stream.Streams.data - serving_slice in
+    List.init serving_requests (fun i ->
+        String.sub stream.Streams.data
+          (i * span / (max 1 (serving_requests - 1)))
+          serving_slice)
+  in
+  (* ground truth per slice, straight through the library *)
+  let expected =
+    List.map
+      (fun slice ->
+         let report = Ruleset.scan rs slice in
+         List.map
+           (fun (h : Ruleset.hit) ->
+              ( h.Ruleset.hit_rule.Ruleset.id,
+                h.Ruleset.hit_rule.Ruleset.tag,
+                h.Ruleset.span.Alveare_engine.Semantics.start,
+                h.Ruleset.span.Alveare_engine.Semantics.stop ))
+           report.Ruleset.hits)
+      slices
+  in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "alveare-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server =
+    Server.start
+      { Server.default_config with
+        Server.addr = Server.Unix_sock path;
+        workers = 4;
+        queue_capacity = 256 }
+  in
+  let latencies = Array.make (serving_clients * serving_requests) 0.0 in
+  let identical = Atomic.make true in
+  let total_hits = Atomic.make 0 in
+  let client ci () =
+    let c = Sclient.connect (Server.Unix_sock path) in
+    Fun.protect ~finally:(fun () -> Sclient.close c) (fun () ->
+        List.iteri
+          (fun i (slice, want) ->
+             let t0 = Unix.gettimeofday () in
+             (match
+                Sclient.ruleset_scan ~allow_risky:true c ~rules ~input:slice
+              with
+             | Ok (P.Ruleset_matches { hits; _ }) ->
+               ignore (Atomic.fetch_and_add total_hits (List.length hits));
+               if hits <> want then Atomic.set identical false
+             | Ok _ | Error _ -> Atomic.set identical false);
+             latencies.((ci * serving_requests) + i) <-
+               Unix.gettimeofday () -. t0)
+          (List.combine slices expected))
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    List.init serving_clients (fun ci -> Thread.create (client ci) ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  Server.stop server;
+  let n = Array.length latencies in
+  Array.sort compare latencies;
+  let pct p = latencies.(min (n - 1) (int_of_float (p *. float_of_int n))) in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let rps = float_of_int n /. Float.max 1e-9 wall in
+  Fmt.pr
+    "== Serving path (%d clients x %d ruleset scans of %d KiB, Unix socket) ==@."
+    serving_clients serving_requests (serving_slice / 1024);
+  Fmt.pr
+    "  throughput %.1f req/s, p50 %.2f ms, p99 %.2f ms, hits %d, results %s@.@."
+    rps (p50 *. 1e3) (p99 *. 1e3) (Atomic.get total_hits)
+    (if Atomic.get identical then "identical" else "DIVERGED");
+  [ ("server/snort/throughput-rps", rps);
+    ("server/snort/p50-ns", p50 *. 1e9);
+    ("server/snort/p99-ns", p99 *. 1e9);
+    ("server/snort/requests", float_of_int n);
+    ("server/snort/hits", float_of_int (Atomic.get total_hits));
+    ("server/snort/results-identical",
+     if Atomic.get identical then 1.0 else 0.0) ]
+
 let () =
   let results = benchmark () in
   print_results results;
   let ablation = prefilter_ablation () in
-  write_json !json_path (timing_entries results @ ablation);
+  let serving = serving_bench () in
+  write_json !json_path (timing_entries results @ ablation @ serving);
   (* Regenerate every paper artefact at quick scale. *)
   let workers = !workers in
   let scale = E.quick_scale () in

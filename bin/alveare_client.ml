@@ -1,0 +1,255 @@
+(* Command-line client for a running alveared: the compile-then-scan
+   round trip, plus health / stats probes. --json emits
+   machine-readable output for scripting.
+
+     alveare_client --socket /tmp/alveared.sock 'ab+c' --data 'xabbbc'
+     alveare_client --tcp 9099 'Host: [a-z.]+' --input traffic.bin --json
+     alveare_client --socket s.sock --health
+     alveare_client --socket s.sock --stats --json
+
+   With a PATTERN and input, the client first sends Compile (surfacing
+   lint diagnostics), then Scan, and prints the spans. Exit status: 0 on
+   success, 1 when the server answered with an error response (the code
+   is printed), 2 on connection/usage errors. *)
+
+module Client = Alveare_server.Client
+module Protocol = Alveare_server.Protocol
+open Cmdliner
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_error ~json (code, message) =
+  let name = Protocol.error_code_name code in
+  if json then
+    Fmt.pr {|{"error": "%s", "message": "%s"}@.|} name (json_escape message)
+  else Fmt.epr "alveare_client: server error [%s]: %s@." name message;
+  1
+
+let transport_error msg =
+  Fmt.epr "alveare_client: %s@." msg;
+  2
+
+let unexpected resp =
+  Fmt.epr "alveare_client: unexpected response: %a@." Protocol.pp_response resp;
+  2
+
+let do_health ~json c =
+  match Client.health c with
+  | Error m -> transport_error m
+  | Ok (Protocol.Health_ok { version; _ }) ->
+    if json then Fmt.pr {|{"healthy": true, "version": "%s"}@.|} version
+    else Fmt.pr "healthy (%s)@." version;
+    0
+  | Ok (Protocol.Error { code; message; _ }) -> print_error ~json (code, message)
+  | Ok resp -> unexpected resp
+
+let do_stats ~json c =
+  match Client.stats c with
+  | Error m -> transport_error m
+  | Ok (Protocol.Stats_reply { entries; _ }) ->
+    if json then begin
+      Fmt.pr "{@.";
+      let n = List.length entries in
+      List.iteri
+        (fun i (name, v) ->
+          Fmt.pr {|  "%s": %g%s@.|} (json_escape name) v
+            (if i = n - 1 then "" else ","))
+        entries;
+      Fmt.pr "}@."
+    end
+    else
+      List.iter (fun (name, v) -> Fmt.pr "%-32s %g@." name v) entries;
+    0
+  | Ok (Protocol.Error { code; message; _ }) -> print_error ~json (code, message)
+  | Ok resp -> unexpected resp
+
+let lint_json ds =
+  Printf.sprintf "[%s]"
+    (String.concat ", "
+       (List.map
+          (fun (d : Protocol.lint_diag) ->
+            Printf.sprintf
+              {|{"severity": "%s", "kind": "%s", "left": %d, "right": %d}|}
+              (match d.severity with `Info -> "info" | `Warning -> "warning")
+              (json_escape d.kind) d.left d.right)
+          ds))
+
+let print_lint ds =
+  List.iter
+    (fun (d : Protocol.lint_diag) ->
+      Fmt.pr "  %s[%s] %d..%d: %s@."
+        (match d.severity with `Info -> "info" | `Warning -> "warning")
+        d.kind d.left d.right d.message)
+    ds
+
+let do_round_trip ~json ~allow_risky ~deadline_ms c pattern input =
+  match Client.compile ~allow_risky c pattern with
+  | Error m -> transport_error m
+  | Ok (Protocol.Error { code; message; _ }) -> print_error ~json (code, message)
+  | Ok (Protocol.Compiled { code_size; binary_bytes; lint; _ }) -> (
+    if not json then begin
+      Fmt.pr "compiled: %d instructions, %d binary bytes@." code_size
+        binary_bytes;
+      if lint <> [] then print_lint lint
+    end;
+    match input with
+    | None ->
+      if json then
+        Fmt.pr {|{"code_size": %d, "binary_bytes": %d, "lint": %s}@.|}
+          code_size binary_bytes (lint_json lint);
+      0
+    | Some input -> (
+      match Client.scan ~allow_risky ~deadline_ms c ~pattern ~input with
+      | Error m -> transport_error m
+      | Ok (Protocol.Error { code; message; _ }) ->
+        print_error ~json (code, message)
+      | Ok (Protocol.Matches { spans; stats; _ }) ->
+        if json then
+          Fmt.pr
+            {|{"code_size": %d, "binary_bytes": %d, "lint": %s, "matches": [%s], "attempts": %d, "offsets_scanned": %d, "offsets_pruned": %d, "cycles": %d}@.|}
+            code_size binary_bytes (lint_json lint)
+            (String.concat ", "
+               (List.map
+                  (fun (a, b) -> Printf.sprintf {|{"start": %d, "stop": %d}|} a b)
+                  spans))
+            stats.Protocol.attempts stats.Protocol.offsets_scanned
+            stats.Protocol.offsets_pruned stats.Protocol.cycles
+        else begin
+          Fmt.pr "%d match%s (%d attempts, %d offsets pruned, %d cycles)@."
+            (List.length spans)
+            (if List.length spans = 1 then "" else "es")
+            stats.Protocol.attempts stats.Protocol.offsets_pruned
+            stats.Protocol.cycles;
+          List.iter
+            (fun (a, b) ->
+              let excerpt =
+                let len = min (b - a) 40 in
+                String.sub input a len
+              in
+              Fmt.pr "  %d..%d %S@." a b excerpt)
+            spans
+        end;
+        0
+      | Ok resp -> unexpected resp))
+  | Ok resp -> unexpected resp
+
+let main socket tcp pattern data input_file health stats json allow_risky
+    deadline_ms =
+  let addr =
+    match (socket, tcp) with
+    | _, Some port -> Client.Tcp ("", port)
+    | Some path, None -> Client.Unix_sock path
+    | None, None -> Client.Unix_sock "/tmp/alveared.sock"
+  in
+  match Client.connect addr with
+  | exception Unix.Unix_error (e, _, arg) ->
+    transport_error
+      (Printf.sprintf "cannot connect to %s: %s" arg (Unix.error_message e))
+  | c ->
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        if health then do_health ~json c
+        else if stats then do_stats ~json c
+        else
+          match pattern with
+          | None ->
+            Fmt.epr
+              "alveare_client: nothing to do (give a PATTERN, --health or \
+               --stats)@.";
+            2
+          | Some pattern ->
+            let input =
+              match (data, input_file) with
+              | Some d, _ -> Some d
+              | None, Some path -> (
+                try Some (read_file path)
+                with Sys_error m ->
+                  Fmt.epr "alveare_client: %s@." m;
+                  exit 2)
+              | None, None -> None
+            in
+            do_round_trip ~json ~allow_risky ~deadline_ms c pattern input)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Daemon Unix socket (default /tmp/alveared.sock).")
+
+let tcp_arg =
+  Arg.(value & opt (some int) None
+       & info [ "tcp" ] ~docv:"PORT" ~doc:"Connect to 127.0.0.1:PORT instead.")
+
+let pattern_arg =
+  Arg.(value & pos 0 (some string) None
+       & info [] ~docv:"PATTERN"
+           ~doc:"Pattern to compile on the daemon (and scan, with --data or \
+                 --input).")
+
+let data_arg =
+  Arg.(value & opt (some string) None
+       & info [ "data" ] ~docv:"STRING" ~doc:"Scan this literal input.")
+
+let input_arg =
+  Arg.(value & opt (some string) None
+       & info [ "input" ] ~docv:"FILE" ~doc:"Scan the contents of FILE.")
+
+let health_flag =
+  Arg.(value & flag & info [ "health" ] ~doc:"Ping the daemon and exit.")
+
+let stats_flag =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the daemon's metrics registry (counters, gauges, \
+                 latency histograms).")
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Machine-readable output.")
+
+let risky_flag =
+  Arg.(value & flag
+       & info [ "allow-risky" ]
+           ~doc:"Override the server's ReDoS lint gate for this pattern.")
+
+let deadline_arg =
+  Arg.(value & opt int 0
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline; 0 (default) means none.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "alveare_client" ~version:"1.0"
+       ~doc:"Talk to a running alveared: compile-then-scan round trips, \
+             health checks, server stats."
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Thin client over the binary wire protocol. With a PATTERN \
+               and input it performs the canonical round trip: Compile \
+               (printing lint diagnostics), then Scan, then the match \
+               spans. Exit status: 0 success, 1 server-side error (code \
+               printed), 2 transport/usage error." ])
+    Term.(
+      const main $ socket_arg $ tcp_arg $ pattern_arg $ data_arg $ input_arg
+      $ health_flag $ stats_flag $ json_flag $ risky_flag $ deadline_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -44,6 +44,14 @@ module Exec = struct
   module Cache = Alveare_exec.Cache
 end
 
+module Server = struct
+  module Protocol = Alveare_server.Protocol
+  module Metrics = Alveare_server.Metrics
+  module Service = Alveare_server.Service
+  module Server = Alveare_server.Server
+  module Client = Alveare_server.Client
+end
+
 module Platform = struct
   module Calibration = Alveare_platform.Calibration
   module Measure = Alveare_platform.Measure

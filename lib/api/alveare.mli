@@ -50,6 +50,19 @@ module Exec : sig
   module Cache = Alveare_exec.Cache
 end
 
+(** The serving layer: binary wire protocol ({!Server.Protocol}),
+    request broker with the lint admission gate ({!Server.Service}),
+    the threaded socket daemon with bounded-queue load shedding
+    ({!Server.Server}), its metrics registry and the blocking client —
+    the stack behind [bin/alveared] / [bin/alveare_client]. *)
+module Server : sig
+  module Protocol = Alveare_server.Protocol
+  module Metrics = Alveare_server.Metrics
+  module Service = Alveare_server.Service
+  module Server = Alveare_server.Server
+  module Client = Alveare_server.Client
+end
+
 module Platform : sig
   module Calibration = Alveare_platform.Calibration
   module Measure = Alveare_platform.Measure

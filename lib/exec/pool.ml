@@ -15,37 +15,63 @@
 
 let default_workers () = Domain.recommended_domain_count ()
 
+(* Tasks submitted to any in-flight [map] but not yet completed, summed
+   over every concurrent call in the process. Purely observational — the
+   scheduler never reads it — but it is what lets an embedding service
+   (lib/server's Metrics) report host-side execution backlog as a gauge
+   without reaching into pool internals. Balanced even when a task
+   raises: tasks an aborted sequential map never reaches are settled in
+   one step on the way out. *)
+let outstanding = Atomic.make 0
+
+let queue_depth () = Atomic.get outstanding
+
 exception Task_error of int * exn
 (* internal marker: task [i] raised; unwrapped before re-raising *)
 
 let map ?(workers = 1) f (xs : 'a array) : 'b array =
   let n = Array.length xs in
-  if workers <= 1 || n <= 1 then Array.map f xs
-  else begin
-    let results : ('b, exn) result option array = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+  let remaining = Atomic.make n in
+  ignore (Atomic.fetch_and_add outstanding n);
+  let f x =
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr remaining;
+        Atomic.decr outstanding)
+      (fun () -> f x)
+  in
+  let settle () =
+    let never_ran = Atomic.exchange remaining 0 in
+    if never_ran > 0 then ignore (Atomic.fetch_and_add outstanding (-never_ran))
+  in
+  Fun.protect ~finally:settle (fun () ->
+      if workers <= 1 || n <= 1 then Array.map f xs
+      else begin
+        let results : ('b, exn) result option array = Array.make n None in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              results.(i) <- Some (try Ok (f xs.(i)) with e -> Error e);
+              loop ()
+            end
+          in
           loop ()
-        end
-      in
-      loop ()
-    in
-    (* the calling domain participates, so [workers] is the total
-       parallelism, not the number of extra domains *)
-    let spawned = min workers n - 1 in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join domains;
-    (* re-raise the lowest-index failure, as the sequential map would *)
-    Array.iteri
-      (fun i r -> match r with Some (Error e) -> raise (Task_error (i, e)) | _ -> ())
-      results;
-    Array.map (function Some (Ok v) -> v | _ -> assert false) results
-  end
+        in
+        (* the calling domain participates, so [workers] is the total
+           parallelism, not the number of extra domains *)
+        let spawned = min workers n - 1 in
+        let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+        worker ();
+        Array.iter Domain.join domains;
+        (* re-raise the lowest-index failure, as the sequential map would *)
+        Array.iteri
+          (fun i r ->
+            match r with Some (Error e) -> raise (Task_error (i, e)) | _ -> ())
+          results;
+        Array.map (function Some (Ok v) -> v | _ -> assert false) results
+      end)
 
 let map ?workers f xs =
   try map ?workers f xs with Task_error (_, e) -> raise e

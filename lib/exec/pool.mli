@@ -16,6 +16,13 @@
 val default_workers : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
 
+val queue_depth : unit -> int
+(** Tasks submitted to in-flight {!map}/{!init}/{!run} calls anywhere in
+    the process but not yet completed (the host-side execution backlog).
+    0 whenever no call is in flight — including after a task raised.
+    Observational only: sampled by the serving layer's metrics registry
+    as a gauge; nothing in the pool reads it. *)
+
 val map : ?workers:int -> ('a -> 'b) -> 'a array -> 'b array
 val init : ?workers:int -> int -> (int -> 'a) -> 'a array
 val map_list : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,104 @@
+(* Blocking client. Deliberately minimal: a socket, an incremental
+   response decoder, and an id counter for the convenience wrappers. *)
+
+type addr = Server.addr = Unix_sock of string | Tcp of string * int
+
+type t = {
+  fd : Unix.file_descr;
+  dec : Protocol.decoder;
+  buf : Bytes.t;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect addr =
+  let fd =
+    match addr with
+    | Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+    | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         let inet =
+           if host = "" then Unix.inet_addr_loopback
+           else Unix.inet_addr_of_string host
+         in
+         Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e ->
+         Unix.close fd;
+         raise e);
+      fd
+  in
+  { fd; dec = Protocol.decoder (); buf = Bytes.create 65536; next_id = 1;
+    closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let fresh_id t = t.next_id
+
+let take_id t =
+  let id = t.next_id in
+  (* wire ids are 32-bit; wrap early enough to stay faithful *)
+  t.next_id <- (if id >= 0x3fffffff then 1 else id + 1);
+  id
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let send t req = write_all t.fd (Protocol.encode_request req)
+
+let rec recv t =
+  match Protocol.next_response t.dec with
+  | Protocol.Frame resp -> Ok resp
+  | Protocol.Corrupt m -> Error ("corrupt response stream: " ^ m)
+  | Protocol.Await -> (
+    match Unix.read t.fd t.buf 0 (Bytes.length t.buf) with
+    | 0 -> Error "connection closed by server"
+    | n ->
+      Protocol.feed t.dec (Bytes.sub_string t.buf 0 n);
+      recv t
+    | exception Unix.Unix_error (e, _, _) ->
+      Error ("read failed: " ^ Unix.error_message e))
+
+let call t req =
+  send t req;
+  match recv t with
+  | Error _ as e -> e
+  | Ok resp ->
+    let want = Protocol.request_id req in
+    let got = Protocol.response_id resp in
+    (* id 0 is the decoder-failure channel — a real answer, just not
+       attributable; anything else must echo our id on this
+       one-at-a-time path *)
+    if got = want || got = 0 then Ok resp
+    else
+      Error
+        (Printf.sprintf "response id %d does not match request id %d" got want)
+
+let health t = call t (Protocol.Health { id = take_id t })
+
+let compile ?(allow_risky = false) t pattern =
+  call t (Protocol.Compile { id = take_id t; pattern; allow_risky })
+
+let scan ?(allow_risky = false) ?(deadline_ms = 0) t ~pattern ~input =
+  call t (Protocol.Scan { id = take_id t; pattern; input; deadline_ms; allow_risky })
+
+let ruleset_scan ?(allow_risky = false) ?(deadline_ms = 0) t ~rules ~input =
+  call t
+    (Protocol.Ruleset_scan { id = take_id t; rules; input; deadline_ms; allow_risky })
+
+let stats t = call t (Protocol.Stats { id = take_id t })

@@ -1,0 +1,56 @@
+(** Blocking client for the matching daemon — used by
+    [bin/alveare_client], the loopback integration tests and the serving
+    benchmark. One connection per value; not thread-safe (give each
+    thread its own connection, as the tests do).
+
+    {!call} is the simple round trip. {!send}/{!recv} expose the
+    pipelined form: the wire protocol is full-duplex and the server
+    replies out of admission order under load (sheds are answered by the
+    reader thread immediately, admitted work later), so pipelined
+    callers must correlate responses by request id — exactly what the
+    overload tests do to observe shedding. *)
+
+type t
+
+type addr = Server.addr = Unix_sock of string | Tcp of string * int
+
+val connect : addr -> t
+(** Raises [Unix.Unix_error] when nothing listens there. *)
+
+val close : t -> unit
+
+val send : t -> Protocol.request -> unit
+(** Write one request frame; does not wait. *)
+
+val recv : t -> (Protocol.response, string) result
+(** Next response frame, in arrival order. [Error] = connection closed
+    or undecodable response bytes. *)
+
+val call : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv], checking that the response echoes the request id
+    (decoder-level failures arrive on id 0 and are surfaced as the
+    response they are). *)
+
+(** {1 Convenience wrappers}
+
+    Each allocates a fresh request id from a per-connection counter. *)
+
+val health : t -> (Protocol.response, string) result
+
+val compile :
+  ?allow_risky:bool -> t -> string -> (Protocol.response, string) result
+
+val scan :
+  ?allow_risky:bool -> ?deadline_ms:int -> t -> pattern:string ->
+  input:string -> (Protocol.response, string) result
+
+val ruleset_scan :
+  ?allow_risky:bool -> ?deadline_ms:int -> t ->
+  rules:(string * string) list -> input:string ->
+  (Protocol.response, string) result
+
+val stats : t -> (Protocol.response, string) result
+
+val fresh_id : t -> int
+(** The id the next convenience wrapper would use; exposed so pipelined
+    callers can mix wrappers with hand-built requests. *)

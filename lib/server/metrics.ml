@@ -1,0 +1,165 @@
+(* Metrics registry: one mutex over a name-keyed table. The serving hot
+   path touches it once or twice per request (a counter bump, one
+   histogram observation), so a single uncontended lock is far below the
+   cost of the scans it measures; what matters is that the registry can
+   never deadlock against subsystem locks, which is why callback gauges
+   are evaluated outside the registry lock at snapshot time. *)
+
+type histogram = {
+  counts : int array;  (* one per bucket, last = overflow *)
+  mutable count : int;
+  mutable sum : float;
+  mutable max_obs : float;
+}
+
+type metric =
+  | Counter of int ref
+  | Gauge of float ref
+  | Callback of (unit -> float) ref
+  | Histogram of histogram
+
+type t = {
+  mutex : Mutex.t;
+  table : (string, metric) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); table = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Callback _ -> "callback gauge"
+  | Histogram _ -> "histogram"
+
+(* Find-or-create under the lock; a name can only ever hold one kind. *)
+let intern t name make check =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some m ->
+        (match check m with
+        | Some v -> v
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is a %s, not the requested kind" name
+               (kind_name m)))
+      | None ->
+        let m, v = make () in
+        Hashtbl.add t.table name m;
+        v)
+
+let inc t ?(by = 1) name =
+  if by < 0 then invalid_arg "Metrics.inc: negative increment";
+  let r =
+    intern t name
+      (fun () ->
+        let r = ref 0 in
+        (Counter r, r))
+      (function Counter r -> Some r | _ -> None)
+  in
+  locked t (fun () -> r := !r + by)
+
+let set_gauge t name v =
+  let r =
+    intern t name
+      (fun () ->
+        let r = ref 0.0 in
+        (Gauge r, r))
+      (function Gauge r -> Some r | _ -> None)
+  in
+  locked t (fun () -> r := v)
+
+let register_gauge t name f =
+  let r =
+    intern t name
+      (fun () ->
+        let r = ref f in
+        (Callback r, r))
+      (function Callback r -> Some r | _ -> None)
+  in
+  locked t (fun () -> r := f)
+
+(* Logarithmic buckets: bound k = 1e-6 * 2^k seconds, k = 0..25, so the
+   range 1 µs .. ~33.5 s is covered with 2x resolution; the final slot
+   absorbs anything slower. *)
+let n_buckets = 26
+
+let bucket_bound k = 1e-6 *. Float.of_int (1 lsl k)
+
+let bucket_of v =
+  let rec go k = if k >= n_buckets || v <= bucket_bound k then k else go (k + 1) in
+  go 0
+
+let observe t name v =
+  let h =
+    intern t name
+      (fun () ->
+        let h =
+          { counts = Array.make (n_buckets + 1) 0;
+            count = 0;
+            sum = 0.0;
+            max_obs = 0.0 }
+        in
+        (Histogram h, h))
+      (function Histogram h -> Some h | _ -> None)
+  in
+  locked t (fun () ->
+      h.counts.(bucket_of v) <- h.counts.(bucket_of v) + 1;
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      if v > h.max_obs then h.max_obs <- v)
+
+let counter_value t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table name with
+      | Some (Counter r) -> !r
+      | _ -> 0)
+
+let quantile h q =
+  if h.count = 0 then 0.0
+  else begin
+    let target = Float.to_int (Float.round (q *. Float.of_int h.count)) in
+    let target = max 1 (min h.count target) in
+    let rec go k acc =
+      if k > n_buckets then h.max_obs
+      else
+        let acc = acc + h.counts.(k) in
+        if acc >= target then
+          if k >= n_buckets then h.max_obs else Float.min (bucket_bound k) h.max_obs
+        else go (k + 1) acc
+    in
+    go 0 0
+  end
+
+let snapshot t =
+  (* copy out the structure under the lock, evaluate callbacks outside *)
+  let rows, callbacks =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun name m (rows, cbs) ->
+            match m with
+            | Counter r -> ((name, Float.of_int !r) :: rows, cbs)
+            | Gauge r -> ((name, !r) :: rows, cbs)
+            | Callback r -> (rows, (name, !r) :: cbs)
+            | Histogram h ->
+              ( (name ^ "/count", Float.of_int h.count)
+                :: (name ^ "/sum", h.sum)
+                :: (name ^ "/p50", quantile h 0.50)
+                :: (name ^ "/p90", quantile h 0.90)
+                :: (name ^ "/p99", quantile h 0.99)
+                :: (name ^ "/max", h.max_obs)
+                :: rows,
+                cbs ))
+          t.table ([], []))
+  in
+  let rows =
+    List.fold_left
+      (fun rows (name, f) ->
+        let v = try f () with _ -> Float.nan in
+        (name, v) :: rows)
+      rows callbacks
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) rows

@@ -1,0 +1,48 @@
+(** Lock-safe metrics registry for the serving layer: named counters,
+    gauges and latency histograms behind one mutex, plus callback gauges
+    sampled at snapshot time (queue depth, cache hit rate, pool
+    backlog — values owned by other subsystems).
+
+    All operations are safe from any thread; registration is lazy and
+    idempotent by name. Using one name with two different metric kinds
+    is a programming error and raises [Invalid_argument] — silently
+    merging a counter into a histogram would corrupt both. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+val inc : t -> ?by:int -> string -> unit
+(** Monotonic counter; creates it at 0 on first use. [by] defaults to 1
+    and must be non-negative. *)
+
+(** {1 Gauges} *)
+
+val set_gauge : t -> string -> float -> unit
+
+val register_gauge : t -> string -> (unit -> float) -> unit
+(** A callback gauge, evaluated at every {!snapshot} outside the
+    registry lock (so the callback may itself consult locked state).
+    Re-registering a name replaces the callback. A callback that raises
+    reports [nan] rather than poisoning the snapshot. *)
+
+(** {1 Histograms} *)
+
+val observe : t -> string -> float -> unit
+(** Record one observation (latencies in seconds). Buckets are
+    logarithmic, 1 µs — 64 s; observations outside land in the edge
+    buckets. *)
+
+(** {1 Reading} *)
+
+val counter_value : t -> string -> int
+(** 0 when the counter was never incremented. *)
+
+val snapshot : t -> (string * float) list
+(** Every metric flattened to [(name, value)] rows, sorted by name:
+    counters and gauges as themselves, each histogram [h] as [h/count],
+    [h/sum], [h/p50], [h/p90], [h/p99] and [h/max] (quantiles are upper
+    bucket bounds; 0 when empty). This is exactly the payload of the
+    wire protocol's [Stats] response. *)

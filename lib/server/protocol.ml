@@ -1,0 +1,506 @@
+(* Wire protocol: pure codec for the matching service. See the .mli for
+   the frame grammar. Two properties carry the whole design:
+
+   - encode/decode round-trip exactly (locked down by test_protocol.ml's
+     structural-equality checks), and
+   - the decoder is total: every byte sequence — truncations, bit flips,
+     unstructured garbage — lands in [Frame], [Await] or [Corrupt],
+     never an exception. All reads are bounds-checked against the
+     payload, element counts are sanity-checked against the bytes that
+     could possibly back them, and a defensive catch-all turns any
+     escaped exception into sticky corruption rather than a crash in a
+     reader thread. *)
+
+type lint_diag = {
+  severity : [ `Info | `Warning ];
+  kind : string;
+  left : int;
+  right : int;
+  message : string;
+}
+
+type request =
+  | Health of { id : int }
+  | Compile of { id : int; pattern : string; allow_risky : bool }
+  | Scan of {
+      id : int;
+      pattern : string;
+      input : string;
+      deadline_ms : int;
+      allow_risky : bool;
+    }
+  | Ruleset_scan of {
+      id : int;
+      rules : (string * string) list;
+      input : string;
+      deadline_ms : int;
+      allow_risky : bool;
+    }
+  | Stats of { id : int }
+
+type scan_stats = {
+  attempts : int;
+  offsets_scanned : int;
+  offsets_pruned : int;
+  cycles : int;
+}
+
+type error_code =
+  | Bad_frame
+  | Parse_error
+  | Lint_rejected
+  | Overloaded
+  | Deadline_exceeded
+  | Too_large
+  | Shutting_down
+  | Internal
+
+type response =
+  | Health_ok of { id : int; version : string }
+  | Compiled of {
+      id : int;
+      code_size : int;
+      binary_bytes : int;
+      lint : lint_diag list;
+    }
+  | Matches of { id : int; spans : (int * int) list; stats : scan_stats }
+  | Ruleset_matches of {
+      id : int;
+      hits : (int * string * int * int) list;
+      stats : scan_stats;
+    }
+  | Stats_reply of { id : int; entries : (string * float) list }
+  | Error of { id : int; code : error_code; message : string }
+
+let request_id = function
+  | Health { id } | Compile { id; _ } | Scan { id; _ }
+  | Ruleset_scan { id; _ } | Stats { id } ->
+    id
+
+let response_id = function
+  | Health_ok { id; _ } | Compiled { id; _ } | Matches { id; _ }
+  | Ruleset_matches { id; _ } | Stats_reply { id; _ } | Error { id; _ } ->
+    id
+
+let error_code_name = function
+  | Bad_frame -> "bad-frame"
+  | Parse_error -> "parse-error"
+  | Lint_rejected -> "lint-rejected"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Too_large -> "too-large"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+let error_code_byte = function
+  | Bad_frame -> 1
+  | Parse_error -> 2
+  | Lint_rejected -> 3
+  | Overloaded -> 4
+  | Deadline_exceeded -> 5
+  | Too_large -> 6
+  | Shutting_down -> 7
+  | Internal -> 8
+
+let error_code_of_byte = function
+  | 1 -> Some Bad_frame
+  | 2 -> Some Parse_error
+  | 3 -> Some Lint_rejected
+  | 4 -> Some Overloaded
+  | 5 -> Some Deadline_exceeded
+  | 6 -> Some Too_large
+  | 7 -> Some Shutting_down
+  | 8 -> Some Internal
+  | _ -> None
+
+let pp_request ppf = function
+  | Health { id } -> Fmt.pf ppf "health#%d" id
+  | Compile { id; pattern; allow_risky } ->
+    Fmt.pf ppf "compile#%d %S%s" id pattern
+      (if allow_risky then " (risky ok)" else "")
+  | Scan { id; pattern; input; deadline_ms; _ } ->
+    Fmt.pf ppf "scan#%d %S over %d bytes%s" id pattern (String.length input)
+      (if deadline_ms > 0 then Printf.sprintf " deadline %dms" deadline_ms
+       else "")
+  | Ruleset_scan { id; rules; input; _ } ->
+    Fmt.pf ppf "ruleset-scan#%d %d rules over %d bytes" id (List.length rules)
+      (String.length input)
+  | Stats { id } -> Fmt.pf ppf "stats#%d" id
+
+let pp_response ppf = function
+  | Health_ok { id; version } -> Fmt.pf ppf "health-ok#%d %s" id version
+  | Compiled { id; code_size; binary_bytes; lint } ->
+    Fmt.pf ppf "compiled#%d %d instrs, %d bytes, %d diagnostics" id code_size
+      binary_bytes (List.length lint)
+  | Matches { id; spans; stats } ->
+    Fmt.pf ppf "matches#%d %d spans, %d attempts" id (List.length spans)
+      stats.attempts
+  | Ruleset_matches { id; hits; stats } ->
+    Fmt.pf ppf "ruleset-matches#%d %d hits, %d attempts" id (List.length hits)
+      stats.attempts
+  | Stats_reply { id; entries } ->
+    Fmt.pf ppf "stats#%d %d entries" id (List.length entries)
+  | Error { id; code; message } ->
+    Fmt.pf ppf "error#%d [%s] %s" id (error_code_name code) message
+
+(* --- Encoding ----------------------------------------------------------- *)
+
+let default_max_frame = 64 * 1024 * 1024
+
+let add_u8 b v = Buffer.add_uint8 b (v land 0xff)
+
+let add_u32 b v = Buffer.add_int32_le b (Int32.of_int (v land 0xffffffff))
+
+let add_u64 b v = Buffer.add_int64_le b (Int64.of_int v)
+
+let add_str b s =
+  add_u32 b (String.length s);
+  Buffer.add_string b s
+
+let add_bool b v = add_u8 b (if v then 1 else 0)
+
+let add_stats b (s : scan_stats) =
+  add_u64 b s.attempts;
+  add_u64 b s.offsets_scanned;
+  add_u64 b s.offsets_pruned;
+  add_u64 b s.cycles
+
+let frame payload_writer =
+  let b = Buffer.create 256 in
+  payload_writer b;
+  let payload = Buffer.contents b in
+  let f = Buffer.create (String.length payload + 4) in
+  add_u32 f (String.length payload);
+  Buffer.add_string f payload;
+  Buffer.contents f
+
+let encode_request req =
+  frame (fun b ->
+      match req with
+      | Health { id } ->
+        add_u8 b 0x01;
+        add_u32 b id
+      | Compile { id; pattern; allow_risky } ->
+        add_u8 b 0x02;
+        add_u32 b id;
+        add_str b pattern;
+        add_bool b allow_risky
+      | Scan { id; pattern; input; deadline_ms; allow_risky } ->
+        add_u8 b 0x03;
+        add_u32 b id;
+        add_str b pattern;
+        add_str b input;
+        add_u32 b deadline_ms;
+        add_bool b allow_risky
+      | Ruleset_scan { id; rules; input; deadline_ms; allow_risky } ->
+        add_u8 b 0x04;
+        add_u32 b id;
+        add_u32 b (List.length rules);
+        List.iter
+          (fun (tag, pattern) ->
+            add_str b tag;
+            add_str b pattern)
+          rules;
+        add_str b input;
+        add_u32 b deadline_ms;
+        add_bool b allow_risky
+      | Stats { id } ->
+        add_u8 b 0x05;
+        add_u32 b id)
+
+let encode_response resp =
+  frame (fun b ->
+      match resp with
+      | Health_ok { id; version } ->
+        add_u8 b 0x81;
+        add_u32 b id;
+        add_str b version
+      | Compiled { id; code_size; binary_bytes; lint } ->
+        add_u8 b 0x82;
+        add_u32 b id;
+        add_u32 b code_size;
+        add_u32 b binary_bytes;
+        add_u32 b (List.length lint);
+        List.iter
+          (fun d ->
+            add_u8 b (match d.severity with `Info -> 0 | `Warning -> 1);
+            add_str b d.kind;
+            add_u32 b d.left;
+            add_u32 b d.right;
+            add_str b d.message)
+          lint
+      | Matches { id; spans; stats } ->
+        add_u8 b 0x83;
+        add_u32 b id;
+        add_u32 b (List.length spans);
+        List.iter
+          (fun (start, stop) ->
+            add_u32 b start;
+            add_u32 b stop)
+          spans;
+        add_stats b stats
+      | Ruleset_matches { id; hits; stats } ->
+        add_u8 b 0x84;
+        add_u32 b id;
+        add_u32 b (List.length hits);
+        List.iter
+          (fun (rule, tag, start, stop) ->
+            add_u32 b rule;
+            add_str b tag;
+            add_u32 b start;
+            add_u32 b stop)
+          hits;
+        add_stats b stats
+      | Stats_reply { id; entries } ->
+        add_u8 b 0x85;
+        add_u32 b id;
+        add_u32 b (List.length entries);
+        List.iter
+          (fun (name, v) ->
+            add_str b name;
+            Buffer.add_int64_le b (Int64.bits_of_float v))
+          entries
+      | Error { id; code; message } ->
+        add_u8 b 0xff;
+        add_u32 b id;
+        add_u8 b (error_code_byte code);
+        add_str b message)
+
+(* --- Payload parsing ----------------------------------------------------
+
+   A cursor over one extracted payload. Every primitive checks bounds
+   and raises [Malformed] — caught once, at the frame boundary, and
+   turned into sticky corruption. *)
+
+exception Malformed of string
+
+type cursor = { s : string; mutable pos : int }
+
+let malformed fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+let remaining c = String.length c.s - c.pos
+
+let u8 c =
+  if remaining c < 1 then malformed "truncated payload (u8)";
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let u32 c =
+  if remaining c < 4 then malformed "truncated payload (u32)";
+  let v = String.get_int32_le c.s c.pos in
+  c.pos <- c.pos + 4;
+  Int32.to_int v land 0xffffffff
+
+let u64 c =
+  if remaining c < 8 then malformed "truncated payload (u64)";
+  let v = String.get_int64_le c.s c.pos in
+  c.pos <- c.pos + 8;
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    malformed "u64 counter out of range";
+  Int64.to_int v
+
+let str c =
+  let n = u32 c in
+  if n > remaining c then malformed "string length %d exceeds payload" n;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let bool c =
+  match u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> malformed "bad boolean byte %d" v
+
+(* Element counts are attacker-controlled; cap them by the cheapest
+   possible per-element footprint so a flipped count bit fails fast
+   instead of allocating a huge list. *)
+let counted c ~min_bytes parse =
+  let n = u32 c in
+  if min_bytes > 0 && n > remaining c / min_bytes then
+    malformed "element count %d exceeds payload" n;
+  (* explicit left-to-right loop: the parse steps are stateful cursor
+     reads, so element order must be the wire order *)
+  let rec go acc i = if i = 0 then List.rev acc else go (parse c :: acc) (i - 1) in
+  go [] n
+
+let stats c =
+  let attempts = u64 c in
+  let offsets_scanned = u64 c in
+  let offsets_pruned = u64 c in
+  let cycles = u64 c in
+  { attempts; offsets_scanned; offsets_pruned; cycles }
+
+let finish c v =
+  if remaining c > 0 then malformed "%d trailing bytes after message" (remaining c);
+  v
+
+let parse_request payload =
+  let c = { s = payload; pos = 0 } in
+  let tag = u8 c in
+  let id = u32 c in
+  finish c
+    (match tag with
+    | 0x01 -> Health { id }
+    | 0x02 ->
+      let pattern = str c in
+      let allow_risky = bool c in
+      Compile { id; pattern; allow_risky }
+    | 0x03 ->
+      let pattern = str c in
+      let input = str c in
+      let deadline_ms = u32 c in
+      let allow_risky = bool c in
+      Scan { id; pattern; input; deadline_ms; allow_risky }
+    | 0x04 ->
+      let rules =
+        counted c ~min_bytes:8 (fun c ->
+            let tag = str c in
+            let pattern = str c in
+            (tag, pattern))
+      in
+      let input = str c in
+      let deadline_ms = u32 c in
+      let allow_risky = bool c in
+      Ruleset_scan { id; rules; input; deadline_ms; allow_risky }
+    | 0x05 -> Stats { id }
+    | t -> malformed "unknown request tag 0x%02x" t)
+
+let parse_response payload =
+  let c = { s = payload; pos = 0 } in
+  let tag = u8 c in
+  let id = u32 c in
+  finish c
+    (match tag with
+    | 0x81 ->
+      let version = str c in
+      Health_ok { id; version }
+    | 0x82 ->
+      let code_size = u32 c in
+      let binary_bytes = u32 c in
+      let lint =
+        counted c ~min_bytes:17 (fun c ->
+            let severity =
+              match u8 c with
+              | 0 -> `Info
+              | 1 -> `Warning
+              | v -> malformed "bad severity byte %d" v
+            in
+            let kind = str c in
+            let left = u32 c in
+            let right = u32 c in
+            let message = str c in
+            { severity; kind; left; right; message })
+      in
+      Compiled { id; code_size; binary_bytes; lint }
+    | 0x83 ->
+      let spans =
+        counted c ~min_bytes:8 (fun c ->
+            let start = u32 c in
+            let stop = u32 c in
+            (start, stop))
+      in
+      Matches { id; spans; stats = stats c }
+    | 0x84 ->
+      let hits =
+        counted c ~min_bytes:16 (fun c ->
+            let rule = u32 c in
+            let tag = str c in
+            let start = u32 c in
+            let stop = u32 c in
+            (rule, tag, start, stop))
+      in
+      Ruleset_matches { id; hits; stats = stats c }
+    | 0x85 ->
+      let entries =
+        counted c ~min_bytes:12 (fun c ->
+            let name = str c in
+            if remaining c < 8 then malformed "truncated payload (f64)";
+            let v = Int64.float_of_bits (String.get_int64_le c.s c.pos) in
+            c.pos <- c.pos + 8;
+            (name, v))
+      in
+      Stats_reply { id; entries }
+    | 0xff ->
+      let code =
+        match error_code_of_byte (u8 c) with
+        | Some code -> code
+        | None -> malformed "unknown error code"
+      in
+      let message = str c in
+      Error { id; code; message }
+    | t -> malformed "unknown response tag 0x%02x" t)
+
+(* --- Incremental decoder ------------------------------------------------ *)
+
+type decoder = {
+  mutable buf : Bytes.t;
+  mutable start : int;  (* first unconsumed byte *)
+  mutable len : int;  (* buffered bytes from [start] *)
+  max_frame : int;
+  mutable corrupt : string option;
+}
+
+type 'a event = Frame of 'a | Await | Corrupt of string
+
+let decoder ?(max_frame = default_max_frame) () =
+  { buf = Bytes.create 4096; start = 0; len = 0; max_frame; corrupt = None }
+
+let buffered d = d.len
+
+let feed d s =
+  let n = String.length s in
+  if n > 0 && d.corrupt = None then begin
+    (if d.start + d.len + n > Bytes.length d.buf then begin
+       (* compact, then grow if compaction alone is not enough *)
+       if d.start > 0 then begin
+         Bytes.blit d.buf d.start d.buf 0 d.len;
+         d.start <- 0
+       end;
+       if d.len + n > Bytes.length d.buf then begin
+         let cap = max (d.len + n) (2 * Bytes.length d.buf) in
+         let bigger = Bytes.create cap in
+         Bytes.blit d.buf 0 bigger 0 d.len;
+         d.buf <- bigger
+       end
+     end);
+    Bytes.blit_string s 0 d.buf (d.start + d.len) n;
+    d.len <- d.len + n
+  end
+
+let next parse d =
+  match d.corrupt with
+  | Some m -> Corrupt m
+  | None ->
+    if d.len < 4 then Await
+    else begin
+      let n =
+        Int32.to_int (Bytes.get_int32_le d.buf d.start) land 0xffffffff
+      in
+      if n < 1 || n > d.max_frame then begin
+        let m = Printf.sprintf "bad frame length %d" n in
+        d.corrupt <- Some m;
+        Corrupt m
+      end
+      else if d.len < 4 + n then Await
+      else begin
+        let payload = Bytes.sub_string d.buf (d.start + 4) n in
+        d.start <- d.start + 4 + n;
+        d.len <- d.len - 4 - n;
+        if d.len = 0 then d.start <- 0;
+        match parse payload with
+        | msg -> Frame msg
+        | exception Malformed m ->
+          d.corrupt <- Some m;
+          Corrupt m
+        | exception e ->
+          (* defensive totality: no parser bug may crash a reader thread *)
+          let m = "decoder exception: " ^ Printexc.to_string e in
+          d.corrupt <- Some m;
+          Corrupt m
+      end
+    end
+
+let next_request d = next parse_request d
+let next_response d = next parse_response d

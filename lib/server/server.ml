@@ -1,0 +1,392 @@
+(* The daemon. Thread architecture:
+
+     accept loop ──spawns──► reader (one per connection)
+                                │  decode frames, admit or shed
+                                ▼
+                        bounded admission queue
+                                │  pop (FIFO)
+                        worker × N ──► Service.handle ──► write response
+
+   Readers do no matching work: they decode, then either enqueue
+   (queue below capacity) or answer [overloaded] on the spot — under
+   saturation every client gets a fast, explicit rejection instead of a
+   stalled connection. Responses are written under a per-connection
+   mutex, so a reader shedding and a worker answering never interleave
+   bytes on the wire.
+
+   Shutdown never abandons admitted work: [stop] flips [stopping] (new
+   requests shed with [shutting-down]), wakes everyone, waits on the
+   [drained] condition until the queue is empty and no request is
+   in flight, then closes the sockets and joins the threads. Blocking
+   calls are woken without OS tricks: the accept loop selects with a
+   short timeout, and readers rely on their read timeout — both recheck
+   [stopping] when they come up for air. *)
+
+type addr = Unix_sock of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  queue_capacity : int;
+  workers : int;
+  idle_timeout : float;
+  max_frame : int;
+  service : Service.config;
+}
+
+let default_config =
+  { addr = Unix_sock "/tmp/alveared.sock";
+    queue_capacity = 64;
+    workers = 4;
+    idle_timeout = 30.0;
+    max_frame = Protocol.default_max_frame;
+    service = Service.default_config }
+
+type conn = {
+  fd : Unix.file_descr;
+  write_mutex : Mutex.t;
+  mutable alive : bool;
+}
+
+type task = {
+  conn : conn;
+  req : Protocol.request;
+  deadline : float option;
+}
+
+type t = {
+  cfg : config;
+  service : Service.t;
+  metrics : Metrics.t;
+  listener : Unix.file_descr;
+  bound_port : int option;
+  queue : task Queue.t;
+  mutex : Mutex.t;
+  wakeup : Condition.t;  (* queue state changed / stopping / resume *)
+  drained : Condition.t;  (* queue empty and nothing in flight *)
+  mutable in_flight : int;
+  mutable stopping : bool;
+  mutable paused : bool;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  mutable workers : Thread.t list;
+  mutable accepter : Thread.t option;
+  stop_mutex : Mutex.t;  (* serialises concurrent [stop] calls *)
+  mutable stopped : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- Writing ------------------------------------------------------------ *)
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd b off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let send t conn resp =
+  Mutex.lock conn.write_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.write_mutex)
+    (fun () ->
+      if conn.alive then
+        try write_all conn.fd (Protocol.encode_response resp)
+        with Unix.Unix_error _ ->
+          (* peer went away; its pending responses are undeliverable *)
+          conn.alive <- false;
+          Metrics.inc t.metrics "connections/write-failed")
+
+(* --- Workers ------------------------------------------------------------ *)
+
+let signal_if_drained t =
+  if Queue.is_empty t.queue && t.in_flight = 0 then Condition.broadcast t.drained
+
+let worker_loop t () =
+  let next () =
+    locked t (fun () ->
+        let rec wait () =
+          (* a pause blocks the queue, except during shutdown drain *)
+          if (not (Queue.is_empty t.queue)) && ((not t.paused) || t.stopping)
+          then begin
+            let task = Queue.pop t.queue in
+            t.in_flight <- t.in_flight + 1;
+            Some task
+          end
+          else if t.stopping && Queue.is_empty t.queue then None
+          else begin
+            Condition.wait t.wakeup t.mutex;
+            wait ()
+          end
+        in
+        wait ())
+  and run task =
+    let resp = Service.handle t.service ?deadline:task.deadline task.req in
+    send t task.conn resp;
+    locked t (fun () ->
+        t.in_flight <- t.in_flight - 1;
+        signal_if_drained t)
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some task ->
+      run task;
+      loop ()
+  in
+  loop ()
+
+(* --- Admission ---------------------------------------------------------- *)
+
+let deadline_of req =
+  let ms =
+    match req with
+    | Protocol.Scan { deadline_ms; _ } | Protocol.Ruleset_scan { deadline_ms; _ }
+      ->
+      deadline_ms
+    | _ -> 0
+  in
+  if ms <= 0 then None
+  else Some (Unix.gettimeofday () +. (Float.of_int ms /. 1000.0))
+
+let admit t conn req =
+  let id = Protocol.request_id req in
+  let verdict =
+    locked t (fun () ->
+        if t.stopping then `Refuse (Protocol.Shutting_down, "server is shutting down")
+        else if Queue.length t.queue >= t.cfg.queue_capacity then
+          `Refuse
+            ( Protocol.Overloaded,
+              Printf.sprintf
+                "admission queue full (%d waiting); request shed, retry later"
+                (Queue.length t.queue) )
+        else begin
+          Queue.push { conn; req; deadline = deadline_of req } t.queue;
+          Condition.signal t.wakeup;
+          `Admitted
+        end)
+  in
+  match verdict with
+  | `Admitted -> Metrics.inc t.metrics "admission/admitted"
+  | `Refuse (code, message) ->
+    Metrics.inc t.metrics "admission/shed";
+    Metrics.inc t.metrics ("errors/" ^ Protocol.error_code_name code);
+    send t conn (Protocol.Error { id; code; message })
+
+(* --- Readers ------------------------------------------------------------ *)
+
+let close_conn t conn =
+  let was_alive =
+    locked t (fun () ->
+        let was = conn.alive in
+        conn.alive <- false;
+        t.conns <- List.filter (fun c -> c != conn) t.conns;
+        was)
+  in
+  if was_alive then begin
+    (* the write mutex fences any in-progress response: [send] checks
+       [alive] under it, so once we hold it nobody writes to the fd again *)
+    Mutex.lock conn.write_mutex;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    Mutex.unlock conn.write_mutex;
+    Metrics.inc t.metrics "connections/closed"
+  end
+
+let reader_loop t conn () =
+  let dec = Protocol.decoder ~max_frame:t.cfg.max_frame () in
+  let buf = Bytes.create 65536 in
+  let rec drain () =
+    match Protocol.next_request dec with
+    | Protocol.Frame req ->
+      Metrics.inc t.metrics "frames/received";
+      admit t conn req;
+      drain ()
+    | Protocol.Await -> `Continue
+    | Protocol.Corrupt m ->
+      (* framing is lost: report once on id 0, then hang up *)
+      Metrics.inc t.metrics "frames/corrupt";
+      send t conn
+        (Protocol.Error { id = 0; code = Protocol.Bad_frame; message = m });
+      `Close
+  in
+  let rec loop () =
+    if t.stopping || not conn.alive then ()
+    else
+      match Unix.read conn.fd buf 0 (Bytes.length buf) with
+      | 0 -> ()  (* peer closed *)
+      | n ->
+        Protocol.feed dec (Bytes.sub_string buf 0 n);
+        (match drain () with `Continue -> loop () | `Close -> ())
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        (* read timeout: either idle-close or a shutdown recheck *)
+        if t.stopping then () else Metrics.inc t.metrics "connections/idle-closed"
+      | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  close_conn t conn;
+  (* drop the finished thread handle so a long-lived daemon's reader
+     list stays proportional to its open connections *)
+  let self = Thread.id (Thread.self ()) in
+  locked t (fun () ->
+      t.readers <- List.filter (fun th -> Thread.id th <> self) t.readers)
+
+(* --- Accept loop -------------------------------------------------------- *)
+
+let accept_loop t () =
+  let rec loop () =
+    if not t.stopping then begin
+      (match Unix.select [ t.listener ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.listener with
+        | fd, _ ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout;
+          let conn = { fd; write_mutex = Mutex.create (); alive = true } in
+          let accepted =
+            locked t (fun () ->
+                if t.stopping then false
+                else begin
+                  t.conns <- conn :: t.conns;
+                  true
+                end)
+          in
+          if accepted then begin
+            Metrics.inc t.metrics "connections/accepted";
+            let th = Thread.create (reader_loop t conn) () in
+            locked t (fun () -> t.readers <- th :: t.readers)
+          end
+          else Unix.close fd
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- Lifecycle ---------------------------------------------------------- *)
+
+let listen_on addr =
+  match addr with
+  | Unix_sock path ->
+    (* a previous daemon's socket file would fail the bind; replace it *)
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64
+     with e ->
+       Unix.close fd;
+       raise e);
+    (fd, None)
+  | Tcp (host, port) ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       let inet =
+         if host = "" then Unix.inet_addr_loopback
+         else Unix.inet_addr_of_string host
+       in
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64
+     with e ->
+       Unix.close fd;
+       raise e);
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | Unix.ADDR_UNIX _ -> assert false
+    in
+    (fd, Some bound)
+
+let start ?metrics cfg =
+  if cfg.queue_capacity < 1 then invalid_arg "Server.start: queue_capacity < 1";
+  if cfg.workers < 1 then invalid_arg "Server.start: workers < 1";
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let service = Service.create ~config:cfg.service metrics in
+  let listener, bound_port = listen_on cfg.addr in
+  let t =
+    { cfg;
+      service;
+      metrics;
+      listener;
+      bound_port;
+      queue = Queue.create ();
+      mutex = Mutex.create ();
+      wakeup = Condition.create ();
+      drained = Condition.create ();
+      in_flight = 0;
+      stopping = false;
+      paused = false;
+      conns = [];
+      readers = [];
+      workers = [];
+      accepter = None;
+      stop_mutex = Mutex.create ();
+      stopped = false }
+  in
+  Metrics.register_gauge metrics "admission/queue-depth" (fun () ->
+      Float.of_int (locked t (fun () -> Queue.length t.queue)));
+  Metrics.register_gauge metrics "admission/in-flight" (fun () ->
+      Float.of_int (locked t (fun () -> t.in_flight)));
+  Metrics.register_gauge metrics "connections/open" (fun () ->
+      Float.of_int (locked t (fun () -> List.length t.conns)));
+  t.workers <-
+    List.init cfg.workers (fun _ -> Thread.create (worker_loop t) ());
+  t.accepter <- Some (Thread.create (accept_loop t) ());
+  t
+
+let port t = t.bound_port
+let metrics t = t.metrics
+let service t = t.service
+let queue_depth t = locked t (fun () -> Queue.length t.queue)
+
+let pause t = locked t (fun () -> t.paused <- true)
+
+let resume t =
+  locked t (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.wakeup)
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_mutex)
+    (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        (* 1. no new work: refuse admissions, drain the queue *)
+        locked t (fun () ->
+            t.stopping <- true;
+            Condition.broadcast t.wakeup;
+            while not (Queue.is_empty t.queue && t.in_flight = 0) do
+              Condition.wait t.drained t.mutex
+            done);
+        (* 2. every admitted response is on the wire: tear down *)
+        List.iter Thread.join t.workers;
+        (match t.accepter with Some th -> Thread.join th | None -> ());
+        (try Unix.close t.listener with Unix.Unix_error _ -> ());
+        (match t.cfg.addr with
+        | Unix_sock path ->
+          (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | Tcp _ -> ());
+        (* readers are blocked in [read] at worst until their timeout;
+           shutting the sockets down wakes them immediately *)
+        let conns = locked t (fun () -> t.conns) in
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          conns;
+        let readers = locked t (fun () -> t.readers) in
+        List.iter Thread.join readers;
+        List.iter (fun c -> close_conn t c) (locked t (fun () -> t.conns))
+      end)

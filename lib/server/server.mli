@@ -1,0 +1,66 @@
+(** The long-lived matching daemon: a Unix-domain / TCP accept loop with
+    per-connection reader threads, a {e bounded} admission queue drained
+    by a fixed worker-thread pool, and graceful shutdown.
+
+    Load discipline — shed, don't stall: a request arriving while the
+    admission queue is full is answered immediately with the
+    [overloaded] error code by the reader thread; it never waits for a
+    worker and the connection stays usable. Admitted requests are
+    stamped with their absolute deadline ([deadline_ms] from the wire)
+    and answered [deadline-exceeded] if a worker only reaches them after
+    it passed. Connections idle past the read timeout are closed.
+
+    {!stop} is the Ctrl-C path: stop accepting, refuse new requests with
+    [shutting-down], let the workers drain every already-admitted
+    request (their responses are written out), then close connections
+    and join every thread. Idempotent. *)
+
+type addr =
+  | Unix_sock of string  (** filesystem path; replaced if already bound *)
+  | Tcp of string * int  (** interface, port; port 0 picks a free port *)
+
+type config = {
+  addr : addr;
+  queue_capacity : int;  (** admitted-but-unstarted requests, ≥ 1 *)
+  workers : int;  (** worker threads draining the queue, ≥ 1 *)
+  idle_timeout : float;  (** seconds a connection may sit idle *)
+  max_frame : int;  (** decoder frame cap, {!Protocol.decoder} *)
+  service : Service.config;
+}
+
+val default_config : config
+(** queue 64, 4 workers, 30 s idle timeout, default frame cap and
+    service config. *)
+
+type t
+
+val start : ?metrics:Metrics.t -> config -> t
+(** Bind, listen, spawn the accept loop and the worker pool. Raises
+    [Unix.Unix_error] when the address cannot be bound. SIGPIPE is set
+    to ignore (a dying peer must surface as [EPIPE], not kill the
+    daemon). *)
+
+val port : t -> int option
+(** The bound TCP port ([Tcp (_, 0)] resolves to a real one); [None]
+    for Unix sockets. *)
+
+val metrics : t -> Metrics.t
+val service : t -> Service.t
+
+val queue_depth : t -> int
+(** Admitted requests currently waiting for a worker. *)
+
+val stop : t -> unit
+(** Graceful shutdown: drain, flush, join. Safe to call more than once
+    and from a signal-driven thread. *)
+
+(** {1 Test hooks} *)
+
+val pause : t -> unit
+(** Stop workers from taking new queue entries (in-flight requests
+    finish). With the workers paused, admission behaviour is
+    deterministic: exactly [queue_capacity] requests queue, the rest
+    shed — how the overload tests saturate the queue without timing
+    races. {!stop} overrides a pause so shutdown always drains. *)
+
+val resume : t -> unit

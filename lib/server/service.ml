@@ -1,0 +1,264 @@
+(* Request broker. One entry point, [handle]; everything else is the
+   plumbing that makes a request observable (metrics) and refusable
+   (lint gate, input cap, deadline). Isolation from the socket layer is
+   deliberate: the loopback integration tests drive a full server, but
+   the behavioural matrix (error codes, gate overrides, stat identities)
+   is cheapest to pin down by calling [handle] directly. *)
+
+module Compile = Alveare_compiler.Compile
+module Ruleset = Alveare_compiler.Ruleset
+module Core = Alveare_arch.Core
+module Lint = Alveare_analysis.Lint
+module Pool = Alveare_exec.Pool
+module Cache = Alveare_exec.Cache
+
+let version = "alveare-server/1"
+
+type config = {
+  cache : Compile.cache;
+  scan_workers : int;
+  cores : int;
+  lint_gate : bool;
+  max_input : int;
+}
+
+let default_config =
+  { cache = Compile.default_cache;
+    scan_workers = 1;
+    cores = 1;
+    lint_gate = true;
+    max_input = 16 * 1024 * 1024 }
+
+type t = {
+  config : config;
+  metrics : Metrics.t;
+}
+
+let create ?(config = default_config) metrics =
+  Metrics.register_gauge metrics "exec/pool-queue-depth" (fun () ->
+      Float.of_int (Pool.queue_depth ()));
+  let cache_stat f =
+    fun () -> Float.of_int (f (Compile.cache_stats config.cache))
+  in
+  Metrics.register_gauge metrics "cache/size"
+    (cache_stat (fun s -> s.Cache.size));
+  Metrics.register_gauge metrics "cache/hits"
+    (cache_stat (fun s -> s.Cache.hits));
+  Metrics.register_gauge metrics "cache/misses"
+    (cache_stat (fun s -> s.Cache.misses));
+  Metrics.register_gauge metrics "cache/evictions"
+    (cache_stat (fun s -> s.Cache.evictions));
+  Metrics.register_gauge metrics "cache/hit-rate" (fun () ->
+      let s = Compile.cache_stats config.cache in
+      let lookups = s.Cache.hits + s.Cache.misses in
+      if lookups = 0 then 0.0
+      else Float.of_int s.Cache.hits /. Float.of_int lookups);
+  { config; metrics }
+
+let config t = t.config
+let metrics t = t.metrics
+
+(* --- Conversions -------------------------------------------------------- *)
+
+let lint_diag (d : Lint.diagnostic) : Protocol.lint_diag =
+  { severity = (match d.Lint.severity with Lint.Info -> `Info | Lint.Warning -> `Warning);
+    kind = Lint.kind_name d.Lint.kind;
+    left = d.Lint.left;
+    right = d.Lint.right;
+    message = d.Lint.message }
+
+let scan_stats (s : Core.stats) : Protocol.scan_stats =
+  { attempts = s.Core.attempts;
+    offsets_scanned = s.Core.offsets_scanned;
+    offsets_pruned = s.Core.offsets_pruned;
+    cycles = s.Core.cycles }
+
+let lint_warnings (ds : Lint.diagnostic list) =
+  List.filter (fun d -> d.Lint.severity = Lint.Warning) ds
+
+let lint_rejection_message pattern ds =
+  Printf.sprintf "pattern %S refused by the lint gate (%s); resend with \
+                  allow_risky to override"
+    pattern
+    (String.concat ", "
+       (List.map
+          (fun d ->
+            Printf.sprintf "%s at %d..%d" (Lint.kind_name d.Lint.kind)
+              d.Lint.left d.Lint.right)
+          ds))
+
+(* --- Request handlers --------------------------------------------------- *)
+
+let err t id code message =
+  Metrics.inc t.metrics ("errors/" ^ Protocol.error_code_name code);
+  Protocol.Error { id; code; message }
+
+let gate t ~id ~allow_risky (c : Compile.compiled) k =
+  match lint_warnings c.Compile.lint with
+  | [] -> k c
+  | _ when (not t.config.lint_gate) || allow_risky -> k c
+  | ws -> err t id Protocol.Lint_rejected (lint_rejection_message c.Compile.pattern ws)
+
+let compile_pattern t ~id pattern k =
+  match Compile.cached ~cache:t.config.cache pattern with
+  | Error e -> err t id Protocol.Parse_error (Compile.error_message e)
+  | Ok c -> k c
+
+let check_input t ~id input k =
+  if String.length input > t.config.max_input then
+    err t id Protocol.Too_large
+      (Printf.sprintf "input is %d bytes; this server accepts at most %d"
+         (String.length input) t.config.max_input)
+  else k ()
+
+let handle_compile t ~id ~pattern ~allow_risky =
+  compile_pattern t ~id pattern (fun c ->
+      gate t ~id ~allow_risky c (fun c ->
+          let binary_bytes = (Compile.stats c).Compile.binary_bytes in
+          Protocol.Compiled
+            { id;
+              code_size = Compile.code_size c;
+              binary_bytes;
+              lint = List.map lint_diag c.Compile.lint }))
+
+let observe_scan t ~histogram ~t0 (s : Protocol.scan_stats) =
+  Metrics.observe t.metrics histogram (Unix.gettimeofday () -. t0);
+  Metrics.inc t.metrics ~by:s.Protocol.attempts "scan/attempts";
+  Metrics.inc t.metrics ~by:s.Protocol.offsets_pruned "scan/offsets-pruned";
+  Metrics.inc t.metrics ~by:s.Protocol.offsets_scanned "scan/offsets-scanned"
+
+let handle_scan t ~id ~pattern ~input ~allow_risky =
+  check_input t ~id input (fun () ->
+      compile_pattern t ~id pattern (fun c ->
+          gate t ~id ~allow_risky c (fun c ->
+              let t0 = Unix.gettimeofday () in
+              let stats = Core.fresh_stats () in
+              let spans =
+                if t.config.cores = 1 then
+                  Core.find_all ~stats ~prefilter:c.Compile.prefilter
+                    c.Compile.program input
+                else
+                  (* multicore scale-out keeps its own per-core stats;
+                     aggregate by summing into the fresh record *)
+                  let r =
+                    Alveare_multicore.Multicore.run
+                      ~config:
+                        (Alveare_multicore.Multicore.config
+                           ~cores:t.config.cores ())
+                      ~prefilter:c.Compile.prefilter c.Compile.program input
+                  in
+                  Array.iter
+                    (fun (cs : Alveare_multicore.Multicore.core_result) ->
+                      let s = cs.Alveare_multicore.Multicore.stats in
+                      stats.Core.attempts <-
+                        stats.Core.attempts + s.Core.attempts;
+                      stats.Core.offsets_scanned <-
+                        stats.Core.offsets_scanned + s.Core.offsets_scanned;
+                      stats.Core.offsets_pruned <-
+                        stats.Core.offsets_pruned + s.Core.offsets_pruned;
+                      stats.Core.cycles <- stats.Core.cycles + s.Core.cycles)
+                    r.Alveare_multicore.Multicore.per_core;
+                  r.Alveare_multicore.Multicore.matches
+              in
+              let s = scan_stats stats in
+              observe_scan t ~histogram:"latency/scan" ~t0 s;
+              Protocol.Matches
+                { id;
+                  spans =
+                    List.map
+                      (fun (sp : Alveare_engine.Semantics.span) ->
+                        (sp.Alveare_engine.Semantics.start,
+                         sp.Alveare_engine.Semantics.stop))
+                      spans;
+                  stats = s })))
+
+let handle_ruleset_scan t ~id ~rules ~input ~allow_risky =
+  check_input t ~id input (fun () ->
+      match
+        Ruleset.compile ~cache:t.config.cache ~workers:t.config.scan_workers
+          rules
+      with
+      | Error errs ->
+        err t id Protocol.Parse_error
+          (String.concat "; "
+             (List.map
+                (fun (e : Ruleset.compile_error) ->
+                  Printf.sprintf "rule %S: %s" e.Ruleset.failed_rule.Ruleset.tag
+                    e.Ruleset.reason)
+                errs))
+      | Ok rs ->
+        let flagged =
+          List.filter
+            (fun (_, ds) -> lint_warnings ds <> [])
+            (Ruleset.lint_report rs)
+        in
+        if flagged <> [] && t.config.lint_gate && not allow_risky then
+          err t id Protocol.Lint_rejected
+            (String.concat "; "
+               (List.map
+                  (fun ((r : Ruleset.rule), ds) ->
+                    lint_rejection_message
+                      (r.Ruleset.tag ^ ": " ^ r.Ruleset.pattern)
+                      (lint_warnings ds))
+                  flagged))
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let report =
+            Ruleset.scan ~cores:t.config.cores ~workers:t.config.scan_workers
+              rs input
+          in
+          let s : Protocol.scan_stats =
+            { attempts = report.Ruleset.total_attempts;
+              offsets_scanned = report.Ruleset.total_offsets_scanned;
+              offsets_pruned = report.Ruleset.total_offsets_pruned;
+              cycles = report.Ruleset.total_wall_cycles }
+          in
+          observe_scan t ~histogram:"latency/ruleset-scan" ~t0 s;
+          Protocol.Ruleset_matches
+            { id;
+              hits =
+                List.map
+                  (fun (h : Ruleset.hit) ->
+                    ( h.Ruleset.hit_rule.Ruleset.id,
+                      h.Ruleset.hit_rule.Ruleset.tag,
+                      h.Ruleset.span.Alveare_engine.Semantics.start,
+                      h.Ruleset.span.Alveare_engine.Semantics.stop ))
+                  report.Ruleset.hits;
+              stats = s }
+        end)
+
+let request_kind = function
+  | Protocol.Health _ -> "health"
+  | Protocol.Compile _ -> "compile"
+  | Protocol.Scan _ -> "scan"
+  | Protocol.Ruleset_scan _ -> "ruleset-scan"
+  | Protocol.Stats _ -> "stats"
+
+let handle t ?deadline req =
+  let id = Protocol.request_id req in
+  Metrics.inc t.metrics ("requests/" ^ request_kind req);
+  let expired =
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  in
+  if expired then
+    err t id Protocol.Deadline_exceeded
+      "deadline passed while the request waited for a worker"
+  else
+    try
+      match req with
+      | Protocol.Health { id } ->
+        Protocol.Health_ok { id; version }
+      | Protocol.Compile { id; pattern; allow_risky } ->
+        handle_compile t ~id ~pattern ~allow_risky
+      | Protocol.Scan { id; pattern; input; allow_risky; deadline_ms = _ } ->
+        handle_scan t ~id ~pattern ~input ~allow_risky
+      | Protocol.Ruleset_scan { id; rules; input; allow_risky; deadline_ms = _ }
+        ->
+        handle_ruleset_scan t ~id ~rules ~input ~allow_risky
+      | Protocol.Stats { id } ->
+        Protocol.Stats_reply { id; entries = Metrics.snapshot t.metrics }
+    with e ->
+      err t id Protocol.Internal
+        ("unexpected exception: " ^ Printexc.to_string e)

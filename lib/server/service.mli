@@ -1,0 +1,48 @@
+(** Request broker: the pure-ish middle of the serving stack. Maps one
+    decoded {!Protocol.request} to one {!Protocol.response}, routing
+    compiles through the shared {!Alveare_compiler.Compile.cached} LRU,
+    running the level-2 lint gate on submitted patterns (ReDoS-flagged
+    patterns are refused with [Lint_rejected] unless the client sets
+    [allow_risky]), and dispatching ruleset scans over the
+    {!Alveare_exec.Pool} host domains. No sockets, no threads of its
+    own — the {!Server} accept loop calls {!handle} from its worker
+    threads, and tests call it directly. *)
+
+type config = {
+  cache : Alveare_compiler.Compile.cache;
+      (** compiled-pattern LRU shared by every request *)
+  scan_workers : int;
+      (** host domains for per-rule ruleset scan fan-out (1 = in-line) *)
+  cores : int;  (** simulated DSA cores per scan *)
+  lint_gate : bool;
+      (** refuse warning-linted patterns unless the request opts in *)
+  max_input : int;  (** inputs longer than this are [Too_large] *)
+}
+
+val default_config : config
+(** Shared default cache, 1 worker, 1 core, lint gate on, 16 MiB input
+    cap. *)
+
+type t
+
+val create : ?config:config -> Metrics.t -> t
+(** Registers the serving callback gauges on the given registry:
+    [exec/pool-queue-depth] ({!Alveare_exec.Pool.queue_depth}) and the
+    compile-cache gauges ([cache/size], [cache/hit-rate], ...). *)
+
+val config : t -> config
+val metrics : t -> Metrics.t
+
+val handle : t -> ?deadline:float -> Protocol.request -> Protocol.response
+(** One request, synchronously. [deadline] is an absolute
+    [Unix.gettimeofday] instant fixed at admission time; a request whose
+    deadline has passed when work would start is answered
+    [Deadline_exceeded] without scanning (scans themselves are not
+    preempted — the deadline bounds queue wait, the admission queue
+    bounds scan backlog). Never raises: unexpected exceptions become
+    [Internal] error responses. Updates the metrics registry (request /
+    error counters by type, scan latency histograms, attempt and
+    pruning counters). *)
+
+val version : string
+(** Protocol/server version string reported by [Health]. *)

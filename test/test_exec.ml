@@ -68,6 +68,46 @@ let test_pool_exception_propagates () =
        | exception Boom _ -> ())
     worker_counts
 
+(* queue_depth: the serving layer's backlog gauge. Inside a running map
+   every submitted-but-unfinished task is visible; once the call returns
+   the count is back to zero — including when a task raised, where the
+   never-run remainder must be settled rather than leaked. *)
+let test_pool_queue_depth () =
+  check_int "idle pool is empty" 0 (Pool.queue_depth ());
+  List.iter
+    (fun workers ->
+       let seen = Atomic.make 0 in
+       let observed_inside =
+         Pool.map ~workers
+           (fun i ->
+              Atomic.incr seen;
+              (* every task still submitted (at least this one) is pending *)
+              Pool.queue_depth () >= 1 && i >= 0)
+           (Array.init 16 (fun i -> i))
+       in
+       check_int "all tasks ran" 16 (Atomic.get seen);
+       check (Printf.sprintf "depth visible inside tasks, workers=%d" workers)
+         true
+         (Array.for_all Fun.id observed_inside);
+       check_int
+         (Printf.sprintf "depth zero after map, workers=%d" workers)
+         0 (Pool.queue_depth ()))
+    worker_counts;
+  (* a raising task must not leak outstanding counts *)
+  List.iter
+    (fun workers ->
+       (match
+          Pool.map ~workers
+            (fun i -> if i = 7 then raise (Boom i) else i)
+            (Array.init 20 (fun i -> i))
+        with
+       | _ -> Alcotest.fail "expected exception"
+       | exception Boom _ -> ());
+       check_int
+         (Printf.sprintf "depth zero after exception, workers=%d" workers)
+         0 (Pool.queue_depth ()))
+    worker_counts
+
 (* --- Determinism battery (qcheck) -------------------------------------- *)
 
 (* Multicore.run: full result record (matches, wall/total cycles, every
@@ -274,7 +314,9 @@ let () =
           Alcotest.test_case "empty and single" `Quick
             test_pool_empty_and_single;
           Alcotest.test_case "exception propagates" `Quick
-            test_pool_exception_propagates ] );
+            test_pool_exception_propagates;
+          Alcotest.test_case "queue depth gauge" `Quick
+            test_pool_queue_depth ] );
       ( "determinism",
         List.map QCheck_alcotest.to_alcotest
           [ prop_multicore_deterministic; prop_stream_deterministic ]

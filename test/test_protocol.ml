@@ -1,0 +1,325 @@
+(* Wire-protocol codec tests.
+
+   Two contracts: (1) encode → decode is the identity for every message
+   shape the protocol can carry, under any framing of the byte stream
+   (one shot, byte-at-a-time, many frames per feed); (2) the decoder is
+   total — the fuzz_corpus mutation machinery (truncation at every
+   prefix, seeded bit flips, unstructured garbage) plus targeted
+   corruptions must land in Frame/Await/Corrupt, never an exception,
+   and corruption must be sticky. The server's reader threads lean on
+   both: a byte of garbage from a client must cost one error response,
+   not a crashed thread. *)
+
+module Protocol = Alveare_server.Protocol
+module Fuzz = Alveare_test_support.Fuzz_corpus
+module Rng = Alveare_workloads.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Sample messages covering every constructor and edge shape --------- *)
+
+let all_bytes = String.init 256 Char.chr
+
+let sample_requests : Protocol.request list =
+  [ Health { id = 0 };
+    Health { id = 0xffffffff };
+    Compile { id = 1; pattern = ""; allow_risky = false };
+    Compile { id = 2; pattern = "(a+)+b"; allow_risky = true };
+    Compile { id = 3; pattern = all_bytes; allow_risky = false };
+    Scan
+      { id = 4; pattern = "ab+c"; input = "xabbbc"; deadline_ms = 0;
+        allow_risky = false };
+    Scan
+      { id = 5; pattern = "x"; input = all_bytes; deadline_ms = 250;
+        allow_risky = true };
+    Scan { id = 6; pattern = ""; input = ""; deadline_ms = 0; allow_risky = false };
+    Ruleset_scan
+      { id = 7; rules = []; input = "abc"; deadline_ms = 0; allow_risky = false };
+    Ruleset_scan
+      { id = 8;
+        rules = [ ("r0", "ab+c"); ("", ""); ("bin", all_bytes) ];
+        input = String.make 1000 'a';
+        deadline_ms = 10_000;
+        allow_risky = true };
+    Stats { id = 9 } ]
+
+let stats0 : Protocol.scan_stats =
+  { attempts = 0; offsets_scanned = 0; offsets_pruned = 0; cycles = 0 }
+
+let stats_big : Protocol.scan_stats =
+  { attempts = 123_456_789;
+    offsets_scanned = 0xfedc_ba98_7654;  (* exercises the u64 path *)
+    offsets_pruned = 42;
+    cycles = 987_654_321_012 }
+
+let sample_responses : Protocol.response list =
+  [ Health_ok { id = 0; version = "alveare-server/1" };
+    Health_ok { id = 1; version = "" };
+    Compiled { id = 2; code_size = 0; binary_bytes = 0; lint = [] };
+    Compiled
+      { id = 3;
+        code_size = 17;
+        binary_bytes = 160;
+        lint =
+          [ { severity = `Warning; kind = "redos-nested-quantifiers"; left = 0;
+              right = 5; message = "nested variable quantifiers" };
+            { severity = `Info; kind = "overlapping-alternation"; left = 2;
+              right = 9; message = all_bytes } ] };
+    Matches { id = 4; spans = []; stats = stats0 };
+    Matches
+      { id = 5;
+        spans = [ (0, 1); (5, 42); (1000, 100_000) ];
+        stats = stats_big };
+    Ruleset_matches { id = 6; hits = []; stats = stats0 };
+    Ruleset_matches
+      { id = 7;
+        hits = [ (0, "r0", 1, 2); (31, all_bytes, 0, 0) ];
+        stats = stats_big };
+    Stats_reply { id = 8; entries = [] };
+    Stats_reply
+      { id = 9;
+        entries =
+          [ ("requests/scan", 12.0); ("latency/scan/p99", 1.25e-4);
+            ("cache/hit-rate", 0.875); ("negative", -3.5); ("zero", 0.0) ] };
+    Error { id = 10; code = Bad_frame; message = "bad frame length" };
+    Error { id = 11; code = Parse_error; message = "" };
+    Error { id = 12; code = Lint_rejected; message = "nope" };
+    Error { id = 13; code = Overloaded; message = "queue full" };
+    Error { id = 14; code = Deadline_exceeded; message = "late" };
+    Error { id = 15; code = Too_large; message = "16 MiB max" };
+    Error { id = 16; code = Shutting_down; message = "bye" };
+    Error { id = 17; code = Internal; message = all_bytes } ]
+
+(* --- Drain helpers ------------------------------------------------------ *)
+
+let drain next dec =
+  let rec go acc =
+    match next dec with
+    | Protocol.Frame m -> go (m :: acc)
+    | Protocol.Await -> (List.rev acc, `Await)
+    | Protocol.Corrupt m -> (List.rev acc, `Corrupt m)
+  in
+  go []
+
+let drain_requests = drain Protocol.next_request
+let drain_responses = drain Protocol.next_response
+
+(* --- Round trips -------------------------------------------------------- *)
+
+let test_request_round_trip () =
+  List.iter
+    (fun req ->
+      let dec = Protocol.decoder () in
+      Protocol.feed dec (Protocol.encode_request req);
+      match drain_requests dec with
+      | [ got ], `Await -> check "round trip" true (got = req)
+      | _, `Corrupt m -> Alcotest.failf "corrupt: %s" m
+      | frames, _ -> Alcotest.failf "expected 1 frame, got %d" (List.length frames))
+    sample_requests
+
+let test_response_round_trip () =
+  List.iter
+    (fun resp ->
+      let dec = Protocol.decoder () in
+      Protocol.feed dec (Protocol.encode_response resp);
+      match drain_responses dec with
+      | [ got ], `Await -> check "round trip" true (got = resp)
+      | _, `Corrupt m -> Alcotest.failf "corrupt: %s" m
+      | frames, _ -> Alcotest.failf "expected 1 frame, got %d" (List.length frames))
+    sample_responses
+
+let requests_wire =
+  String.concat "" (List.map Protocol.encode_request sample_requests)
+
+let test_byte_at_a_time () =
+  let dec = Protocol.decoder () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      Protocol.feed dec (String.make 1 c);
+      match drain_requests dec with
+      | frames, `Await -> got := !got @ frames
+      | _, `Corrupt m -> Alcotest.failf "corrupt mid-stream: %s" m)
+    requests_wire;
+  check "all frames, in order" true (!got = sample_requests);
+  check_int "nothing buffered" 0 (Protocol.buffered dec)
+
+let test_many_frames_one_feed () =
+  let dec = Protocol.decoder () in
+  Protocol.feed dec requests_wire;
+  let frames, fin = drain_requests dec in
+  check "batch decode" true (frames = sample_requests && fin = `Await)
+
+(* --- Totality under the fuzz_corpus machinery --------------------------- *)
+
+(* Run a mutated byte stream through the decoder; the only acceptable
+   outcomes are frames, Await, or sticky corruption. Any exception fails
+   the test (and sticky-ness is asserted on every Corrupt). *)
+let totality_on next label (image : bytes) =
+  let dec = Protocol.decoder () in
+  Protocol.feed dec (Bytes.to_string image);
+  match drain next dec with
+  | _, `Await -> ()
+  | _, `Corrupt _ ->
+    (* corruption must be sticky: the next pull reports it again *)
+    (match next dec with
+    | Protocol.Corrupt _ -> ()
+    | _ -> Alcotest.failf "%s: corruption was not sticky" label)
+  | exception e ->
+    Alcotest.failf "%s: decoder raised %s" label (Printexc.to_string e)
+
+let test_truncation_totality () =
+  let image = Bytes.of_string requests_wire in
+  List.iter (totality_on Protocol.next_request "truncation")
+    (Fuzz.truncations image);
+  (* a truncated stream is pending input, never corruption: check the
+     strongest form on every prefix *)
+  List.iter
+    (fun (prefix : bytes) ->
+      let dec = Protocol.decoder () in
+      Protocol.feed dec (Bytes.to_string prefix);
+      let frames, fin = drain_requests dec in
+      check "prefix decodes a prefix" true
+        (fin = `Await
+        && frames
+           = List.filteri (fun i _ -> i < List.length frames) sample_requests))
+    (Fuzz.truncations image)
+
+let test_bit_flip_totality () =
+  let rng = Rng.create 0xA17EA2E in
+  let images =
+    Fuzz.bit_flips rng ~copies:64 (Bytes.of_string requests_wire)
+    @ Fuzz.bit_flips rng ~copies:64
+        (Bytes.of_string
+           (String.concat "" (List.map Protocol.encode_response sample_responses)))
+  in
+  List.iter (totality_on Protocol.next_request "bit flip (as requests)") images;
+  List.iter (totality_on Protocol.next_response "bit flip (as responses)") images
+
+let test_garbage_totality () =
+  let rng = Rng.create 0xBADF00D in
+  let images = Fuzz.garbage rng ~copies:256 in
+  List.iter (totality_on Protocol.next_request "garbage") images;
+  List.iter (totality_on Protocol.next_response "garbage") images
+
+(* Targeted damage mirroring fuzz_corpus.header_damage: each image
+   breaks one thing the decoder checks explicitly. *)
+let le32 n =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int n);
+  Bytes.to_string b
+
+let test_targeted_corruptions () =
+  let must_corrupt label image =
+    let dec = Protocol.decoder () in
+    Protocol.feed dec image;
+    match drain_requests dec with
+    | _, `Corrupt _ -> ()
+    | _, `Await -> Alcotest.failf "%s: expected corruption, got Await" label
+  in
+  must_corrupt "zero-length frame" (le32 0 ^ "xxxx");
+  must_corrupt "huge length prefix" (le32 0x7fffffff);
+  must_corrupt "negative-ish length prefix" "\xff\xff\xff\xff";
+  must_corrupt "unknown tag" (le32 5 ^ "\x7f\x00\x00\x00\x00");
+  must_corrupt "truncated payload field" (le32 5 ^ "\x02\x00\x00\x00\x00");
+  (* Compile with a string length pointing past the payload *)
+  must_corrupt "string length past payload"
+    (le32 10 ^ "\x02\x01\x00\x00\x00" ^ le32 999 ^ "x");
+  must_corrupt "bad boolean byte"
+    (le32 10 ^ "\x02\x01\x00\x00\x00" ^ le32 0 ^ "\x07");
+  must_corrupt "trailing bytes" (le32 7 ^ "\x01\x01\x00\x00\x00zz");
+  (* element count larger than the bytes that could back it *)
+  must_corrupt "count exceeds payload"
+    (le32 10 ^ "\x04\x01\x00\x00\x00" ^ le32 1000 ^ "z");
+  (* a frame decoded after garbage stays corrupt: framing is lost *)
+  let dec = Protocol.decoder () in
+  Protocol.feed dec "\xff\xff\xff\xff";
+  (match Protocol.next_request dec with
+  | Protocol.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected corrupt");
+  Protocol.feed dec (Protocol.encode_request (Protocol.Health { id = 1 }));
+  match Protocol.next_request dec with
+  | Protocol.Corrupt _ -> ()
+  | _ -> Alcotest.fail "corruption must be sticky across feeds"
+
+(* Bad frames must not poison earlier good ones: a valid frame followed
+   by garbage yields the frame, then corruption. *)
+let test_good_then_bad () =
+  let dec = Protocol.decoder () in
+  Protocol.feed dec
+    (Protocol.encode_request (Protocol.Stats { id = 3 }) ^ "\xff\xff\xff\xff");
+  (match Protocol.next_request dec with
+  | Protocol.Frame (Protocol.Stats { id = 3 }) -> ()
+  | _ -> Alcotest.fail "good frame lost");
+  match Protocol.next_request dec with
+  | Protocol.Corrupt _ -> ()
+  | _ -> Alcotest.fail "garbage after good frame must corrupt"
+
+(* --- qcheck: totality and chunking invariance --------------------------- *)
+
+let gen_bytes =
+  QCheck2.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 600))
+
+let prop_decoder_total =
+  QCheck2.Test.make ~name:"decoder total on arbitrary bytes" ~count:500
+    ~print:(fun s -> String.escaped s)
+    gen_bytes
+    (fun s ->
+      let dec = Protocol.decoder () in
+      Protocol.feed dec s;
+      match drain_requests dec with
+      | _, (`Await | `Corrupt _) -> true)
+
+let prop_chunking_invariant =
+  QCheck2.Test.make ~name:"chunk boundaries do not change the decode"
+    ~count:200
+    ~print:(fun (s, cuts) ->
+      Printf.sprintf "%s cuts=%s" (String.escaped s)
+        (String.concat "," (List.map string_of_int cuts)))
+    QCheck2.Gen.(pair gen_bytes (list_size (int_range 0 8) (int_range 0 600)))
+    (fun (s, cuts) ->
+      let one_shot =
+        let dec = Protocol.decoder () in
+        Protocol.feed dec s;
+        drain_requests dec
+      in
+      let chunked =
+        let dec = Protocol.decoder () in
+        let cuts = List.sort_uniq compare (List.map (fun c -> min c (String.length s)) cuts) in
+        let last = ref 0 in
+        let acc = ref [] in
+        List.iter
+          (fun cut ->
+            if cut > !last then begin
+              Protocol.feed dec (String.sub s !last (cut - !last));
+              let frames, _ = drain_requests dec in
+              acc := !acc @ frames;
+              last := cut
+            end)
+          (cuts @ [ String.length s ]);
+        let frames, fin = drain_requests dec in
+        (!acc @ frames, fin)
+      in
+      (* frames must agree; the terminal event must agree *)
+      fst one_shot = fst chunked && snd one_shot = snd chunked)
+
+let () =
+  Alcotest.run "protocol"
+    [ ( "round-trip",
+        [ Alcotest.test_case "requests" `Quick test_request_round_trip;
+          Alcotest.test_case "responses" `Quick test_response_round_trip;
+          Alcotest.test_case "byte at a time" `Quick test_byte_at_a_time;
+          Alcotest.test_case "many frames, one feed" `Quick
+            test_many_frames_one_feed ] );
+      ( "fuzz",
+        [ Alcotest.test_case "truncations" `Quick test_truncation_totality;
+          Alcotest.test_case "bit flips" `Quick test_bit_flip_totality;
+          Alcotest.test_case "garbage" `Quick test_garbage_totality;
+          Alcotest.test_case "targeted corruptions" `Quick
+            test_targeted_corruptions;
+          Alcotest.test_case "good frame then garbage" `Quick test_good_then_bad ]
+      );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_decoder_total; prop_chunking_invariant ] ) ]

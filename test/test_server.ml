@@ -1,0 +1,490 @@
+(* Loopback integration tests for the serving stack: a real server
+   (sockets, reader threads, worker pool) started in-process and driven
+   through the real client.
+
+   The contracts pinned down here are the ones ISSUE-level users script
+   against: scan results through the daemon are byte-identical to the
+   direct library API; a saturated admission queue sheds with the
+   documented [overloaded] code and never stalls the connection; an
+   admitted request survives shutdown (stop drains, responses arrive);
+   deadlines bound queue wait; the lint gate refuses ReDoS-flagged
+   patterns unless the client opts in; a garbage frame costs one
+   [bad-frame] error on id 0 and the connection, nothing more.
+
+   Determinism: timing-sensitive tests (overload, drain, deadline) use
+   the {!Server.pause}/{!Server.resume} hooks — with the workers paused,
+   exactly [queue_capacity] requests queue and the rest shed, no race. *)
+
+module P = Alveare_server.Protocol
+module Server = Alveare_server.Server
+module Service = Alveare_server.Service
+module Client = Alveare_server.Client
+module Metrics = Alveare_server.Metrics
+module Ruleset = Alveare_compiler.Ruleset
+module Rng = Alveare_workloads.Rng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Harness ------------------------------------------------------------ *)
+
+let fresh_addr =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Server.Unix_sock
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "alveare-test-%d-%d.sock" (Unix.getpid ()) !n))
+
+let with_server ?(queue = 64) ?(workers = 4) ?(service = Service.default_config)
+    f =
+  let addr = fresh_addr () in
+  let cfg =
+    { Server.default_config with
+      Server.addr;
+      queue_capacity = queue;
+      workers;
+      idle_timeout = 10.0;
+      service }
+  in
+  let server = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop server) (fun () -> f server addr)
+
+let with_client addr f =
+  let c = Client.connect addr in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "client transport error: %s" e
+
+let fail_resp label (r : P.response) =
+  Alcotest.failf "%s: unexpected response %a" label P.pp_response r
+
+(* Deterministic inputs without depending on String.init ordering. *)
+let make_input rng alphabet n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Rng.char_of rng alphabet)
+  done;
+  Bytes.to_string b
+
+(* Expected spans straight through the library — the daemon must agree
+   byte for byte. *)
+let direct_spans pattern input =
+  match Alveare.find_all pattern input with
+  | Ok spans ->
+    List.map (fun (s : Alveare.span) -> (s.Alveare.start, s.Alveare.stop)) spans
+  | Error e -> Alcotest.failf "direct compile failed: %s" e
+
+(* --- Basic round trips --------------------------------------------------- *)
+
+let test_health () =
+  with_server (fun _server addr ->
+      with_client addr (fun c ->
+          match ok (Client.health c) with
+          | P.Health_ok { version; _ } ->
+            Alcotest.(check string) "version" Service.version version
+          | r -> fail_resp "health" r))
+
+let test_scan_matches_direct () =
+  let cases =
+    [ ("ab+c", "xxabbbc yy abc zabc");
+      ("[a-z]+@[a-z]+", "mail to ada@lovelace and alan@turing now");
+      ("colou?r", "color colour colr");
+      ("x", "");
+      ("(GET|POST) /[a-z/]*", "GET /index POST /api/v1 PUT /x GET /") ]
+  in
+  with_server (fun _server addr ->
+      with_client addr (fun c ->
+          List.iter
+            (fun (pattern, input) ->
+              match ok (Client.scan c ~pattern ~input) with
+              | P.Matches { spans; stats; _ } ->
+                check
+                  (Printf.sprintf "spans of %S" pattern)
+                  true
+                  (spans = direct_spans pattern input);
+                check "stats well-formed" true
+                  (stats.P.attempts >= List.length spans
+                  && stats.P.offsets_scanned >= 0
+                  && stats.P.offsets_pruned >= 0
+                  && stats.P.cycles >= 0)
+              | r -> fail_resp pattern r)
+            cases))
+
+let test_compile_reports_size_and_lint () =
+  with_server (fun _server addr ->
+      with_client addr (fun c ->
+          (match ok (Client.compile c "ab+c") with
+          | P.Compiled { code_size; binary_bytes; lint; _ } ->
+            check "code size positive" true (code_size > 0);
+            check "binary bytes positive" true (binary_bytes > 0);
+            check "benign pattern has no warnings" true
+              (List.for_all (fun d -> d.P.severity <> `Warning) lint)
+          | r -> fail_resp "compile ab+c" r);
+          match ok (Client.compile ~allow_risky:true c "(a+)+b") with
+          | P.Compiled { lint; _ } ->
+            check "risky pattern carries its warning" true
+              (List.exists (fun d -> d.P.severity = `Warning) lint)
+          | r -> fail_resp "compile (a+)+b" r))
+
+(* --- Error codes --------------------------------------------------------- *)
+
+let test_lint_gate () =
+  with_server (fun _server addr ->
+      with_client addr (fun c ->
+          (match ok (Client.scan c ~pattern:"(a+)+b" ~input:"aaab") with
+          | P.Error { code = P.Lint_rejected; _ } -> ()
+          | r -> fail_resp "gated scan" r);
+          (match ok (Client.compile c "(a+)+b") with
+          | P.Error { code = P.Lint_rejected; _ } -> ()
+          | r -> fail_resp "gated compile" r);
+          (* the per-request override *)
+          match ok (Client.scan ~allow_risky:true c ~pattern:"(a+)+b" ~input:"aaab")
+          with
+          | P.Matches { spans; _ } ->
+            check "override scans" true (spans = direct_spans "(a+)+b" "aaab")
+          | r -> fail_resp "allow_risky scan" r));
+  (* ... and the server-wide switch *)
+  let service = { Service.default_config with Service.lint_gate = false } in
+  with_server ~service (fun _server addr ->
+      with_client addr (fun c ->
+          match ok (Client.scan c ~pattern:"(a+)+b" ~input:"aaab") with
+          | P.Matches _ -> ()
+          | r -> fail_resp "gate off" r))
+
+let test_parse_error_and_too_large () =
+  let service = { Service.default_config with Service.max_input = 64 } in
+  with_server ~service (fun _server addr ->
+      with_client addr (fun c ->
+          (match ok (Client.scan c ~pattern:"(" ~input:"x") with
+          | P.Error { code = P.Parse_error; _ } -> ()
+          | r -> fail_resp "parse error" r);
+          (match ok (Client.scan c ~pattern:"x" ~input:(String.make 100 'y')) with
+          | P.Error { code = P.Too_large; _ } -> ()
+          | r -> fail_resp "too large" r);
+          (* the connection survives both refusals *)
+          match ok (Client.scan c ~pattern:"x" ~input:"axa") with
+          | P.Matches { spans = [ (1, 2) ]; _ } -> ()
+          | r -> fail_resp "scan after errors" r))
+
+let test_bad_frame_closes_connection () =
+  with_server (fun _server addr ->
+      let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect ~finally:(fun () -> try Unix.close fd with _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          (* a length prefix the decoder must refuse *)
+          ignore (Unix.write_substring fd "\xff\xff\xff\xff" 0 4);
+          let dec = P.decoder () in
+          let buf = Bytes.create 4096 in
+          let rec read_response () =
+            match P.next_response dec with
+            | P.Frame r -> Some r
+            | P.Corrupt m -> Alcotest.failf "corrupt error response: %s" m
+            | P.Await -> (
+              match Unix.read fd buf 0 (Bytes.length buf) with
+              | 0 -> None
+              | n ->
+                P.feed dec (Bytes.sub_string buf 0 n);
+                read_response ())
+          in
+          (match read_response () with
+          | Some (P.Error { id = 0; code = P.Bad_frame; _ }) -> ()
+          | Some r -> fail_resp "bad frame" r
+          | None -> Alcotest.fail "connection closed without an error response");
+          (* framing is lost: the server hangs up after reporting *)
+          let n = try Unix.read fd buf 0 (Bytes.length buf) with Unix.Unix_error _ -> 0 in
+          check_int "connection closed" 0 n))
+
+(* --- Concurrency: N clients, workers in {1, 4} --------------------------- *)
+
+let hammer ~workers () =
+  let patterns =
+    [| "ab+c"; "[a-z]+@[a-z]+"; "(GET|POST) /[a-z/]*"; "colou?r"; "z{2,5}" |]
+  in
+  let rng = Rng.create 0x5EEDED in
+  let cases =
+    Array.init 10 (fun i ->
+        let pattern = patterns.(i mod Array.length patterns) in
+        let input = make_input rng "abcz @/GETPOSTcolour" (512 + (i * 97)) in
+        (pattern, input, direct_spans pattern input))
+  in
+  with_server ~workers (fun _server addr ->
+      let n_clients = 6 in
+      let failures = Array.make n_clients None in
+      let body ti () =
+        try
+          with_client addr (fun c ->
+              Array.iter
+                (fun (pattern, input, expected) ->
+                  match Client.scan c ~pattern ~input with
+                  | Ok (P.Matches { spans; _ }) ->
+                    if spans <> expected then
+                      failures.(ti) <-
+                        Some
+                          (Printf.sprintf
+                             "client %d: %S returned %d spans, expected %d" ti
+                             pattern (List.length spans) (List.length expected))
+                  | Ok r ->
+                    failures.(ti) <- Some (Fmt.str "client %d: %a" ti P.pp_response r)
+                  | Error e -> failures.(ti) <- Some e)
+                cases)
+        with e -> failures.(ti) <- Some (Printexc.to_string e)
+      in
+      let threads = List.init n_clients (fun ti -> Thread.create (body ti) ()) in
+      List.iter Thread.join threads;
+      Array.iter
+        (function Some msg -> Alcotest.fail msg | None -> ())
+        failures)
+
+let test_ruleset_matches_direct () =
+  let rules =
+    [ ("num", "[0-9]+"); ("word", "[a-z]+"); ("abc", "ab+c"); ("at", "@") ]
+  in
+  let input = "42 abbbc mail@host 7 xyz" in
+  let direct =
+    let rs = Ruleset.compile_exn rules in
+    let report = Ruleset.scan rs input in
+    List.map
+      (fun (h : Ruleset.hit) ->
+        ( h.Ruleset.hit_rule.Ruleset.id,
+          h.Ruleset.hit_rule.Ruleset.tag,
+          h.Ruleset.span.Alveare_engine.Semantics.start,
+          h.Ruleset.span.Alveare_engine.Semantics.stop ))
+      report.Ruleset.hits
+  in
+  with_server (fun _server addr ->
+      with_client addr (fun c ->
+          (match ok (Client.ruleset_scan c ~rules ~input) with
+          | P.Ruleset_matches { hits; stats; _ } ->
+            check "hits identical to direct Ruleset.scan" true (hits = direct);
+            check "attempts counted" true (stats.P.attempts > 0)
+          | r -> fail_resp "ruleset scan" r);
+          (* one bad rule poisons the batch with parse-error, not a crash *)
+          match ok (Client.ruleset_scan c ~rules:[ ("good", "a"); ("bad", "(") ]
+                      ~input:"a")
+          with
+          | P.Error { code = P.Parse_error; _ } -> ()
+          | r -> fail_resp "ruleset parse error" r))
+
+(* --- Overload: saturate the queue, observe explicit shedding ------------- *)
+
+let test_overload_sheds () =
+  with_server ~queue:2 ~workers:1 (fun server addr ->
+      Server.pause server;
+      with_client addr (fun c ->
+          let input = "zzabbczz" in
+          for id = 1 to 8 do
+            Client.send c
+              (P.Scan
+                 { id; pattern = "ab+c"; input; deadline_ms = 0;
+                   allow_risky = false })
+          done;
+          (* With the workers paused: requests 1 and 2 fill the queue,
+             3..8 are shed by the reader thread immediately — those six
+             responses arrive first, in request order. *)
+          let sheds = List.init 6 (fun _ -> ok (Client.recv c)) in
+          List.iteri
+            (fun i r ->
+              match r with
+              | P.Error { id; code = P.Overloaded; _ } -> check_int "shed id" (i + 3) id
+              | r -> fail_resp "expected overloaded" r)
+            sheds;
+          check_int "queue holds exactly its capacity" 2
+            (Server.queue_depth server);
+          (* release the workers: the two admitted requests complete *)
+          Server.resume server;
+          let expected = direct_spans "ab+c" input in
+          List.iter
+            (fun want_id ->
+              match ok (Client.recv c) with
+              | P.Matches { id; spans; _ } ->
+                check_int "admitted id" want_id id;
+                check "admitted result correct" true (spans = expected)
+              | r -> fail_resp "admitted response" r)
+            [ 1; 2 ];
+          check_int "queue drained" 0 (Server.queue_depth server)))
+
+(* --- Deadlines bound queue wait ------------------------------------------ *)
+
+let test_deadline_exceeded () =
+  with_server ~queue:4 ~workers:1 (fun server addr ->
+      Server.pause server;
+      with_client addr (fun c ->
+          Client.send c
+            (P.Scan
+               { id = 7; pattern = "ab+c"; input = "xabc"; deadline_ms = 30;
+                 allow_risky = false });
+          Thread.delay 0.1;  (* let the 30 ms admission deadline pass *)
+          Server.resume server;
+          (match ok (Client.recv c) with
+          | P.Error { id = 7; code = P.Deadline_exceeded; _ } -> ()
+          | r -> fail_resp "deadline" r);
+          (* deadline_ms = 0 means no deadline, even after a pause *)
+          Server.pause server;
+          Client.send c
+            (P.Scan
+               { id = 8; pattern = "ab+c"; input = "xabc"; deadline_ms = 0;
+                 allow_risky = false });
+          Thread.delay 0.05;
+          Server.resume server;
+          match ok (Client.recv c) with
+          | P.Matches { id = 8; _ } -> ()
+          | r -> fail_resp "no deadline" r))
+
+(* --- Graceful shutdown drains admitted work ------------------------------ *)
+
+let test_stop_drains () =
+  let addr = fresh_addr () in
+  let cfg =
+    { Server.default_config with
+      Server.addr;
+      queue_capacity = 8;
+      workers = 2;
+      idle_timeout = 10.0 }
+  in
+  let server = Server.start cfg in
+  Server.pause server;
+  let c = Client.connect addr in
+  let input = "xx abc abbc y" in
+  Client.send c
+    (P.Scan { id = 1; pattern = "ab+c"; input; deadline_ms = 0; allow_risky = false });
+  Client.send c
+    (P.Scan { id = 2; pattern = "ab+c"; input; deadline_ms = 0; allow_risky = false });
+  (* wait for the reader thread to admit both *)
+  let rec await_admission tries =
+    if Server.queue_depth server < 2 then
+      if tries = 0 then Alcotest.fail "requests were not admitted"
+      else begin
+        Thread.delay 0.01;
+        await_admission (tries - 1)
+      end
+  in
+  await_admission 500;
+  (* stop with the workers paused: the drain must override the pause and
+     answer both admitted requests before tearing anything down *)
+  let stopper = Thread.create Server.stop server in
+  let expected = direct_spans "ab+c" input in
+  let r1 = ok (Client.recv c) in
+  let r2 = ok (Client.recv c) in
+  List.iter
+    (fun r ->
+      match r with
+      | P.Matches { spans; _ } ->
+        check "drained response correct" true (spans = expected)
+      | r -> fail_resp "drained response" r)
+    [ r1; r2 ];
+  check "both ids answered" true
+    (List.sort compare [ P.response_id r1; P.response_id r2 ] = [ 1; 2 ]);
+  Thread.join stopper;
+  Server.stop server;  (* idempotent *)
+  Client.close c;
+  (* the socket file is gone: a new connection must be refused *)
+  (match Client.connect addr with
+  | exception Unix.Unix_error _ -> ()
+  | c2 ->
+    Client.close c2;
+    Alcotest.fail "server still accepting after stop")
+
+(* --- Stats / metrics end to end ------------------------------------------ *)
+
+let test_stats_reply () =
+  with_server (fun server addr ->
+      with_client addr (fun c ->
+          ignore (ok (Client.health c));
+          (match ok (Client.scan c ~pattern:"ab+c" ~input:"xabbc") with
+          | P.Matches _ -> ()
+          | r -> fail_resp "scan" r);
+          (match ok (Client.stats c) with
+          | P.Stats_reply { entries; _ } ->
+            let value name =
+              match List.assoc_opt name entries with
+              | Some v -> v
+              | None -> Alcotest.failf "stats entry %S missing" name
+            in
+            check "scan counted" true (value "requests/scan" >= 1.0);
+            check "health counted" true (value "requests/health" >= 1.0);
+            check "admission counted" true (value "admission/admitted" >= 2.0);
+            check "latency histogram populated" true
+              (value "latency/scan/count" >= 1.0);
+            check "this connection is open" true (value "connections/open" >= 1.0);
+            check "queue-depth gauge present" true
+              (value "admission/queue-depth" = 0.0);
+            check "pool gauge present" true
+              (List.mem_assoc "exec/pool-queue-depth" entries)
+          | r -> fail_resp "stats" r);
+          (* the registry agrees with the wire view *)
+          check "server-side counter" true
+            (Metrics.counter_value (Server.metrics server) "requests/scan" >= 1)))
+
+(* --- TCP transport ------------------------------------------------------- *)
+
+let test_tcp_transport () =
+  let cfg =
+    { Server.default_config with
+      Server.addr = Server.Tcp ("", 0);
+      idle_timeout = 10.0 }
+  in
+  let server = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop server)
+    (fun () ->
+      let port =
+        match Server.port server with
+        | Some p -> p
+        | None -> Alcotest.fail "TCP server reports no port"
+      in
+      with_client (Server.Tcp ("127.0.0.1", port)) (fun c ->
+          match ok (Client.scan c ~pattern:"ab+c" ~input:"_abbbc_") with
+          | P.Matches { spans = [ (1, 6) ]; _ } -> ()
+          | r -> fail_resp "tcp scan" r))
+
+(* --- Service.handle directly (no sockets) -------------------------------- *)
+
+let test_service_deadline_direct () =
+  let svc = Service.create (Metrics.create ()) in
+  let req =
+    P.Scan { id = 3; pattern = "a"; input = "a"; deadline_ms = 5; allow_risky = false }
+  in
+  (match Service.handle svc ~deadline:(Unix.gettimeofday () -. 1.0) req with
+  | P.Error { id = 3; code = P.Deadline_exceeded; _ } -> ()
+  | r -> fail_resp "expired deadline" r);
+  match Service.handle svc ~deadline:(Unix.gettimeofday () +. 60.0) req with
+  | P.Matches { id = 3; spans = [ (0, 1) ]; _ } -> ()
+  | r -> fail_resp "live deadline" r
+
+let () =
+  Alcotest.run "server"
+    [ ( "round-trip",
+        [ Alcotest.test_case "health" `Quick test_health;
+          Alcotest.test_case "scan = direct find_all" `Quick
+            test_scan_matches_direct;
+          Alcotest.test_case "compile reports size and lint" `Quick
+            test_compile_reports_size_and_lint;
+          Alcotest.test_case "ruleset scan = direct Ruleset.scan" `Quick
+            test_ruleset_matches_direct;
+          Alcotest.test_case "tcp transport" `Quick test_tcp_transport ] );
+      ( "error-codes",
+        [ Alcotest.test_case "lint gate and overrides" `Quick test_lint_gate;
+          Alcotest.test_case "parse error and input cap" `Quick
+            test_parse_error_and_too_large;
+          Alcotest.test_case "bad frame closes connection" `Quick
+            test_bad_frame_closes_connection ] );
+      ( "concurrency",
+        [ Alcotest.test_case "6 clients, 1 worker" `Quick (hammer ~workers:1);
+          Alcotest.test_case "6 clients, 4 workers" `Quick (hammer ~workers:4) ]
+      );
+      ( "load-and-lifecycle",
+        [ Alcotest.test_case "overload sheds explicitly" `Quick
+            test_overload_sheds;
+          Alcotest.test_case "deadline bounds queue wait" `Quick
+            test_deadline_exceeded;
+          Alcotest.test_case "stop drains admitted work" `Quick
+            test_stop_drains ] );
+      ( "observability",
+        [ Alcotest.test_case "stats reply end to end" `Quick test_stats_reply;
+          Alcotest.test_case "Service.handle deadline direct" `Quick
+            test_service_deadline_direct ] ) ]
