@@ -11,6 +11,11 @@
      per-timing drift past 20% is printed as a warning;
    - any prefilter/.../hits-identical flag not 1 (the prefilter changed
      the match report — a correctness bug, not a perf question);
+   - the plan/... gates: the hits-identical and stats-identical flags
+     must be 1 (the pre-decoded plan executor must be indistinguishable
+     from the legacy interpreter down to every counter), and
+     plan/speedup — plan vs legacy measured in the SAME run, so immune
+     to machine drift and baseline refreshes — must stay >= 2x;
    - no workload left with an attempts-ratio >= 2 (the prefilter's
      reason to exist: at least one unanchored ruleset scan must start
      2x fewer attempts than the dense scan);
@@ -40,6 +45,7 @@
 let regression_slack = 1.20 (* suite geomean >20% slower than baseline fails *)
 let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
 let required_attempts_ratio = 2.0
+let required_plan_speedup = 2.0 (* plan executor vs legacy, same-run ratio *)
 let server_latency_slack = 2.0 (* server/... -ns entries: >2x baseline fails *)
 let server_throughput_slack = 0.5 (* throughput-rps below half baseline fails *)
 
@@ -132,6 +138,21 @@ let () =
     (fun (name, v) ->
        if v <> 1.0 then fail "%s = %g: prefiltered scan changed the hits" name v)
     flags;
+  (* Plan-executor gates: correctness flags plus the same-run speedup
+     floor. hits-identical is already covered by the suffix filter
+     above; stats-identical and the speedup are plan-specific. *)
+  (match List.assoc_opt "plan/stats-identical" fresh with
+   | None -> fail "no plan/stats-identical entry in %s" fresh_path
+   | Some 1.0 -> ()
+   | Some v ->
+     fail "plan/stats-identical = %g: plan executor stats diverged from the \
+           legacy interpreter" v);
+  (match List.assoc_opt "plan/speedup" fresh with
+   | None -> fail "no plan/speedup entry in %s" fresh_path
+   | Some s when s < required_plan_speedup ->
+     fail "plan/speedup %.2fx below the %.1fx floor (plan vs legacy, same run)"
+       s required_plan_speedup
+   | Some _ -> ());
   (* Attempts criterion: at least one workload >= 2x fewer attempts. *)
   let ratios = List.filter (fun (n, _) -> suffix "/attempts-ratio" n) fresh in
   if ratios = [] then fail "no prefilter/.../attempts-ratio entries in %s" fresh_path

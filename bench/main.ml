@@ -192,6 +192,76 @@ let write_json path entries =
   close_out oc;
   Fmt.pr "wrote %s (%d entries)@.@." path (List.length entries)
 
+(* --- Plan ablation ------------------------------------------------------
+
+   The pre-decoded plan executor against the legacy instruction-at-a-
+   time interpreter on the same 16 KiB scan the micro benchmark uses:
+   wall time per scan for both paths, the speedup, minor-heap words
+   allocated per scan (the reusable scratch should make the plan path
+   allocation-free in the inner loop), and identity flags over the hit
+   list and the full stats record — which must never differ; the
+   compare gate fails the build if they do, or if the speedup falls
+   under its floor. *)
+
+module Core = Alveare_arch.Core
+module Plan = Alveare_arch.Plan
+
+let plan_iters = 100
+
+let plan_ablation () : (string * float) list =
+  let c = Alveare_compiler.Compile.compile_exn "ab+c" in
+  let program = c.Alveare_compiler.Compile.program in
+  let plan = c.Alveare_compiler.Compile.plan in
+  let rng = Alveare_workloads.Rng.create 5 in
+  let input =
+    String.init 16384 (fun _ -> Alveare_workloads.Streams.lowercase_text rng)
+  in
+  let scratch = Plan.create_scratch () in
+  let run_plan () = Core.find_all ~plan ~scratch program input in
+  let run_legacy () = Core.find_all ~use_plan:false program input in
+  (* correctness flags from one instrumented scan per path *)
+  let plan_stats = Core.fresh_stats () in
+  let plan_hits = Core.find_all ~stats:plan_stats ~plan ~scratch program input in
+  let legacy_stats = Core.fresh_stats () in
+  let legacy_hits =
+    Core.find_all ~stats:legacy_stats ~use_plan:false program input
+  in
+  let hits_identical = plan_hits = legacy_hits in
+  let stats_identical = plan_stats = legacy_stats in
+  let time f =
+    ignore (f ()); (* warm *)
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to plan_iters do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int plan_iters
+  in
+  let minor_words f =
+    ignore (f ());
+    let w0 = Gc.minor_words () in
+    ignore (f ());
+    Gc.minor_words () -. w0
+  in
+  let plan_ns = time run_plan in
+  let legacy_ns = time run_legacy in
+  let plan_mw = minor_words run_plan in
+  let legacy_mw = minor_words run_legacy in
+  let speedup = legacy_ns /. Float.max 1.0 plan_ns in
+  Fmt.pr "== Plan ablation (16 KiB scan, pattern \"ab+c\") ==@.";
+  Fmt.pr
+    "  legacy %.1f us/scan, plan %.1f us/scan (%.2fx), minor words \
+     %.0f -> %.0f, hits %s, stats %s@.@."
+    (legacy_ns /. 1e3) (plan_ns /. 1e3) speedup legacy_mw plan_mw
+    (if hits_identical then "identical" else "DIVERGED")
+    (if stats_identical then "identical" else "DIVERGED");
+  [ ("plan/legacy-ns", legacy_ns);
+    ("plan/plan-ns", plan_ns);
+    ("plan/speedup", speedup);
+    ("plan/minor-words-legacy", legacy_mw);
+    ("plan/minor-words-plan", plan_mw);
+    ("plan/hits-identical", if hits_identical then 1.0 else 0.0);
+    ("plan/stats-identical", if stats_identical then 1.0 else 0.0) ]
+
 (* --- Prefilter ablation -------------------------------------------------
 
    The headline numbers for the software prefilter: scan a witness-
@@ -389,9 +459,10 @@ let serving_bench () : (string * float) list =
 let () =
   let results = benchmark () in
   print_results results;
+  let plan = plan_ablation () in
   let ablation = prefilter_ablation () in
   let serving = serving_bench () in
-  write_json !json_path (timing_entries results @ ablation @ serving);
+  write_json !json_path (timing_entries results @ plan @ ablation @ serving);
   (* Regenerate every paper artefact at quick scale. *)
   let workers = !workers in
   let scale = E.quick_scale () in

@@ -101,10 +101,12 @@ let find_all ?(cores = 1) ?workers ?(prefilter = true) pattern input
     (Result.map
        (fun (c : compiled) ->
           let pf = if prefilter then Some c.Compile.prefilter else None in
-          if cores = 1 then Core.find_all ?prefilter:pf c.Compile.program input
+          if cores = 1 then
+            Core.find_all ?prefilter:pf ~plan:c.Compile.plan
+              c.Compile.program input
           else
             Multicore.find_all ~cores ?workers ?prefilter:pf
-              c.Compile.program input)
+              ~plan:c.Compile.plan c.Compile.program input)
        (cached pattern))
 
 let search ?(prefilter = true) pattern input : (span option, string) result =
@@ -112,7 +114,8 @@ let search ?(prefilter = true) pattern input : (span option, string) result =
     (Result.map
        (fun (c : compiled) ->
           let pf = if prefilter then Some c.Compile.prefilter else None in
-          Core.search ?prefilter:pf c.Compile.program input)
+          Core.search ?prefilter:pf ~plan:c.Compile.plan c.Compile.program
+            input)
        (cached pattern))
 
 let matches ?prefilter pattern input : (bool, string) result =

@@ -21,19 +21,28 @@
      (rollback) or, with an empty stack, abandons the attempt.
 
    Matching semantics are PCRE backtracking order, differentially tested
-   against the Backtrack oracle. *)
+   against the Backtrack oracle.
+
+   Two executors implement this model. The default is the pre-decoded
+   plan path (Plan): the program is lowered once — bitmap character
+   classes, absolute jump targets, reusable speculation scratch — and
+   the dense scan skips rejected-offset runs with a memchr-style loop.
+   The legacy instruction-at-a-time interpreter below is kept as the
+   traced executor (waveforms need per-cycle events) and as the
+   differential oracle behind [~use_plan:false]; both produce identical
+   spans and bit-identical stats, which @plancheck enforces. *)
 
 module I = Alveare_isa.Instruction
 module Span = Alveare_engine.Semantics
 
-type config = {
+type config = Machine.config = {
   compute_units : int;        (* CUs in the vector unit (paper: 4) *)
   stack_capacity : int option; (* None = unbounded speculation stack *)
 }
 
-let default_config = { compute_units = 4; stack_capacity = None }
+let default_config = Machine.default_config
 
-type stats = {
+type stats = Machine.stats = {
   mutable cycles : int;          (* total: instructions + rollbacks + scan *)
   mutable instructions : int;    (* instructions executed *)
   mutable rollbacks : int;       (* speculation-stack pops on mismatch *)
@@ -46,27 +55,21 @@ type stats = {
   mutable match_count : int;
 }
 
-let fresh_stats () =
-  { cycles = 0; instructions = 0; rollbacks = 0; stack_pushes = 0;
-    max_stack_depth = 0; scan_cycles = 0; attempts = 0; offsets_scanned = 0;
-    offsets_pruned = 0; match_count = 0 }
+let fresh_stats = Machine.fresh_stats
 
-type error =
+type error = Machine.error =
   | Stack_overflow of int
   | Malformed of { pc : int; reason : string }
 
-let error_message = function
-  | Stack_overflow cap ->
-    Printf.sprintf "speculation stack overflow (capacity %d)" cap
-  | Malformed { pc; reason } ->
-    Printf.sprintf "malformed execution at pc %d: %s" pc reason
+let error_message = Machine.error_message
 
-exception Exec_error of error
+exception Exec_error = Machine.Exec_error
 
 (* Controller context: the register view of the innermost open sub-RE.
    Snapshots capture (pc, cursor, context list); the persistent list makes
    a snapshot O(1), standing in for the hardware's fixed-size stack
-   entries. *)
+   entries. (The plan executor replaces both with index-linked frames in
+   a preallocated arena — same sharing, no allocation.) *)
 type ctx =
   | Cquant of {
       open_pc : int;
@@ -263,12 +266,6 @@ let leading_filter (program : I.t array) =
     Some (fun input cursor -> eval_base input cursor op neg chars <> None)
   | _ -> None
 
-let match_at ?(config = default_config) ?stats ?trace (program : I.t array)
-    input start : int option =
-  Alveare_isa.Program.validate_exn program;
-  let stats = match stats with Some s -> s | None -> fresh_stats () in
-  attempt ?trace ~config ~stats program input start
-
 (* Scan for matches from [from]; [all] selects first-match or all
    non-overlapping matches. The scan models the vector unit: runs of
    offsets rejected without an attempt — by the leading instruction or
@@ -346,6 +343,178 @@ let scan_from ?trace ~config ~stats ~all ~next program input from =
 
 let dense_next offset = Some offset
 
+(* --- Plan-path scanners -------------------------------------------------
+
+   Same accounting, pre-decoded execution. [scan_plan] mirrors
+   [scan_from] for an arbitrary candidate source; [scan_plan_dense]
+   specialises the dense scan: the leading-filter table turns runs of
+   rejected offsets into one memchr-style skip loop over unsafe byte
+   reads instead of a per-offset closure call, with the run lengths —
+   and hence every counter and scan-cycle charge — unchanged. *)
+
+let scan_plan ~config ~stats ~all ~next plan scratch input from =
+  let n = String.length input in
+  let leading = Plan.leading plan in
+  let found = ref [] in
+  let rejected_run = ref 0 in
+  let flush_run () =
+    if !rejected_run > 0 then begin
+      let cycles =
+        (!rejected_run + config.compute_units - 1) / config.compute_units
+      in
+      stats.scan_cycles <- stats.scan_cycles + cycles;
+      stats.cycles <- stats.cycles + cycles;
+      rejected_run := 0
+    end
+  in
+  let prune k =
+    stats.offsets_scanned <- stats.offsets_scanned + k;
+    stats.offsets_pruned <- stats.offsets_pruned + k;
+    rejected_run := !rejected_run + k
+  in
+  let filter_pass cand =
+    match leading with
+    | Plan.Lead_none -> true
+    | Plan.Lead_literal lit -> cand < n && Plan.literal_matches input cand lit
+    | Plan.Lead_set bits ->
+      cand < n && Plan.set_mem bits (String.unsafe_get input cand)
+  in
+  let rec go offset =
+    if offset > n then flush_run ()
+    else begin
+      match next offset with
+      | None ->
+        prune (n - offset + 1);
+        flush_run ()
+      | Some cand ->
+        if cand > offset then prune (cand - offset);
+        stats.offsets_scanned <- stats.offsets_scanned + 1;
+        if not (filter_pass cand) then begin
+          stats.offsets_pruned <- stats.offsets_pruned + 1;
+          incr rejected_run;
+          go (cand + 1)
+        end
+        else begin
+          flush_run ();
+          match Plan.run ~config ~stats plan scratch input cand with
+          | Some stop ->
+            let span = { Span.start = cand; stop } in
+            found := span :: !found;
+            stats.match_count <- stats.match_count + 1;
+            if all then go (Span.next_scan_position span) else flush_run ()
+          | None -> go (cand + 1)
+        end
+    end
+  in
+  go from;
+  List.rev !found
+
+let scan_plan_dense ~config ~stats ~all plan scratch input from =
+  let n = String.length input in
+  match Plan.leading plan with
+  | Plan.Lead_none ->
+    (* No leading filter: every offset is attempted, no runs to skip. *)
+    scan_plan ~config ~stats ~all ~next:dense_next plan scratch input from
+  | Plan.Lead_literal lit when String.length lit = 0 ->
+    (* Degenerate leading AND over zero chars: passes everywhere. *)
+    scan_plan ~config ~stats ~all ~next:dense_next plan scratch input from
+  | (Plan.Lead_literal _ | Plan.Lead_set _) as leading ->
+    (* [skip offset] = smallest offset >= [offset] passing the leading
+       filter, or [n] when none is left (offset [n] itself can never
+       pass: the filter consumes a byte). *)
+    let skip =
+      match leading with
+      | Plan.Lead_set bits ->
+        fun offset ->
+          let j = ref offset in
+          while !j < n && not (Plan.set_mem bits (String.unsafe_get input !j))
+          do incr j done;
+          !j
+      | Plan.Lead_literal lit ->
+        let c0 = String.unsafe_get lit 0 in
+        fun offset ->
+          let j = ref offset in
+          while
+            !j < n
+            && (not (Char.equal (String.unsafe_get input !j) c0)
+                || not (Plan.literal_matches input !j lit))
+          do incr j done;
+          !j
+      | Plan.Lead_none -> assert false
+    in
+    let found = ref [] in
+    let rejected_run = ref 0 in
+    let flush_run () =
+      if !rejected_run > 0 then begin
+        let cycles =
+          (!rejected_run + config.compute_units - 1) / config.compute_units
+        in
+        stats.scan_cycles <- stats.scan_cycles + cycles;
+        stats.cycles <- stats.cycles + cycles;
+        rejected_run := 0
+      end
+    in
+    let prune k =
+      stats.offsets_scanned <- stats.offsets_scanned + k;
+      stats.offsets_pruned <- stats.offsets_pruned + k;
+      rejected_run := !rejected_run + k
+    in
+    let rec go offset =
+      if offset > n then flush_run ()
+      else begin
+        let cand = skip offset in
+        if cand >= n then begin
+          (* offsets offset..n-1 fail the filter; offset n is gated. *)
+          prune (n - offset + 1);
+          flush_run ()
+        end
+        else begin
+          if cand > offset then prune (cand - offset);
+          stats.offsets_scanned <- stats.offsets_scanned + 1;
+          flush_run ();
+          match Plan.run ~config ~stats plan scratch input cand with
+          | Some stop ->
+            let span = { Span.start = cand; stop } in
+            found := span :: !found;
+            stats.match_count <- stats.match_count + 1;
+            if all then go (Span.next_scan_position span) else flush_run ()
+          | None -> go (cand + 1)
+        end
+      end
+    in
+    go from;
+    List.rev !found
+
+(* --- Entry points -------------------------------------------------------
+
+   Every entry point takes the raw program plus an optional pre-built
+   [?plan]. The plan path is the default; it validates once at plan
+   construction (or not at all when the caller provides a plan lowered
+   from an already-verified binary — Compile.compiled always does).
+   [~use_plan:false] forces the legacy interpreter (which re-validates
+   per call, as before); a [?trace] also routes to the interpreter,
+   since waveforms want its per-cycle events. *)
+
+let plan_of ?plan program =
+  match plan with Some p -> p | None -> Plan.of_program program
+
+let scratch_of ?scratch () =
+  match scratch with Some s -> s | None -> Plan.create_scratch ()
+
+let match_at ?(config = default_config) ?stats ?trace ?plan ?(use_plan = true)
+    ?scratch (program : I.t array) input start : int option =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  match trace with
+  | Some _ ->
+    Alveare_isa.Program.validate_exn program;
+    attempt ?trace ~config ~stats program input start
+  | None when not use_plan ->
+    Alveare_isa.Program.validate_exn program;
+    attempt ~config ~stats program input start
+  | None ->
+    let plan = plan_of ?plan program in
+    Plan.run ~config ~stats plan (scratch_of ?scratch ()) input start
+
 (* Candidate sources from compile-time prefilter facts are built inline
    in [search]/[find_all] (they close over the input string). Soundness:
    the first set over-approximates, so a byte outside it can never begin
@@ -354,60 +523,94 @@ let dense_next offset = Some offset
    end-of-input position. Anchored patterns attempt only at the initial
    offset. *)
 
-let search ?(config = default_config) ?stats ?trace ?prefilter ?(from = 0)
-    program input : Span.span option =
-  Alveare_isa.Program.validate_exn program;
-  let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let next =
-    match prefilter with
-    | Some pf when Alveare_prefilter.Prefilter.first_usable pf ->
-      if pf.Alveare_prefilter.Prefilter.anchored then
-        fun offset -> if offset = from then Some offset else None
-      else fun offset ->
-        Alveare_prefilter.Prefilter.next_candidate pf input offset
-    | Some _ | None -> dense_next
-  in
-  match scan_from ?trace ~config ~stats ~all:false ~next program input from with
-  | [] -> None
-  | span :: _ -> Some span
+let prefilter_next ?(anchor_at = 0) prefilter input =
+  match prefilter with
+  | Some pf when Alveare_prefilter.Prefilter.first_usable pf ->
+    if pf.Alveare_prefilter.Prefilter.anchored then
+      Some (fun offset -> if offset = anchor_at then Some offset else None)
+    else
+      Some
+        (fun offset ->
+           Alveare_prefilter.Prefilter.next_candidate pf input offset)
+  | Some _ | None -> None
 
-let find_all ?(config = default_config) ?stats ?trace ?prefilter program input
-  : Span.span list =
-  Alveare_isa.Program.validate_exn program;
+let search ?(config = default_config) ?stats ?trace ?prefilter ?plan
+    ?(use_plan = true) ?scratch ?(from = 0) program input
+  : Span.span option =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
-  let next =
-    match prefilter with
-    | Some pf when Alveare_prefilter.Prefilter.first_usable pf ->
-      if pf.Alveare_prefilter.Prefilter.anchored then
-        fun offset -> if offset = 0 then Some offset else None
-      else fun offset ->
-        Alveare_prefilter.Prefilter.next_candidate pf input offset
-    | Some _ | None -> dense_next
+  let legacy trace =
+    Alveare_isa.Program.validate_exn program;
+    let next =
+      match prefilter_next ~anchor_at:from prefilter input with
+      | Some next -> next
+      | None -> dense_next
+    in
+    scan_from ?trace ~config ~stats ~all:false ~next program input from
   in
-  scan_from ?trace ~config ~stats ~all:true ~next program input 0
+  let spans =
+    match trace with
+    | Some _ -> legacy trace
+    | None when not use_plan -> legacy None
+    | None ->
+      let plan = plan_of ?plan program in
+      let scratch = scratch_of ?scratch () in
+      (match prefilter_next ~anchor_at:from prefilter input with
+       | Some next ->
+         scan_plan ~config ~stats ~all:false ~next plan scratch input from
+       | None -> scan_plan_dense ~config ~stats ~all:false plan scratch input from)
+  in
+  match spans with [] -> None | span :: _ -> Some span
+
+let find_all ?(config = default_config) ?stats ?trace ?prefilter ?plan
+    ?(use_plan = true) ?scratch program input : Span.span list =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let legacy trace =
+    Alveare_isa.Program.validate_exn program;
+    let next =
+      match prefilter_next prefilter input with
+      | Some next -> next
+      | None -> dense_next
+    in
+    scan_from ?trace ~config ~stats ~all:true ~next program input 0
+  in
+  match trace with
+  | Some _ -> legacy trace
+  | None when not use_plan -> legacy None
+  | None ->
+    let plan = plan_of ?plan program in
+    let scratch = scratch_of ?scratch () in
+    (match prefilter_next prefilter input with
+     | Some next -> scan_plan ~config ~stats ~all:true ~next plan scratch input 0
+     | None -> scan_plan_dense ~config ~stats ~all:true plan scratch input 0)
 
 (* Scan restricted to an explicit sorted candidate-offset array (from
    the ruleset Aho-Corasick pass): every other offset is pruned without
-   an attempt, with the same accounting as the skip loop. *)
-let find_all_candidates ?(config = default_config) ?stats ?trace ~candidates
-    program input : Span.span list =
-  Alveare_isa.Program.validate_exn program;
-  let stats = match stats with Some s -> s | None -> fresh_stats () in
+   an attempt, with the same accounting as the skip loop. The scan only
+   ever queries non-decreasing offsets, so a monotone cursor into the
+   sorted array answers each query in amortised O(1) (the old per-offset
+   binary search was O(log m) each). *)
+let candidate_next candidates =
   let m = Array.length candidates in
-  (* Smallest candidate >= offset, by binary search (candidates are
-     sorted ascending). *)
-  let next offset =
-    if m = 0 || candidates.(m - 1) < offset then None
-    else begin
-      let lo = ref 0 and hi = ref (m - 1) in
-      while !lo < !hi do
-        let mid = (!lo + !hi) / 2 in
-        if candidates.(mid) < offset then lo := mid + 1 else hi := mid
-      done;
-      Some candidates.(!lo)
-    end
-  in
-  scan_from ?trace ~config ~stats ~all:true ~next program input 0
+  let pos = ref 0 in
+  fun offset ->
+    while !pos < m && Array.unsafe_get candidates !pos < offset do incr pos done;
+    if !pos >= m then None else Some (Array.unsafe_get candidates !pos)
 
-let matches ?config ?stats ?prefilter program input =
-  Option.is_some (search ?config ?stats ?prefilter program input)
+let find_all_candidates ?(config = default_config) ?stats ?trace ~candidates
+    ?plan ?(use_plan = true) ?scratch program input : Span.span list =
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  if trace <> None || not use_plan then begin
+    Alveare_isa.Program.validate_exn program;
+    scan_from ?trace ~config ~stats ~all:true ~next:(candidate_next candidates)
+      program input 0
+  end
+  else begin
+    let plan = plan_of ?plan program in
+    let scratch = scratch_of ?scratch () in
+    scan_plan ~config ~stats ~all:true ~next:(candidate_next candidates) plan
+      scratch input 0
+  end
+
+let matches ?config ?stats ?prefilter ?plan ?use_plan ?scratch program input =
+  Option.is_some
+    (search ?config ?stats ?prefilter ?plan ?use_plan ?scratch program input)

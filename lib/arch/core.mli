@@ -2,16 +2,31 @@
     with triple prefetch, decode with backup register, 4-wide vector unit
     with aggregator, and the speculative controller with its rollback
     stack. Matching semantics are PCRE backtracking order (differentially
-    tested against {!Alveare_engine.Backtrack}). *)
+    tested against {!Alveare_engine.Backtrack}).
 
-type config = {
+    Two executors implement the model. The default path lowers the
+    program once into a pre-decoded {!Plan.t} — bitmap character
+    classes, absolute jump targets, reusable speculation scratch — and
+    scans with a memchr-style skip loop; validation happens at plan
+    build, not per call. The legacy instruction-at-a-time interpreter
+    remains behind [?trace] (waveforms need its per-cycle events) and
+    [~use_plan:false] (the differential oracle). Both return identical
+    spans and bit-identical {!stats}; the [@plancheck] battery pins
+    this.
+
+    Every entry point accepts an optional pre-built [?plan] (skip
+    re-lowering; {!Alveare_compiler} compilations carry one) and
+    [?scratch] (reuse one executor state across calls; never share a
+    scratch between concurrent domains). *)
+
+type config = Machine.config = {
   compute_units : int;          (** CUs in the vector unit (paper: 4) *)
   stack_capacity : int option;  (** [None] = unbounded speculation stack *)
 }
 
 val default_config : config
 
-type stats = {
+type stats = Machine.stats = {
   mutable cycles : int;        (** instructions + rollbacks + scan pruning *)
   mutable instructions : int;
   mutable rollbacks : int;
@@ -30,22 +45,26 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
-type error =
+type error = Machine.error =
   | Stack_overflow of int
   | Malformed of { pc : int; reason : string }
 
 val error_message : error -> string
 
 exception Exec_error of error
+(** Same exception as {!Machine.Exec_error}; both executors raise it. *)
 
 val match_at :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
+  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> int -> int option
 (** Anchored attempt at an offset; returns the match end. *)
 
 val search :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
-  ?prefilter:Alveare_prefilter.Prefilter.t -> ?from:int ->
+  ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?from:int ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span option
 (** Leftmost match at or after [from]. When [prefilter] is passed and
     usable ({!Alveare_prefilter.Prefilter.first_usable}), offsets whose
@@ -55,6 +74,7 @@ val search :
 val find_all :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
 (** All non-overlapping matches, left to right. [trace] records one
     {!Trace.event} per cycle for waveform inspection ({!Vcd}).
@@ -63,13 +83,17 @@ val find_all :
 val find_all_candidates :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
   candidates:int array ->
+  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
 (** Like {!find_all} but attempts only at the given sorted start
     offsets (e.g. from the ruleset Aho-Corasick pass); all other
-    offsets are counted as pruned. Equal to {!find_all} whenever
-    [candidates] contains every true match start. *)
+    offsets are counted as pruned, and the cursor into [candidates]
+    advances monotonically with the scan (amortised O(1) per offset).
+    Equal to {!find_all} whenever [candidates] contains every true
+    match start. *)
 
 val matches :
   ?config:config -> ?stats:stats ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> bool

@@ -1,0 +1,34 @@
+(** Execution-model types shared by the legacy interpreter ({!Core}) and
+    the pre-decoded plan executor ({!Plan}). {!Core} re-exports all of
+    them with type equations, so existing [Core.stats]/[Core.config]
+    users are unaffected. *)
+
+type config = {
+  compute_units : int;          (** CUs in the vector unit (paper: 4) *)
+  stack_capacity : int option;  (** [None] = unbounded speculation stack *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable cycles : int;        (** instructions + rollbacks + scan pruning *)
+  mutable instructions : int;
+  mutable rollbacks : int;
+  mutable stack_pushes : int;
+  mutable max_stack_depth : int;
+  mutable scan_cycles : int;   (** vector-unit start-offset pruning cycles *)
+  mutable attempts : int;
+  mutable offsets_scanned : int;
+  mutable offsets_pruned : int;
+  mutable match_count : int;
+}
+
+val fresh_stats : unit -> stats
+
+type error =
+  | Stack_overflow of int
+  | Malformed of { pc : int; reason : string }
+
+val error_message : error -> string
+
+exception Exec_error of error

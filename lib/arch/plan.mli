@@ -1,0 +1,64 @@
+(** Pre-decoded execution plans: a one-time lowering of a verified ISA
+    program into the form the host simulator executes — per-instruction
+    variants with the dispatch decision taken at build time, absolute
+    jump targets, 256-bit bitsets for Or/Range character classes
+    (negation folded in), pre-split fused base+close micro-ops, and a
+    leading-filter table that drives {!Core}'s memchr-style skip loop.
+
+    Execution reuses a {!scratch}: preallocated, growable int arrays for
+    the speculation stack and a bump-allocated arena for controller
+    contexts, so the inner loop never allocates. Cycle and stat
+    accounting is bit-identical to the legacy interpreter (pinned by the
+    differential battery behind the [@plancheck] alias). *)
+
+type t
+
+val of_program : Alveare_isa.Program.t -> t
+(** Validates the program once ({!Alveare_isa.Program.validate_exn},
+    raising [Invalid_argument] on a malformed binary) and lowers it.
+    Callers holding a compiler-verified binary should use
+    {!of_program_unchecked} instead: the whole point of a plan is to
+    validate at build time, not per scan. *)
+
+val of_program_unchecked : Alveare_isa.Program.t -> t
+(** Lowering without the validity check, for binaries already verified
+    (the compiler's post-emission self-check, or a loader that ran
+    {!Alveare_isa.Verify}). Unclassifiable instructions lower to a
+    poisoned op that raises the interpreter's
+    [Machine.Exec_error (Malformed _)] if ever executed. *)
+
+val program : t -> Alveare_isa.Program.t
+(** The source instruction array the plan was lowered from (used for
+    the traced-execution fallback, which stays on the interpreter). *)
+
+(** Leading-filter table: the first instruction's sub-match test when it
+    is a base operator — the same applicability rule as the
+    interpreter's vector-unit prefilter. *)
+type leading =
+  | Lead_none
+  | Lead_literal of string   (** leading AND: full literal must match *)
+  | Lead_set of Bytes.t      (** leading OR/RANGE: 32-byte bitmap *)
+
+val leading : t -> leading
+
+val set_mem : Bytes.t -> char -> bool
+(** Bitmap membership (one load + mask). *)
+
+val literal_matches : string -> int -> string -> bool
+(** [literal_matches input off lit]: does [lit] occur at [off]? (Bounds
+    checked; the comparison itself uses unsafe reads.) *)
+
+(** Reusable per-thread execution state. A scratch may be reused across
+    any number of consecutive attempts and scans (it is reset in O(1)
+    per attempt) but must not be shared between concurrent domains. *)
+type scratch
+
+val create_scratch : unit -> scratch
+
+val run :
+  ?config:Machine.config -> stats:Machine.stats ->
+  t -> scratch -> string -> int -> int option
+(** One full matching attempt anchored at the given offset; returns the
+    match end. Exactly the interpreter's [attempt]: same result, same
+    stats increments, same [Machine.Exec_error] on stack overflow or
+    malformed execution. *)

@@ -9,6 +9,7 @@ type compiled = {
   ast : Alveare_frontend.Ast.t;         (* normalised *)
   ir : Alveare_ir.Ir.t;
   program : Alveare_isa.Program.t;
+  plan : Alveare_arch.Plan.t;           (* pre-decoded execution plan *)
   options : Alveare_ir.Lower.options;
   lint : Alveare_analysis.Lint.diagnostic list;
   prefilter : Alveare_prefilter.Prefilter.t;
@@ -39,15 +40,22 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options)
   match Alveare_backend.Emit.program_of_ir ir with
   | Error e -> Error (Backend_error e)
   | Ok program ->
+    (* The plan is lowered once here, behind the post-emission
+       self-check, so every consumer of a [compiled] executes without
+       re-validating or re-decoding the binary. *)
+    let finish () =
+      let plan = Alveare_arch.Plan.of_program_unchecked program in
+      Ok { pattern; ast; ir; program; plan; options; lint; prefilter }
+    in
     (* Post-emission self-check: the verifier accepting every program
        the backend emits is a compiler invariant, so a rejection here
        is a bug in emission, not in the pattern. *)
     if verify then begin
       match Alveare_isa.Verify.run program with
-      | Ok _ -> Ok { pattern; ast; ir; program; options; lint; prefilter }
+      | Ok _ -> finish ()
       | Error vs -> Error (Verify_error vs)
     end
-    else Ok { pattern; ast; ir; program; options; lint; prefilter }
+    else finish ()
 
 let compile ?options ?verify pattern : (compiled, error) result =
   match Alveare_frontend.Parser.parse_spanned_result pattern with

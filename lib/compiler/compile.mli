@@ -5,6 +5,11 @@ type compiled = {
   ast : Alveare_frontend.Ast.t;  (** normalised *)
   ir : Alveare_ir.Ir.t;
   program : Alveare_isa.Program.t;
+  plan : Alveare_arch.Plan.t;
+      (** pre-decoded execution plan lowered from [program] at compile
+          time (after the post-emission self-check, so no further
+          validation happens on any scan path); pass to
+          {!Alveare_arch.Core} entry points as [?plan] *)
   options : Alveare_ir.Lower.options;
   lint : Alveare_analysis.Lint.diagnostic list;
       (** lint diagnostics for the source pattern (empty when compiled

@@ -185,7 +185,7 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
            let stats = Core.fresh_stats () in
            let matches =
              Core.find_all_candidates ~stats ~candidates:cands.(i)
-               r.compiled.Compile.program input
+               ~plan:r.compiled.Compile.plan r.compiled.Compile.program input
            in
            ( r.rule, stats.Core.cycles, matches,
              (stats.Core.attempts, stats.Core.offsets_scanned,
@@ -197,8 +197,8 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
              if prefilter then Some r.compiled.Compile.prefilter else None
            in
            let result =
-             Multicore.run ?prefilter:pf ~config r.compiled.Compile.program
-               input
+             Multicore.run ?prefilter:pf ~plan:r.compiled.Compile.plan ~config
+               r.compiled.Compile.program input
            in
            let sum f =
              Array.fold_left

@@ -139,9 +139,12 @@ let matches t input = Option.is_some (search_end t input)
    starts; engines that need spans pair this with an NFA pass, as RE2
    does — for benchmarking we only need the scan work). *)
 let count_matches t input =
+  let n = String.length input in
   let rec go from acc =
-    match search_end ~from t input with
-    | None -> acc
-    | Some stop -> go (max (stop + 1) (from + 1)) (acc + 1)
+    if from > n then acc
+    else
+      match search_end ~from t input with
+      | None -> acc
+      | Some stop -> go (max (stop + 1) (from + 1)) (acc + 1)
   in
   go 0 0

@@ -201,7 +201,9 @@ let vector_width ?(widths = [ 1; 2; 4; 8 ]) ?(scale = default_study_scale) ()
            List.fold_left
              (fun acc c ->
                 let stats = Core.fresh_stats () in
-                ignore (Core.find_all ~config ~stats c.Compile.program sample);
+                ignore
+                  (Core.find_all ~config ~stats ~plan:c.Compile.plan
+                     c.Compile.program sample);
                 acc + stats.Core.cycles)
              0 programs
          in

@@ -37,7 +37,9 @@ let energy_breakdown ?(scale = Ablation.default_study_scale) ()
               | Error _ -> acc
               | Ok c ->
                 let stats = Core.fresh_stats () in
-                ignore (Core.find_all ~stats c.Compile.program sample);
+                ignore
+                  (Core.find_all ~stats ~plan:c.Compile.plan
+                     c.Compile.program sample);
                 Breakdown.add acc (Breakdown.of_stats stats))
            Breakdown.zero patterns
        in

@@ -48,9 +48,17 @@ type result = {
   per_core : core_result array;
 }
 
-let run ?(workers = 1) ?prefilter ~config (program : Alveare_isa.Program.t)
-    (input : string) : result =
-  Alveare_isa.Program.validate_exn program;
+let run ?(workers = 1) ?prefilter ?plan ~config
+    (program : Alveare_isa.Program.t) (input : string) : result =
+  (* One plan for the whole run: lowering (and, for a raw program, the
+     validity check) happens once here instead of once per slice. The
+     plan is immutable, so sharing it across worker domains is safe;
+     scratch state is per-call inside [Core.find_all]. *)
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Alveare_arch.Plan.of_program program
+  in
   let n = String.length input in
   let cores = config.cores in
   let slice = (n + cores - 1) / cores in
@@ -71,8 +79,8 @@ let run ?(workers = 1) ?prefilter ~config (program : Alveare_isa.Program.t)
             let region = String.sub input slice_start (region_stop - slice_start) in
             (* The prefilter is position-independent (a per-byte first-set
                test), so applying it per slice is sound. *)
-            Core.find_all ?prefilter ~config:config.core_config ~stats program
-              region
+            Core.find_all ?prefilter ~plan ~config:config.core_config ~stats
+              program region
             |> List.filter_map (fun (s : Span.span) ->
                 let start = s.Span.start + slice_start in
                 let stop = s.Span.stop + slice_start in
@@ -99,9 +107,9 @@ let run ?(workers = 1) ?prefilter ~config (program : Alveare_isa.Program.t)
   in
   { matches; cycles; total_cycles; per_core }
 
-let find_all ?(cores = 1) ?overlap ?core_config ?workers ?prefilter program
-    input =
-  (run ?workers ?prefilter
+let find_all ?(cores = 1) ?overlap ?core_config ?workers ?prefilter ?plan
+    program input =
+  (run ?workers ?prefilter ?plan
      ~config:(config ~cores ?overlap ?core_config ())
      program input)
     .matches

@@ -37,15 +37,20 @@ type result = {
 }
 
 val run :
-  ?workers:int -> ?prefilter:Alveare_prefilter.Prefilter.t -> config:config ->
+  ?workers:int -> ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?plan:Alveare_arch.Plan.t -> config:config ->
   Alveare_isa.Program.t -> string -> result
 (** [workers] parallelises the per-core simulations on host domains
     (via {!Alveare_exec.Pool}); results are identical to the sequential
     run for any value. Default 1 = sequential. [prefilter] applies the
     first-set skip loop inside every core's slice scan (sound: the test
-    is per-byte and position-independent); matches are unchanged. *)
+    is per-byte and position-independent); matches are unchanged.
+    [plan] supplies a pre-decoded execution plan (e.g. from
+    {!Alveare_compiler}'s [compiled.plan]); without one, the program is
+    validated and lowered once per [run], never per slice. Plans are
+    immutable and shared across worker domains. *)
 
 val find_all :
   ?cores:int -> ?overlap:int -> ?core_config:Core.config -> ?workers:int ->
-  ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?prefilter:Alveare_prefilter.Prefilter.t -> ?plan:Alveare_arch.Plan.t ->
   Alveare_isa.Program.t -> string -> Span.span list

@@ -52,9 +52,14 @@ type result = {
 let load_cycles_of_bytes ~config bytes =
   int_of_float (ceil (float_of_int bytes /. config.load_bytes_per_cycle))
 
-let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
+let run ?(workers = 1) ?plan ~config (program : Alveare_isa.Program.t)
     (input : string) : result =
-  Alveare_isa.Program.validate_exn program;
+  (* Validate and lower once per stream, not once per chunk. *)
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Alveare_arch.Plan.of_program program
+  in
   let n = String.length input in
   let payload = config.buffer_bytes - config.overlap in
   let mc_config =
@@ -80,7 +85,7 @@ let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
     Alveare_exec.Pool.map_list ~workers
       (fun (slice_start, slice_stop) ->
          let slice = String.sub input slice_start (slice_stop - slice_start) in
-         let mc = Multicore.run ~config:mc_config program slice in
+         let mc = Multicore.run ~plan ~config:mc_config program slice in
          (* A chunk owns matches starting at or after its slice start but
             more than [overlap] before its slice end: those near the end
             may not fit the buffer and are re-seen (complete) by the next
@@ -130,6 +135,7 @@ let run ?(workers = 1) ~config (program : Alveare_isa.Program.t)
     load_cycles = load;
     wall_cycles = wall }
 
-let find_all ?buffer_bytes ?overlap ?cores ?workers program input =
-  (run ?workers ~config:(config ?buffer_bytes ?overlap ?cores ()) program input)
+let find_all ?buffer_bytes ?overlap ?cores ?workers ?plan program input =
+  (run ?workers ?plan ~config:(config ?buffer_bytes ?overlap ?cores ())
+     program input)
     .matches

@@ -36,13 +36,18 @@ type result = {
   wall_cycles : int;  (** first fill + per-chunk max(compute, next fill) *)
 }
 
-val run : ?workers:int -> config:config -> Alveare_isa.Program.t -> string -> result
+val run :
+  ?workers:int -> ?plan:Alveare_arch.Plan.t -> config:config ->
+  Alveare_isa.Program.t -> string -> result
 (** [workers] fans the per-chunk compute out over host domains (via
     {!Alveare_exec.Pool}); the double-buffered cycle accounting is folded
     sequentially over the in-order chunk results, so matches and every
     cycle count are identical to the sequential run for any value.
-    Default 1 = sequential. *)
+    Default 1 = sequential. [plan] as in {!Multicore.run}: without one,
+    the program is validated and lowered once per stream, never per
+    chunk. *)
 
 val find_all :
   ?buffer_bytes:int -> ?overlap:int -> ?cores:int -> ?workers:int ->
+  ?plan:Alveare_arch.Plan.t ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list

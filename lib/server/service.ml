@@ -136,7 +136,7 @@ let handle_scan t ~id ~pattern ~input ~allow_risky =
               let spans =
                 if t.config.cores = 1 then
                   Core.find_all ~stats ~prefilter:c.Compile.prefilter
-                    c.Compile.program input
+                    ~plan:c.Compile.plan c.Compile.program input
                 else
                   (* multicore scale-out keeps its own per-core stats;
                      aggregate by summing into the fresh record *)
@@ -145,7 +145,8 @@ let handle_scan t ~id ~pattern ~input ~allow_risky =
                       ~config:
                         (Alveare_multicore.Multicore.config
                            ~cores:t.config.cores ())
-                      ~prefilter:c.Compile.prefilter c.Compile.program input
+                      ~prefilter:c.Compile.prefilter ~plan:c.Compile.plan
+                      c.Compile.program input
                   in
                   Array.iter
                     (fun (cs : Alveare_multicore.Multicore.core_result) ->

@@ -44,6 +44,36 @@ let check_case ast input : failure list =
     if sim <> oracle then
       fail "simulator"
         (Fmt.str "sim %s oracle %s" (show_spans sim) (show_spans oracle));
+    (* plan executor vs legacy interpreter: identical spans AND a
+       bit-identical stats record (every counter, including cycles and
+       max stack depth) on the dense and prefiltered scans *)
+    let show_stats (s : Core.stats) =
+      Fmt.str
+        "cyc=%d ins=%d rb=%d push=%d depth=%d scan=%d att=%d seen=%d \
+         pruned=%d hits=%d"
+        s.Core.cycles s.Core.instructions s.Core.rollbacks s.Core.stack_pushes
+        s.Core.max_stack_depth s.Core.scan_cycles s.Core.attempts
+        s.Core.offsets_scanned s.Core.offsets_pruned s.Core.match_count
+    in
+    let plan_vs_legacy engine run =
+      let ps = Core.fresh_stats () in
+      let ls = Core.fresh_stats () in
+      let pm = run ~stats:ps ~use_plan:true in
+      let lm = run ~stats:ls ~use_plan:false in
+      if pm <> lm then
+        fail engine
+          (Fmt.str "plan %s legacy %s" (show_spans pm) (show_spans lm));
+      if ps <> ls then
+        fail engine
+          (Fmt.str "stats diverge@.  plan:   %s@.  legacy: %s" (show_stats ps)
+             (show_stats ls))
+    in
+    plan_vs_legacy "plan-dense" (fun ~stats ~use_plan ->
+        Core.find_all ~stats ~use_plan ~plan:c.Compile.plan c.Compile.program
+          input);
+    plan_vs_legacy "plan+prefilter" (fun ~stats ~use_plan ->
+        Core.find_all ~stats ~use_plan ~plan:c.Compile.plan
+          ~prefilter:c.Compile.prefilter c.Compile.program input);
     (* prefiltered simulator: the start-of-match skip loop must be
        invisible in the reported spans — same oracle, same chain *)
     let simf = Core.find_all ~prefilter:c.Compile.prefilter c.Compile.program input in
