@@ -9,8 +9,14 @@
      gate flakes on noise alone. A single timing still hard-fails when
      it is more than 2x the baseline (catastrophic, not noise), and
      per-timing drift past 20% is printed as a warning;
-   - any prefilter/.../hits-identical flag not 1 (the prefilter changed
-     the match report — a correctness bug, not a perf question);
+   - any .../hits-identical flag not 1 — prefilter/... (the prefilter
+     changed the match report) or opt/... (the rewrite optimiser
+     changed it): a correctness bug, not a perf question;
+   - the opt/... gates: opt/reduction (geomean emitted-size reduction
+     over the 600-rule lint-sweep corpus, optimiser on vs off) must
+     stay >= 10%, and opt/attempts-delta (scan-subset backtracking
+     attempts, optimised minus unoptimised) must stay <= 0 — both
+     deterministic, so immune to machine drift;
    - the plan/... gates: the hits-identical and stats-identical flags
      must be 1 (the pre-decoded plan executor must be indistinguishable
      from the legacy interpreter down to every counter), and
@@ -43,6 +49,7 @@
 *)
 
 let regression_slack = 1.20 (* suite geomean >20% slower than baseline fails *)
+let required_opt_reduction = 10.0 (* geomean emitted-size reduction, percent *)
 let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
 let required_attempts_ratio = 2.0
 let required_plan_speedup = 2.0 (* plan executor vs legacy, same-run ratio *)
@@ -152,6 +159,23 @@ let () =
    | Some s when s < required_plan_speedup ->
      fail "plan/speedup %.2fx below the %.1fx floor (plan vs legacy, same run)"
        s required_plan_speedup
+   | Some _ -> ());
+  (* Optimiser gates: hits-identical is covered by the suffix filter
+     above; the size reduction and the attempts delta are deterministic
+     same-run measurements, gated absolutely. *)
+  (match List.assoc_opt "opt/reduction" fresh with
+   | None -> fail "no opt/reduction entry in %s" fresh_path
+   | Some r when r < required_opt_reduction ->
+     fail "opt/reduction %.1f%% below the %.0f%% floor (geomean emitted-size \
+           reduction, 600-rule sweep)"
+       r required_opt_reduction
+   | Some _ -> ());
+  (match List.assoc_opt "opt/attempts-delta" fresh with
+   | None -> fail "no opt/attempts-delta entry in %s" fresh_path
+   | Some d when d > 0.0 ->
+     fail "opt/attempts-delta %+.0f: the optimised programs started more \
+           backtracking attempts than the unoptimised ones"
+       d
    | Some _ -> ());
   (* Attempts criterion: at least one workload >= 2x fewer attempts. *)
   let ratios = List.filter (fun (n, _) -> suffix "/attempts-ratio" n) fresh in

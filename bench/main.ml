@@ -341,6 +341,125 @@ let prefilter_ablation () : (string * float) list =
          (k "hits-identical", if identical then 1.0 else 0.0) ])
     workloads
 
+(* --- Optimiser ablation -------------------------------------------------
+
+   The mid-end rewrite optimiser over the full 600-rule lint-sweep
+   corpus (the three samplers at seeds 11/12/13, 200 rules each):
+   emitted ISA words with the optimiser on and off and the geomean
+   per-rule size reduction, gated at >= 10% in compare.ml. A scan
+   subset then runs both compilations of each rule over a witness-
+   planted stream: the hit lists must be bit-identical and the total
+   backtracking attempts must not rise (the optimiser may only convert
+   attempts into cheap vector-unit scan rejections), gated as
+   opt/hits-identical and opt/attempts-delta <= 0. Every number here
+   is deterministic (seeded samplers, cycle-level simulator) — nothing
+   is host-dependent. *)
+
+let opt_scan_rules = 12
+let opt_scan_bytes = 64 * 1024
+
+let opt_ablation () : (string * float) list =
+  let workloads =
+    [ ("powren",
+       Alveare_workloads.Powren.patterns (Rng.create 11) 200,
+       Streams.lowercase_text);
+      ("protomata",
+       Alveare_workloads.Protomata.patterns (Rng.create 12) 200,
+       Streams.protein);
+      ("snort",
+       Alveare_workloads.Snort.patterns (Rng.create 13) 200,
+       Streams.network) ]
+  in
+  Fmt.pr
+    "== Optimiser ablation (600-rule sweep, %d-rule scan subsets of %d KiB) ==@."
+    opt_scan_rules (opt_scan_bytes / 1024);
+  let grand_before = ref 0 and grand_after = ref 0 in
+  let grand_log = ref 0.0 and grand_n = ref 0 in
+  let attempts_delta = ref 0 and hits_identical = ref true in
+  let per_workload =
+    List.concat_map
+      (fun (name, patterns, background) ->
+         let compiled =
+           List.map
+             (fun p ->
+                ( Alveare_compiler.Compile.compile_exn ~optimize:true p,
+                  Alveare_compiler.Compile.compile_exn ~optimize:false p ))
+             patterns
+         in
+         let before = ref 0 and after = ref 0 in
+         let lg = ref 0.0 and n = ref 0 in
+         List.iter
+           (fun (o, r) ->
+              let so = Alveare_compiler.Compile.code_size o in
+              let sr = Alveare_compiler.Compile.code_size r in
+              before := !before + sr;
+              after := !after + so;
+              lg := !lg +. log (float_of_int sr /. float_of_int so);
+              incr n)
+           compiled;
+         grand_before := !grand_before + !before;
+         grand_after := !grand_after + !after;
+         grand_log := !grand_log +. !lg;
+         grand_n := !grand_n + !n;
+         let reduction =
+           (exp (!lg /. float_of_int (max 1 !n)) -. 1.0) *. 100.0
+         in
+         (* scan subset: both compilations over one planted stream *)
+         let subset = List.filteri (fun i _ -> i < opt_scan_rules) compiled in
+         let asts =
+           List.map
+             (fun ((_, r) : Alveare_compiler.Compile.compiled * _) ->
+                r.Alveare_compiler.Compile.ast)
+             subset
+         in
+         let stream =
+           Streams.generate ~rng:(Rng.create 25) ~size:opt_scan_bytes
+             ~background ~plant:(Streams.plant_of_patterns ~asts) ()
+         in
+         let delta = ref 0 in
+         List.iter
+           (fun (o, r) ->
+              let scan (c : Alveare_compiler.Compile.compiled) =
+                let stats = Core.fresh_stats () in
+                let spans =
+                  Core.find_all ~stats ~plan:c.Alveare_compiler.Compile.plan
+                    ~prefilter:c.Alveare_compiler.Compile.prefilter
+                    c.Alveare_compiler.Compile.program stream.Streams.data
+                in
+                (spans, stats.Core.attempts)
+              in
+              let os, oa = scan o in
+              let rs, ra = scan r in
+              if os <> rs then hits_identical := false;
+              delta := !delta + (oa - ra))
+           subset;
+         attempts_delta := !attempts_delta + !delta;
+         Fmt.pr
+           "  %-10s %4d -> %4d words (geomean reduction %.1f%%), scan \
+            attempts delta %+d@."
+           name !before !after reduction !delta;
+         let k fmt = Printf.sprintf ("opt/%s/" ^^ fmt) name in
+         [ (k "isa-words-before", float_of_int !before);
+           (k "isa-words-after", float_of_int !after);
+           (k "reduction", reduction);
+           (k "attempts-delta", float_of_int !delta) ])
+      workloads
+  in
+  let reduction =
+    (exp (!grand_log /. float_of_int (max 1 !grand_n)) -. 1.0) *. 100.0
+  in
+  Fmt.pr
+    "  %-10s %4d -> %4d words (geomean reduction %.1f%%), attempts delta \
+     %+d, hits %s@.@."
+    "total" !grand_before !grand_after reduction !attempts_delta
+    (if !hits_identical then "identical" else "DIVERGED");
+  per_workload
+  @ [ ("opt/isa-words-before", float_of_int !grand_before);
+      ("opt/isa-words-after", float_of_int !grand_after);
+      ("opt/reduction", reduction);
+      ("opt/attempts-delta", float_of_int !attempts_delta);
+      ("opt/hits-identical", if !hits_identical then 1.0 else 0.0) ]
+
 (* --- Serving-path benchmark ---------------------------------------------
 
    End-to-end cost of the daemon: an in-process server on a /tmp Unix
@@ -461,8 +580,10 @@ let () =
   print_results results;
   let plan = plan_ablation () in
   let ablation = prefilter_ablation () in
+  let opt = opt_ablation () in
   let serving = serving_bench () in
-  write_json !json_path (timing_entries results @ plan @ ablation @ serving);
+  write_json !json_path
+    (timing_entries results @ plan @ ablation @ opt @ serving);
   (* Regenerate every paper artefact at quick scale. *)
   let workers = !workers in
   let scale = E.quick_scale () in

@@ -39,10 +39,10 @@ let load_sidecar path =
       None
   end
 
-let load_program ~verify ~lint pattern binary =
+let load_program ~verify ~optimize ~lint pattern binary =
   match pattern, binary with
   | Some p, None ->
-    (match Compile.compile ~verify p with
+    (match Compile.compile ~verify ~optimize p with
      | Ok c ->
        if lint then
          List.iter
@@ -88,7 +88,7 @@ let compare_engines ast program data =
     rows
 
 let run pattern binary text file cores quiet stats_flag trace_path compare
-    lint no_verify no_prefilter =
+    lint no_verify no_prefilter no_opt =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -97,7 +97,10 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
     | Some _, Some _ -> Error "give either --text or --file, not both"
     | None, None -> Error "give --text or --file input"
   in
-  match load_program ~verify:(not no_verify) ~lint pattern binary, input with
+  match
+    load_program ~verify:(not no_verify) ~optimize:(not no_opt) ~lint pattern
+      binary, input
+  with
   | Error m, _ | _, Error m ->
     Fmt.epr "alveare_run: %s@." m;
     1
@@ -212,6 +215,13 @@ let no_prefilter_flag =
                  identical either way — this flag only affects \
                  attempts/cycles, for ablation runs.")
 
+let no_opt_flag =
+  Arg.(value & flag
+       & info [ "no-opt" ]
+           ~doc:"Disable the mid-end rewrite optimiser; the PATTERN is \
+                 lowered as written. Matches are identical either way — \
+                 useful for ablation against the optimised program.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_run" ~version:"1.0"
@@ -219,6 +229,6 @@ let cmd =
     Term.(
       const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
       $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
-      $ no_verify_flag $ no_prefilter_flag)
+      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag)
 
 let () = exit (Cmd.eval' cmd)

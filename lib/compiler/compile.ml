@@ -28,14 +28,44 @@ let error_message = function
     ^ String.concat "; "
         (List.map Alveare_isa.Verify.violation_message vs)
 
-let compile_ast ?(options = Alveare_ir.Lower.default_options)
+let merge_optimize options = function
+  | None -> options
+  | Some optimize -> { options with Alveare_ir.Lower.optimize }
+
+let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
     ?(pattern = "<ast>") ?(verify = true) ?(lint = []) ast
   : (compiled, error) result =
+  let options = merge_optimize options optimize in
   let ast = Alveare_frontend.Desugar.normalize ast in
-  let ir = Alveare_ir.Lower.lower ~options ast in
-  (* Prefilter facts come from the same normalised AST the program is
-     lowered from, so they describe exactly the language the binary
-     matches. *)
+  (* The mid-end rewrite pass runs here, not inside [Lower.lower], so
+     the driver can apply a never-worse guard: the optimised and
+     unoptimised ASTs are both lowered and the smaller program wins
+     (ties go to the optimised form — same size, fewer attempt cycles
+     after dedup/dead-branch elimination). The AST stored in [compiled]
+     is the one the binary was actually lowered from, so the oracle in
+     the differential harness exercises exactly the optimised form. *)
+  let lower_raw =
+    Alveare_ir.Lower.lower
+      ~options:{ options with Alveare_ir.Lower.optimize = false }
+  in
+  let ast, ir =
+    if options.Alveare_ir.Lower.optimize then begin
+      let opt_ast = Alveare_ir.Opt.optimize ast in
+      let opt_ir = lower_raw opt_ast in
+      if Alveare_frontend.Ast.equal opt_ast ast then (ast, opt_ir)
+      else begin
+        let raw_ir = lower_raw ast in
+        if
+          Alveare_ir.Ir.instruction_count opt_ir
+          <= Alveare_ir.Ir.instruction_count raw_ir
+        then (opt_ast, opt_ir)
+        else (ast, raw_ir)
+      end
+    end
+    else (ast, lower_raw ast)
+  in
+  (* Prefilter facts come from the same AST the program is lowered
+     from, so they describe exactly the language the binary matches. *)
   let prefilter = Alveare_prefilter.Prefilter.analyze ast in
   match Alveare_backend.Emit.program_of_ir ir with
   | Error e -> Error (Backend_error e)
@@ -57,16 +87,16 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options)
     end
     else finish ()
 
-let compile ?options ?verify pattern : (compiled, error) result =
+let compile ?options ?optimize ?verify pattern : (compiled, error) result =
   match Alveare_frontend.Parser.parse_spanned_result pattern with
   | Error m -> Error (Frontend_error m)
   | Ok spanned ->
     let lint = Alveare_analysis.Lint.check spanned in
-    compile_ast ?options ~pattern ?verify ~lint
+    compile_ast ?options ?optimize ~pattern ?verify ~lint
       (Alveare_frontend.Spanned.strip spanned)
 
-let compile_exn ?options ?verify pattern =
-  match compile ?options ?verify pattern with
+let compile_exn ?options ?optimize ?verify pattern =
+  match compile ?options ?optimize ?verify pattern with
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.compile: " ^ error_message e)
 
@@ -97,7 +127,8 @@ let cache_key ~(options : Alveare_ir.Lower.options) pattern =
     pattern
 
 let cached ?(cache = default_cache) ?(options = Alveare_ir.Lower.default_options)
-    ?verify pattern : (compiled, error) result =
+    ?optimize ?verify pattern : (compiled, error) result =
+  let options = merge_optimize options optimize in
   let key = cache_key ~options pattern in
   match Alveare_exec.Cache.find_opt cache key with
   | Some c -> Ok c
@@ -106,8 +137,8 @@ let cached ?(cache = default_cache) ?(options = Alveare_ir.Lower.default_options
      | Ok c -> Alveare_exec.Cache.add cache key c; Ok c
      | Error _ as e -> e)
 
-let cached_exn ?cache ?options pattern =
-  match cached ?cache ?options pattern with
+let cached_exn ?cache ?options ?optimize pattern =
+  match cached ?cache ?options ?optimize pattern with
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.cached: " ^ error_message e)
 

@@ -2,7 +2,10 @@
 
 type compiled = {
   pattern : string;
-  ast : Alveare_frontend.Ast.t;  (** normalised *)
+  ast : Alveare_frontend.Ast.t;
+      (** normalised and — when optimisation is on — rewritten by
+          {!Alveare_ir.Opt.optimize}; always the exact AST the binary
+          was lowered from *)
   ir : Alveare_ir.Ir.t;
   program : Alveare_isa.Program.t;
   plan : Alveare_arch.Plan.t;
@@ -32,6 +35,7 @@ val error_message : error -> string
 
 val compile :
   ?options:Alveare_ir.Lower.options ->
+  ?optimize:bool ->
   ?verify:bool ->
   string ->
   (compiled, error) result
@@ -39,10 +43,17 @@ val compile :
     emitted program must pass {!Alveare_isa.Verify.run} — a
     post-emission self-check that turns any emission bug into a
     structured [Verify_error] instead of a latent bad binary. The
-    result also carries the pattern's lint diagnostics. *)
+    result also carries the pattern's lint diagnostics.
+
+    [optimize] overrides [options.optimize] (default on): the mid-end
+    rewrite pass {!Alveare_ir.Opt.optimize} runs here in the driver,
+    guarded so the optimised program is never larger than the
+    unoptimised one ([--no-opt] in the CLI tools maps to
+    [~optimize:false]). *)
 
 val compile_ast :
   ?options:Alveare_ir.Lower.options ->
+  ?optimize:bool ->
   ?pattern:string ->
   ?verify:bool ->
   ?lint:Alveare_analysis.Lint.diagnostic list ->
@@ -50,7 +61,11 @@ val compile_ast :
   (compiled, error) result
 
 val compile_exn :
-  ?options:Alveare_ir.Lower.options -> ?verify:bool -> string -> compiled
+  ?options:Alveare_ir.Lower.options ->
+  ?optimize:bool ->
+  ?verify:bool ->
+  string ->
+  compiled
 
 (** {2 Compiled-pattern cache}
 
@@ -70,14 +85,21 @@ val default_cache : cache
 val cached :
   ?cache:cache ->
   ?options:Alveare_ir.Lower.options ->
+  ?optimize:bool ->
   ?verify:bool ->
   string ->
   (compiled, error) result
 (** Like {!compile}, but consults [cache] first. Only successful
-    compilations are cached; errors always recompile. *)
+    compilations are cached; errors always recompile. [optimize]
+    participates in the cache key (it overrides [options.optimize]
+    before the key is formed). *)
 
 val cached_exn :
-  ?cache:cache -> ?options:Alveare_ir.Lower.options -> string -> compiled
+  ?cache:cache ->
+  ?options:Alveare_ir.Lower.options ->
+  ?optimize:bool ->
+  string ->
+  compiled
 
 val cache_stats : cache -> Alveare_exec.Cache.stats
 (** Hit/miss/eviction counters and current occupancy. *)

@@ -3,7 +3,9 @@
    - shorthand classes are already charsets after lexing;
    - nested Concat/Alt are flattened and Empty units dropped;
    - single-branch Alt and single-item Concat collapse;
-   - Repeat {1,1} collapses to its body; {0,0} to Empty.
+   - Repeat {1,1} collapses to its body; {0,0} to Empty;
+   - exactly-counted nests collapse: (x{a}){n} ≡ x{n·a}, so the lowered
+     program carries one counter instead of a deeper loop nest.
 
    Groups are preserved here — removing over-parenthesised sub-REs is the
    lowering pass's job, where quantified groups must still be visible. *)
@@ -53,6 +55,17 @@ let rec normalize (ast : Ast.t) : Ast.t =
      | _, _ ->
        (match body with
         | Ast.Empty -> Ast.Empty
+        | Ast.Repeat (inner, iq)
+          when iq.Ast.qmax = Some iq.Ast.qmin
+               && q.Ast.qmax = Some q.Ast.qmin
+               && iq.Ast.qmin > 0 ->
+          (* (x{a}){n} ≡ x{n·a}: both sides match exactly n·a copies of
+             x with no counting choice on either level. The body is
+             already normalised, so a deeper exact nest has collapsed
+             bottom-up: (x{2}){3}{4} reaches x{24} here. *)
+          let total = q.Ast.qmin * iq.Ast.qmin in
+          Ast.Repeat
+            (inner, { Ast.qmin = total; qmax = Some total; greedy = q.Ast.greedy })
         | body -> Ast.Repeat (body, q)))
 
 (* Full front-end pipeline: parse then normalise. *)

@@ -1,12 +1,33 @@
-(** Mid-end AST optimiser (paper §5). Span-preserving rewrites: fusion of
-    adjacent single-char alternation branches into classes, unreachable-
-    branch pruning, deterministic-prefix factoring, repeat coalescing and
-    exact-nest flattening. The ablation harness measures its effect on
-    code size and cycles. *)
+(** Mid-end AST optimiser (paper §5). Span-preserving rewrites, applied
+    bottom-up to a fixpoint:
+
+    - branch dedup and dead-alternative elimination (a branch whose
+      {!Alveare_prefilter.Prefilter.analyze} first-set is empty and that
+      is not nullable matches nothing);
+    - epsilon branches become optionals ([x|] => [x?], [|x] => [x??]);
+    - common-prefix factoring (trie-ification) over adjacent branches
+      with deterministic single-char heads, and common-suffix factoring
+      over adjacent branches sharing a last element;
+    - fusion of adjacent single-char alternation branches into classes;
+    - repeat coalescing ([aa*] => [a+], [x{1,2}x{1,3}] => [x{2,5}]),
+      quantifier nest fusion ([(x{a,b}){n,m}] => [x{n·a,m·b}] when the
+      counting range stays contiguous and greediness composes), and
+      rolling of repeated concatenation factors into exact counted
+      repeats when the emitted-size estimate shrinks.
+
+    The ablation harness measures its effect on code size and cycles;
+    {!Alveare_compiler.Compile} additionally guards the result so the
+    optimised program is never larger than the unoptimised one. *)
 
 val optimize : Alveare_frontend.Ast.t -> Alveare_frontend.Ast.t
 (** Normalise and rewrite to a fixpoint (bounded passes). The result
     matches the same spans as the input under PCRE first-match
-    semantics — checked differentially in the test suite. *)
+    semantics — checked differentially in the test suite — and is total
+    on every parseable AST. *)
+
+val size_estimate : Alveare_frontend.Ast.t -> int
+(** Static estimate of the emitted instruction count (mirrors the
+    lowering's packing rules closely enough to steer rewrites; the
+    exact check lives in the compile driver). *)
 
 val max_passes : int

@@ -12,8 +12,21 @@ let keyword rng =
 
 let digits rng = Printf.sprintf "[0-9]{1,%d}" (Rng.range rng 2 4)
 
+(* A rule family: one stem with enumerated single-character variants
+   (build0|build1|build2), the shape PowerEN's generated keyword sets
+   take. The variants differ only in the last character, so the mid-end
+   collapses the alternation to stem[012]. *)
+let keyword_family rng =
+  let stem = keyword rng in
+  let k = Rng.range rng 3 5 in
+  let variant _ =
+    if Rng.bool rng then stem ^ string_of_int (Rng.int rng 10)
+    else stem ^ String.make 1 (Char.chr (Rng.range rng (Char.code 'a') (Char.code 'z')))
+  in
+  Printf.sprintf "(%s)" (String.concat "|" (List.init k variant))
+
 let pattern rng =
-  match Rng.int rng 16 with
+  match Rng.int rng 20 with
   | 0 | 1 | 2 | 3 | 4 ->
     (* bare keyword *)
     keyword rng
@@ -32,7 +45,7 @@ let pattern rng =
   | 14 ->
     (* optional suffix *)
     Printf.sprintf "%s(%s)?" (keyword rng) (keyword rng)
-  | _ ->
+  | 15 ->
     (* short keyword-led alternation tail. PowerEN is IBM's synthetic
        suite of uniformly simple rules: every shape here is literal-led,
        which keeps per-RE time low and is exactly why its ten-core
@@ -40,6 +53,18 @@ let pattern rng =
        vs ~7x on the real-life suites). *)
     Printf.sprintf "%s(%s|%s|%s)" (keyword rng) (keyword rng) (keyword rng)
       (keyword rng)
+  | 16 | 17 ->
+    (* enumerated rule family: (build0|build1|build2) *)
+    keyword_family rng
+  | _ ->
+    (* keyword-led delimited value list: kw=[0-9]{1,2};[0-9]{1,2};...
+       with the counted field spelled out per occurrence. The keyword
+       head stays a prefilter literal; the repeated field rolls into a
+       counted repeat in the mid-end. *)
+    let field = digits rng and sep = Rng.pick rng [ ";"; ","; ":" ] in
+    let k = Rng.range rng 3 5 in
+    keyword rng ^ "="
+    ^ String.concat sep (List.init k (fun _ -> field))
 
 let patterns rng n = List.init n (fun _ -> pattern rng)
 

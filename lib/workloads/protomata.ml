@@ -48,6 +48,18 @@ let element rng =
     Printf.sprintf "%s{%d,%d}" (residue_class rng) (Rng.range rng 1 2)
       (Rng.range rng 2 4)
 
+(* Tandem repeat: the same short residue unit occurring back to back
+   (collagen G-x-y triplets, WD40 blades, zinc-finger C-x(2,4)-C pairs).
+   PROSITE writes the unit once per occurrence, so the plain-RE export
+   carries it spelled out k times — redundancy the mid-end rolls back
+   into one counted repeat over the unit. *)
+let tandem rng =
+  let unit =
+    String.concat "" (List.init (Rng.range rng 2 3) (fun _ -> element rng))
+  in
+  let k = Rng.range rng 2 4 in
+  String.concat "" (List.init k (fun _ -> unit))
+
 let pattern rng =
   let n = Rng.range rng 8 18 in
   (* Motifs conventionally anchor on a meaningful conserved head: a
@@ -56,7 +68,14 @@ let pattern rng =
     if Rng.int rng 10 < 6 then String.make 1 (residue rng)
     else residue_class rng
   in
-  first ^ String.concat "" (List.init (n - 1) (fun _ -> element rng))
+  let body =
+    if Rng.int rng 4 = 0 then
+      (* tandem-repeat motif: conserved head, repeated unit, short tail *)
+      tandem rng
+      ^ String.concat "" (List.init (Rng.range rng 1 3) (fun _ -> element rng))
+    else String.concat "" (List.init (n - 1) (fun _ -> element rng))
+  in
+  first ^ body
 
 let patterns rng n = List.init n (fun _ -> pattern rng)
 

@@ -14,17 +14,39 @@ let http_method rng = Rng.pick rng [ "GET"; "POST"; "HEAD"; "PUT" ]
 
 let extension rng = Rng.pick rng [ "php"; "asp"; "cgi"; "jsp"; "dll" ]
 
+(* Versioned extension family, written the way rule authors enumerate
+   them: \.(php3|php4|php5). The variants differ only in the trailing
+   version character, so the mid-end's trie factoring + class fusion
+   collapses the whole alternation to stem[345]. *)
+let ext_family rng =
+  let stem = extension rng in
+  let v0 = Rng.range rng 0 5 in
+  let k = Rng.range rng 2 3 in
+  String.concat "|" (List.init (k + 1) (fun i -> Printf.sprintf "%s%d" stem (v0 + i)))
+
+(* Colon-separated hex groups (MAC addresses, session-id fields),
+   written out group by group as Snort content rules do — the mid-end
+   rolls the repeated (:[0-9a-f]{2}) factor into one counted repeat. *)
+let hex_groups rng =
+  let k = Rng.range rng 3 5 in
+  "[0-9a-f]{2}" ^ String.concat "" (List.init k (fun _ -> ":[0-9a-f]{2}"))
+
 let service rng =
   Rng.pick rng [ "admin"; "root"; "guest"; "oracle"; "ftp"; "mysql"; "ssh" ]
 
 let hex_byte rng = Printf.sprintf "\\x%02x" (Rng.int rng 256)
 
 let pattern rng =
-  match Rng.int rng 16 with
+  match Rng.int rng 18 with
   | 0 ->
-    (* URI probe: GET /token[a-z0-9_]{1,24}\.(php|asp) *)
-    Printf.sprintf "%s /%s[a-z0-9_]{1,%d}\\.(%s|%s)" (http_method rng)
-      (token rng) (Rng.range rng 8 24) (extension rng) (extension rng)
+    (* URI probe: GET /token[a-z0-9_]{1,24}\.(php|asp), or with a
+       versioned extension family \.(php3|php4|php5) *)
+    let exts =
+      if Rng.bool rng then ext_family rng
+      else Printf.sprintf "%s|%s" (extension rng) (extension rng)
+    in
+    Printf.sprintf "%s /%s[a-z0-9_]{1,%d}\\.(%s)" (http_method rng)
+      (token rng) (Rng.range rng 8 24) exts
   | 2 | 3 ->
     (* header sweep: Token: [^\r\n]{n,m} — big bounded counter *)
     Printf.sprintf "%s: [^\\r\\n]{%d,%d}" (String.capitalize_ascii (token rng))
@@ -62,12 +84,19 @@ let pattern rng =
     (* hex payload blob — large counted class, RE2/DPU stressor and a
        moderately attempt-heavy scan for the speculative controller *)
     Printf.sprintf "[0-9a-f]{%d,%d}" (Rng.range rng 32 44) (Rng.range rng 48 62)
-  | _ ->
+  | 14 | 15 ->
     (* double header sweep: two big counted fields back to back *)
     Printf.sprintf "%s: [^\\r\\n]{%d,%d}\\r\\n%s: [^\\r\\n]{%d,%d}"
       (String.capitalize_ascii (token rng)) (Rng.range rng 16 30)
       (Rng.range rng 44 62) (String.capitalize_ascii (token rng))
       (Rng.range rng 16 30) (Rng.range rng 44 62)
+  | 16 ->
+    (* MAC / session-id field: token=hex:hex:... *)
+    Printf.sprintf "%s=%s" (token rng) (hex_groups rng)
+  | _ ->
+    (* hex group run inside a header line *)
+    Printf.sprintf "%s: %s\\r\\n" (String.capitalize_ascii (token rng))
+      (hex_groups rng)
 
 let patterns rng n = List.init n (fun _ -> pattern rng)
 

@@ -160,3 +160,120 @@ let run_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed () : failure list =
       (check_case ast input)
   done;
   List.rev !failures
+
+(* --- Optimised vs unoptimised -------------------------------------- *)
+
+(* The rewrite optimiser's contract, checked end to end on the real
+   execution paths: the optimised and unoptimised compilations of one
+   AST report bit-identical span chains on every scan configuration
+   (plan on/off × prefilter on/off), and the optimised program never
+   does more speculative work — its attempt count is no worse, and so
+   is its combined attempt + scan-cycle total. (Raw scan cycles MAY
+   rise: factoring an alternation head into a class gives the program
+   a leading-instruction vector filter, which turns full attempts into
+   cheap scan rejections at <= 1 scan cycle per attempt saved — that
+   trade is exactly the point, and the combined total catches any real
+   regression.) Each compilation scans with its own prefilter, exactly
+   as production does. *)
+let check_opt_case ast input : failure list =
+  let pattern = Alveare_frontend.Ast.to_pattern ast in
+  match
+    (Compile.compile_ast ~optimize:true ast, Compile.compile_ast ~optimize:false ast)
+  with
+  | Error _, Error _ -> [] (* legitimately uncompilable either way *)
+  | Ok _, Error _ ->
+    [ { engine = "opt-totality"; pattern; input;
+        detail = "unoptimised compilation failed but optimised succeeded" } ]
+  | Error _, Ok _ ->
+    (* the optimiser turned a compilable pattern uncompilable *)
+    [ { engine = "opt-totality"; pattern; input;
+        detail = "optimised compilation failed but unoptimised succeeded" } ]
+  | Ok o, Ok r ->
+    let failures = ref [] in
+    let fail engine detail =
+      failures := { engine; pattern; input; detail } :: !failures
+    in
+    let run (c : Compile.compiled) ~use_plan ~prefilter =
+      let stats = Core.fresh_stats () in
+      let spans =
+        if prefilter then
+          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan
+            ~prefilter:c.Compile.prefilter c.Compile.program input
+        else
+          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan c.Compile.program
+            input
+      in
+      (spans, stats)
+    in
+    List.iter
+      (fun (name, use_plan, prefilter) ->
+         let os, ostats = run o ~use_plan ~prefilter in
+         let rs, rstats = run r ~use_plan ~prefilter in
+         if os <> rs then
+           fail ("opt-" ^ name)
+             (Fmt.str "optimised %s unoptimised %s" (show_spans os)
+                (show_spans rs));
+         if ostats.Core.attempts > rstats.Core.attempts then
+           fail ("opt-" ^ name)
+             (Fmt.str "attempts worse: optimised %d unoptimised %d"
+                ostats.Core.attempts rstats.Core.attempts);
+         let combined (s : Core.stats) = s.Core.attempts + s.Core.scan_cycles in
+         if combined ostats > combined rstats then
+           fail ("opt-" ^ name)
+             (Fmt.str
+                "attempts+scan cycles worse: optimised %d+%d unoptimised %d+%d"
+                ostats.Core.attempts ostats.Core.scan_cycles
+                rstats.Core.attempts rstats.Core.scan_cycles))
+      [ ("dense-legacy", false, false);
+        ("dense-plan", true, false);
+        ("prefilter-legacy", false, true);
+        ("prefilter-plan", true, true) ];
+    (* the emitted binary must never grow (compile-driver guard) *)
+    if Compile.code_size o > Compile.code_size r then
+      fail "opt-size"
+        (Fmt.str "code size worse: optimised %d unoptimised %d"
+           (Compile.code_size o) (Compile.code_size r));
+    !failures
+
+let run_opt_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed () : failure list =
+  let rng = Alveare_workloads.Rng.create seed in
+  let failures = ref [] in
+  for k = 1 to count do
+    let ast, input = Gen_ast.random_case rng in
+    List.iter
+      (fun f ->
+         failures := f :: !failures;
+         on_failure k f)
+      (check_opt_case ast input)
+  done;
+  List.rev !failures
+
+(* Same contract over the three workload samplers: each generated rule
+   is checked on a noise stream with a planted witness drawn from the
+   rule's own language, so the comparison exercises both hit and miss
+   paths of the scan. *)
+let run_opt_workloads ?(per_workload = 40) ~seed () : failure list =
+  let module W = Alveare_workloads in
+  let failures = ref [] in
+  List.iter
+    (fun (wseed, background, patterns) ->
+       let rng = W.Rng.create (seed + wseed) in
+       List.iter
+         (fun p ->
+            match Alveare_frontend.Parser.parse_result p with
+            | Error _ -> () (* samplers emit only parseable rules; lint covers this *)
+            | Ok ast ->
+              let noise n = String.init n (fun _ -> background rng) in
+              let witness =
+                try W.Sampler.sample rng ast with Invalid_argument _ -> ""
+              in
+              let input = noise 48 ^ witness ^ noise 32 in
+              failures := List.rev_append (check_opt_case ast input) !failures)
+         patterns)
+    [ (1, W.Streams.lowercase_text,
+       W.Powren.patterns (W.Rng.create (seed + 11)) per_workload);
+      (2, W.Streams.protein,
+       W.Protomata.patterns (W.Rng.create (seed + 12)) per_workload);
+      (3, W.Streams.network,
+       W.Snort.patterns (W.Rng.create (seed + 13)) per_workload) ];
+  List.rev !failures

@@ -4,11 +4,17 @@
    counting-set earliest end), so engine agreement is exercised on every
    `dune runtest` and not only when someone runs bin/alveare_fuzz by
    hand. The per-case check is shared with the fuzzer
-   (Alveare_test_support.Differential). *)
+   (Alveare_test_support.Differential).
+
+   The optimiser corpus re-runs the same seeded cases in
+   optimised-vs-unoptimised mode: span chains bit-identical on every
+   plan × prefilter configuration, attempt/scan-cycle counters no
+   worse, and compilability symmetric. All seeds are fixed so CI is
+   deterministic. *)
 
 module Diff = Alveare_test_support.Differential
 
-let corpus_count = 200
+let corpus_count = 300
 let corpus_seed = 2024
 
 let test_corpus () =
@@ -27,6 +33,22 @@ let test_corpus_alt_seed () =
     Alcotest.failf "%d/100 cases diverged; first: %a"
       (List.length rest + 1) Diff.pp_failure f
 
+let opt_corpus_count = 300
+
+let test_opt_corpus () =
+  match Diff.run_opt_corpus ~count:opt_corpus_count ~seed:corpus_seed () with
+  | [] -> ()
+  | f :: rest ->
+    Alcotest.failf "%d/%d optimiser cases diverged; first: %a"
+      (List.length rest + 1) opt_corpus_count Diff.pp_failure f
+
+let test_opt_workloads () =
+  match Diff.run_opt_workloads ~per_workload:40 ~seed:2024 () with
+  | [] -> ()
+  | f :: rest ->
+    Alcotest.failf "%d workload optimiser cases diverged; first: %a"
+      (List.length rest + 1) Diff.pp_failure f
+
 let () =
   Alcotest.run "differential"
     [ ( "smoke corpus",
@@ -34,4 +56,11 @@ let () =
             (Printf.sprintf "%d seeded cases vs oracle" corpus_count)
             `Quick test_corpus;
           Alcotest.test_case "100 cases, alternate seed" `Quick
-            test_corpus_alt_seed ] ) ]
+            test_corpus_alt_seed ] );
+      ( "optimised vs unoptimised",
+        [ Alcotest.test_case
+            (Printf.sprintf "%d seeded cases, plan x prefilter matrix"
+               opt_corpus_count)
+            `Quick test_opt_corpus;
+          Alcotest.test_case "workload samplers, planted witnesses" `Quick
+            test_opt_workloads ] ) ]

@@ -190,6 +190,34 @@ let test_normalize () =
     (Ast.Repeat (Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ], Ast.plus))
     (norm "(ab)+")
 
+(* Exactly-counted nests multiply out in normalisation: (a{2}){3} and
+   a{6} describe the same single matching path, so no engine should
+   ever see the nested form. Ranged or unbounded quantifiers must stay
+   nested — those are the mid-end's business (and only when sound). *)
+let test_normalize_exact_nests () =
+  ast_eq "(a{2}){3} collapses"
+    (Ast.Repeat (Ast.Char 'a', { Ast.qmin = 6; qmax = Some 6; greedy = true }))
+    (norm "(a{2}){3}");
+  ast_eq "deep exact nest collapses"
+    (Ast.Repeat (Ast.Char 'a', { Ast.qmin = 24; qmax = Some 24; greedy = true }))
+    (norm "((a{2}){3}){4}");
+  ast_eq "laziness of the outer quantifier wins"
+    (Ast.Repeat (Ast.Char 'a', { Ast.qmin = 4; qmax = Some 4; greedy = false }))
+    (norm "(a{2}){2}?");
+  ast_eq "exact nest over a group body collapses"
+    (Ast.Repeat
+       ( Ast.Concat [ Ast.Char 'a'; Ast.Char 'b' ],
+         { Ast.qmin = 4; qmax = Some 4; greedy = true } ))
+    (norm "((ab){2}){2}");
+  (* ranged inner: NOT collapsed by normalisation *)
+  ast_eq "(a{1,2}){3} stays nested"
+    (Ast.Repeat
+       ( Ast.Repeat (Ast.Char 'a', { Ast.qmin = 1; qmax = Some 2; greedy = true }),
+         { Ast.qmin = 3; qmax = Some 3; greedy = true } ))
+    (norm "(a{1,2}){3}");
+  (* zero-count inner erases the body entirely *)
+  ast_eq "(a{0}){3} is empty" Ast.Empty (norm "(a{0}){3}")
+
 let test_ast_utilities () =
   check "nullable star" true (Ast.nullable (norm "a*"));
   check "nullable alt empty" true (Ast.nullable (norm "a|"));
@@ -240,6 +268,8 @@ let () =
           Alcotest.test_case "errors" `Quick test_parser_errors ] );
       ( "desugar",
         [ Alcotest.test_case "normalize" `Quick test_normalize;
+          Alcotest.test_case "exact nests collapse" `Quick
+            test_normalize_exact_nests;
           Alcotest.test_case "ast utilities" `Quick test_ast_utilities;
           Alcotest.test_case "to_pattern round trip" `Quick
             test_to_pattern_round_trip;

@@ -109,6 +109,48 @@ let test_prefilter_total_on_workloads () =
     !skip_usable
     (100.0 *. float_of_int !skip_usable /. float_of_int (max 1 !total))
 
+(* Rewrite optimiser over the same 600-pattern sampler sweep: both the
+   optimised and unoptimised compilations must succeed and pass the
+   verifier with full reachability (totality of the mid-end on real
+   rule shapes), the optimised binary must never be larger, and the
+   per-workload aggregate size reduction is reported on stderr — the
+   same corpus the bench gate holds to >= 10% geomean. *)
+let test_opt_total_on_workloads () =
+  let sweep name patterns =
+    let before = ref 0 and after = ref 0 and log_ratio = ref 0.0 and n = ref 0 in
+    List.iter
+      (fun p ->
+         let compiled optimize =
+           match Compile.compile ~optimize p with
+           | Error e ->
+             Alcotest.failf "%S (optimize:%b) failed to compile: %s" p optimize
+               (Compile.error_message e)
+           | Ok c ->
+             (match Verify.run c.Compile.program with
+              | Error _ -> Alcotest.failf "%S (optimize:%b) rejected" p optimize
+              | Ok r ->
+                if r.Verify.reachable <> r.Verify.instructions then
+                  Alcotest.failf "%S (optimize:%b): dead code" p optimize;
+                c)
+         in
+         let o = compiled true and r = compiled false in
+         let so = Compile.code_size o and sr = Compile.code_size r in
+         if so > sr then
+           Alcotest.failf "%S: optimised binary larger (%d > %d)" p so sr;
+         before := !before + sr;
+         after := !after + so;
+         log_ratio := !log_ratio +. log (float_of_int sr /. float_of_int so);
+         incr n)
+      patterns;
+    let geomean = (exp (!log_ratio /. float_of_int (max 1 !n)) -. 1.0) *. 100.0 in
+    Printf.eprintf
+      "opt sweep %-10s %3d patterns: %4d -> %4d words (geomean reduction %.1f%%)\n%!"
+      name !n !before !after geomean
+  in
+  sweep "powren" (powren ());
+  sweep "protomata" (protomata ());
+  sweep "snort" (snort ())
+
 let () =
   Alcotest.run "lint-corpus"
     [ ( "verify-workloads",
@@ -120,4 +162,6 @@ let () =
           Alcotest.test_case "lint total on samplers" `Quick
             test_lint_total_on_workloads;
           Alcotest.test_case "prefilter total on samplers" `Quick
-            test_prefilter_total_on_workloads ] ) ]
+            test_prefilter_total_on_workloads;
+          Alcotest.test_case "optimiser total on samplers" `Quick
+            test_opt_total_on_workloads ] ) ]

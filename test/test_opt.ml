@@ -1,6 +1,7 @@
 (* Mid-end optimiser tests: each rewrite rule, span preservation against
    the oracle (including the historical counterexamples that shaped the
-   rules), and code-size improvements. *)
+   rules), and code-size improvements. Attached to the @optcheck alias
+   (and runtest) together with the optimiser differential corpus. *)
 
 module Opt = Alveare_ir.Opt
 module Lower = Alveare_ir.Lower
@@ -11,6 +12,7 @@ module Core = Alveare_arch.Core
 module Desugar = Alveare_frontend.Desugar
 module Ast = Alveare_frontend.Ast
 module Gen_ast = Alveare_test_support.Gen_ast
+module Diff = Alveare_test_support.Differential
 
 let check_int = Alcotest.(check int)
 
@@ -37,29 +39,71 @@ let test_class_fusion () =
        Alcotest.fail "a|. fused to the wrong set"
    | other -> Alcotest.failf "a|.: %s" (Fmt.str "%a" Ast.pp other));
   (* non-adjacent single chars must NOT fuse across a longer branch;
-     (bc|b) does factor to b(c|), which keeps priority *)
+     (bc|b) factors to b followed by an optional c, which keeps priority *)
   (match opt "a|bc|b" with
-   | Ast.Alt [ Ast.Char 'a'; Ast.Concat [ Ast.Char 'b'; Ast.Alt [ Ast.Char 'c'; Ast.Empty ] ] ] -> ()
+   | Ast.Alt
+       [ Ast.Char 'a';
+         Ast.Concat
+           [ Ast.Char 'b';
+             Ast.Repeat (Ast.Char 'c', { qmin = 0; qmax = Some 1; greedy = true })
+           ] ] -> ()
    | other -> Alcotest.failf "a|bc|b: %s" (Fmt.str "%a" Ast.pp other))
 
 let test_dedup () =
   same "duplicate branch dropped" (opt "ab|cd|ab") (opt "ab|cd");
-  (* empty branch does NOT remove later branches *)
+  (* an empty branch does NOT remove later branches; x| becomes the
+     greedy optional x? (same priority: x's ways first, then epsilon) *)
   (match opt "a||b" with
-   | Ast.Alt [ _; Ast.Empty; _ ] -> ()
+   | Ast.Alt
+       [ Ast.Repeat (Ast.Char 'a', { qmin = 0; qmax = Some 1; greedy = true });
+         Ast.Char 'b' ] -> ()
    | other -> Alcotest.failf "a||b: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_epsilon_branches () =
+  (* |x prefers the empty match: the lazy optional x?? *)
+  (match opt "(|x)y" with
+   | Ast.Concat
+       [ Ast.Repeat (Ast.Char 'x', { qmin = 0; qmax = Some 1; greedy = false });
+         Ast.Char 'y' ] -> ()
+   | other -> Alcotest.failf "(|x)y: %s" (Fmt.str "%a" Ast.pp other))
 
 let test_prefix_factoring () =
   (* abc|abd -> ab[cd] after factoring + fusion *)
   same "abc|abd" (opt "abc|abd") (Desugar.pattern_exn "ab[cd]");
+  (* recursive trie: version families collapse to stem + class *)
+  same "php3|php4|php5" (opt "php3|php4|php5") (Desugar.pattern_exn "php[345]");
   (* a backtrackable head must not factor *)
   (match opt "[ab]{1,2}b|[ab]{1,2}c" with
    | Ast.Alt [ _; _ ] -> ()
    | other ->
      Alcotest.failf "backtrackable head factored: %s" (Fmt.str "%a" Ast.pp other))
 
+let test_suffix_factoring () =
+  (* shared tails factor out and the residual heads fuse *)
+  same "abd|cbd" (opt "abd|cbd") (Desugar.pattern_exn "[ac]bd");
+  (* a bare atom is its own tail: ab|b -> a?b *)
+  same "ab|b" (opt "ab|b") (opt "a?b");
+  (* a non-deterministic shared tail is still safe to factor *)
+  (match opt "a[xy]{1,2}|b[xy]{1,2}" with
+   | Ast.Concat [ Ast.Class _; Ast.Repeat _ ] -> ()
+   | other ->
+     Alcotest.failf "a[xy]{1,2}|b[xy]{1,2}: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_dead_branches () =
+  (* a branch led by an empty class can never match and is dropped *)
+  same "a|[^\\x00-\\xff]b" (opt "a|[^\\x00-\\xff]b") (Ast.Char 'a');
+  same "dead middle branch" (opt "a|[^\\x00-\\xff]x|b") (opt "a|b");
+  (* an all-dead alternation must NOT become epsilon: one dead branch
+     is kept so the program still matches nothing *)
+  (match opt "[^\\x00-\\xff]a|[^\\x00-\\xff]b" with
+   | Ast.Empty -> Alcotest.fail "all-dead alternation collapsed to epsilon"
+   | _ -> ())
+
 let test_repeat_coalescing () =
-  same "aa* -> a+" (opt "aa*") (Desugar.pattern_exn "a+");
+  same "baa* -> ba+" (opt "baa*") (Desugar.pattern_exn "ba+");
+  (* at the pattern head the coalesced repeat is peeled back so the
+     scanner keeps its leading consuming-instruction filter *)
+  same "aa* stays spelled" (opt "aa*") (Desugar.pattern_exn "aa*");
   same "a*a* -> a*" (opt "a*a*") (Desugar.pattern_exn "a*");
   same "x{1,2}x{1,3} -> x{2,5}" (opt "x{1,2}x{1,3}")
     (Desugar.pattern_exn "x{2,5}");
@@ -70,24 +114,65 @@ let test_repeat_coalescing () =
    | Ast.Concat [ Ast.Repeat _; Ast.Repeat _ ] -> ()
    | other -> Alcotest.failf "a*a+?: %s" (Fmt.str "%a" Ast.pp other))
 
-let test_nest_flattening () =
+let test_nest_fusion () =
   same "(x{2}){3} -> x{6}" (opt "(x{2}){3}") (Desugar.pattern_exn "x{6}");
-  (* a non-exact OUTER must not flatten: (x{2}){1,3} matches only even
-     counts, x{2,6} does not *)
+  (* exact outer over a ranged inner: contiguous totals, fuses *)
+  same "(x{1,2}){2} -> x{2,4}" (opt "(x{1,2}){2}") (Desugar.pattern_exn "x{2,4}");
+  same "(x{0,2}){2,3} -> x{0,6}" (opt "(x{0,2}){2,3}")
+    (Desugar.pattern_exn "x{0,6}");
+  same "(x*)* -> x*" (opt "(x*)*") (Desugar.pattern_exn "x*");
+  same "(x+)+ -> x+" (opt "(x+)+") (Desugar.pattern_exn "x+");
+  same "(x?)* -> x*" (opt "(x?)*") (Desugar.pattern_exn "x*");
+  (* gap in the totals: (x{2}){1,4} matches only even counts *)
   (match opt "(x{2}){1,4}" with
    | Ast.Repeat (Ast.Repeat _, _) -> ()
    | other -> Alcotest.failf "(x{2}){1,4}: %s" (Fmt.str "%a" Ast.pp other));
-  (* a non-exact inner must not flatten either: (x{1,2}){2} != x{2,4} *)
-  (match opt "(x{1,2}){2}" with
+  (* same gap with an unbounded outer: (a{2})+ is even counts only *)
+  (match opt "(a{2})+" with
    | Ast.Repeat (Ast.Repeat _, _) -> ()
-   | other -> Alcotest.failf "(x{1,2}){2}: %s" (Fmt.str "%a" Ast.pp other))
+   | other -> Alcotest.failf "(a{2})+: %s" (Fmt.str "%a" Ast.pp other));
+  (* incompatible greediness, neither exact: unchanged *)
+  (match opt "(x{1,2}?){1,3}" with
+   | Ast.Repeat (Ast.Repeat _, _) -> ()
+   | other -> Alcotest.failf "(x{1,2}?){1,3}: %s" (Fmt.str "%a" Ast.pp other))
+
+let test_rolling () =
+  (* dotted quads roll into a counted group *)
+  same "IPv4 rolls"
+    (opt "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}")
+    (Desugar.pattern_exn "([0-9]{1,3}\\.){3}[0-9]{1,3}");
+  (* hex groups pick the 5x short window over the 2x long one *)
+  same "MAC rolls"
+    (opt
+       "[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}:[0-9a-f]{2}")
+    (Desugar.pattern_exn "([0-9a-f]{2}:){5}[0-9a-f]{2}");
+  (* pure literal runs must NOT roll (AND packing + literal prefilter) *)
+  same "literal tandem stays" (opt "abab") (Desugar.pattern_exn "abab");
+  (* a char-led window must not eat the leading literal run *)
+  same "leading literal preserved"
+    (opt "QD[CN]{1,3}D[CN]{1,3}F")
+    (Desugar.pattern_exn "QD[CN]{1,3}D[CN]{1,3}F")
 
 let test_fixpoint_idempotent () =
   List.iter
     (fun pat ->
        let once = opt pat in
        same (pat ^ " idempotent") (Opt.optimize once) once)
-    [ "a|b|c"; "abc|abd|abe"; "aa*bb*"; "(x{2}){3}"; "((a|b)|c)d" ]
+    [ "a|b|c"; "abc|abd|abe"; "aa*bb*"; "(x{2}){3}"; "((a|b)|c)d"; "ab|b";
+      "abd|cbd"; "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}";
+      "a|[^\\x00-\\xff]b"; "(x{1,2}){2}" ]
+
+(* Pathological nests terminate within the pass budget and still come
+   out optimised (totality of the fixpoint, not just of one pass). *)
+let test_pathological_nests () =
+  same "((((a*)*)*)*)* -> a*" (opt "((((a*)*)*)*)*") (Desugar.pattern_exn "a*");
+  same "(((a{2}){2}){2}){2} -> a{16}" (opt "(((a{2}){2}){2}){2}")
+    (Desugar.pattern_exn "a{16}");
+  same "deep alternation nest" (opt "((((a|b)|c)|d)|e)")
+    (Desugar.pattern_exn "[abcde]");
+  (* alternating exact/ranged nest: fuses level by level where sound *)
+  let deep = opt "((x{1,2}){2}){3}" in
+  same "((x{1,2}){2}){3} -> x{6,12}" deep (Desugar.pattern_exn "x{6,12}")
 
 (* --- Span preservation --------------------------------------------------- *)
 
@@ -98,15 +183,25 @@ let preservation_corpus =
     ("[ab]{1,2}b|[ab]{1,2}c", "abc");
     ("(a|ab)c", "abc");
     ("a||b", "b");
+    ("(|x)y", "xy y");
     ("abc|abd", "xxabdxx");
+    ("ab|b", "ab b xb");
+    ("abd|cbd", "xcbd abd");
+    ("a[xy]{1,2}|b[xy]{1,2}", "axy bx");
     ("aa*", "aaa");
     ("x{1,2}x{1,3}", "xxxx");
     ("x{2}x{0,3}?", "xxxxx");
     ("(x{2}){3}", "xxxxxxxx");
     ("(a{2})+", "aaaaa");
     ("(x{2}){1,3}", "xxxxx");
+    ("(x{1,2}){2}", "xxx");
+    ("(x{0,2}){2,3}", "xxxxx");
     ("a|a", "aa");
-    ("ab|ac|ad|q", "xacq") ]
+    ("ab|ac|ad|q", "xacq");
+    ("php3|php4|php5", "see php4 and php5");
+    ("a|[^\\x00-\\xff]b", "ab");
+    ("[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}", "ip 10.0.217.255 x");
+    ("QD[CN]{1,3}D[CN]{1,3}F", "xQDCNDCF") ]
 
 let test_span_preservation_corpus () =
   List.iter
@@ -122,32 +217,42 @@ let test_span_preservation_corpus () =
     preservation_corpus
 
 let qcheck_preserves_oracle =
-  QCheck2.Test.make ~name:"optimize preserves oracle spans" ~count:600
+  QCheck2.Test.make ~name:"optimize preserves oracle spans" ~count:800
     ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
     (fun (ast, input) ->
       let raw = Desugar.normalize ast in
       Backtrack.find_all raw input = Backtrack.find_all (Opt.optimize raw) input)
 
 let qcheck_preserves_simulator =
-  QCheck2.Test.make ~name:"optimized program = unoptimized program" ~count:300
+  QCheck2.Test.make ~name:"optimized program = unoptimized program" ~count:400
     ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
     (fun (ast, input) ->
-      let compile optimize =
-        Compile.compile_ast
-          ~options:{ Lower.default_options with Lower.optimize }
-          ast
-      in
+      let compile optimize = Compile.compile_ast ~optimize ast in
       match compile true, compile false with
       | Ok a, Ok b ->
         Core.find_all a.Compile.program input
         = Core.find_all b.Compile.program input
       | (Error _ | Ok _), _ -> QCheck2.assume_fail ())
 
+(* Rolled shapes are rare in the random generator, so replicate a random
+   factor k times explicitly and push the case through the full
+   optimised-vs-unoptimised differential (plan x prefilter matrix,
+   attempt counters). *)
+let qcheck_rolling_differential =
+  QCheck2.Test.make ~name:"replicated factors: full opt differential"
+    ~count:200
+    ~print:(fun ((ast, input), k) ->
+      Printf.sprintf "%d x %s" k (Gen_ast.print_ast_and_input (ast, input)))
+    QCheck2.Gen.(pair Gen_ast.gen_ast_and_input (int_range 2 4))
+    (fun ((ast, input), k) ->
+      let replicated =
+        Desugar.normalize (Ast.Concat (List.init k (fun _ -> ast)))
+      in
+      Diff.check_opt_case replicated (input ^ input) = [])
+
 (* --- Code-size effect ------------------------------------------------------ *)
 
-let code_size ~optimize pat =
-  let options = { Lower.default_options with Lower.optimize } in
-  Compile.code_size (Compile.compile_exn ~options pat)
+let code_size ~optimize pat = Compile.code_size (Compile.compile_exn ~optimize pat)
 
 let test_code_size_improvements () =
   let improves pat =
@@ -164,7 +269,11 @@ let test_code_size_improvements () =
   in
   improves "a|b|c|d";
   improves "abc|abd";
-  improves "(x{2}){3}";
+  improves "(x{1,2}){2}";
+  improves "php3|php4|php5";
+  improves "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}";
+  (* (x{2}){3} now collapses in Desugar, so both sides are equally small *)
+  not_worse "(x{2}){3}";
   not_worse "red|green|blue|grey";
   not_worse "aa*bb*";
   check_int "a|b|c|d optimises to one instruction" 1
@@ -177,13 +286,20 @@ let () =
     [ ( "rules",
         [ Alcotest.test_case "class fusion" `Quick test_class_fusion;
           Alcotest.test_case "dedup" `Quick test_dedup;
+          Alcotest.test_case "epsilon branches" `Quick test_epsilon_branches;
           Alcotest.test_case "prefix factoring" `Quick test_prefix_factoring;
+          Alcotest.test_case "suffix factoring" `Quick test_suffix_factoring;
+          Alcotest.test_case "dead branches" `Quick test_dead_branches;
           Alcotest.test_case "repeat coalescing" `Quick test_repeat_coalescing;
-          Alcotest.test_case "nest flattening" `Quick test_nest_flattening;
-          Alcotest.test_case "idempotent" `Quick test_fixpoint_idempotent ] );
+          Alcotest.test_case "nest fusion" `Quick test_nest_fusion;
+          Alcotest.test_case "rolling" `Quick test_rolling;
+          Alcotest.test_case "idempotent" `Quick test_fixpoint_idempotent;
+          Alcotest.test_case "pathological nests" `Quick test_pathological_nests
+        ] );
       ( "preservation",
         [ Alcotest.test_case "corpus" `Quick test_span_preservation_corpus;
           QCheck_alcotest.to_alcotest qcheck_preserves_oracle;
-          QCheck_alcotest.to_alcotest qcheck_preserves_simulator ] );
+          QCheck_alcotest.to_alcotest qcheck_preserves_simulator;
+          QCheck_alcotest.to_alcotest qcheck_rolling_differential ] );
       ( "code size",
         [ Alcotest.test_case "improvements" `Quick test_code_size_improvements ] ) ]
