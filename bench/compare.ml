@@ -55,6 +55,7 @@ let required_attempts_ratio = 2.0
 let required_plan_speedup = 2.0 (* plan executor vs legacy, same-run ratio *)
 let server_latency_slack = 2.0 (* server/... -ns entries: >2x baseline fails *)
 let server_throughput_slack = 0.5 (* throughput-rps below half baseline fails *)
+let analysis_ms_budget = 2.0 (* analysis geomean ms/rule, absolute ceiling *)
 
 (* The JSON both files carry is the flat {"name": number} map
    bench/main.ml writes; a line-oriented parse of that shape keeps the
@@ -211,6 +212,35 @@ let () =
            fail "%s: %.1f req/s vs baseline %.1f (below the %.0f%% floor)"
              name v base (100.0 *. server_throughput_slack))
     server_entries;
+  (* Ambiguity-analysis gates: per-rule latency must stay inside the
+     absolute admission-control budget, and the class counts over the
+     600 workload rules must match the baseline exactly — a
+     reclassified serving rule is a behaviour change, not noise. *)
+  (match List.assoc_opt "analysis/geomean-ms" fresh with
+   | None -> fail "no analysis/geomean-ms entry in %s" fresh_path
+   | Some v when v > analysis_ms_budget ->
+     fail "analysis/geomean-ms %.3f over the %.1f ms/rule budget" v
+       analysis_ms_budget
+   | Some _ -> ());
+  let class_counts =
+    List.filter
+      (fun (n, _) ->
+         prefix "analysis/" (n, 0.0)
+         && (suffix "/linear" n || suffix "/polynomial" n
+             || suffix "/exponential" n))
+      fresh
+  in
+  if class_counts = [] then
+    fail "no analysis/.../class-count entries in %s" fresh_path;
+  List.iter
+    (fun (name, v) ->
+       match List.assoc_opt name baseline with
+       | None -> fail "%s missing from baseline %s" name baseline_path
+       | Some base ->
+         if v <> base then
+           fail "%s = %g vs baseline %g: analysis reclassified workload rules"
+             name v base)
+    class_counts;
   match !failures with
   | [] ->
     Printf.printf

@@ -575,6 +575,57 @@ let serving_bench () : (string * float) list =
     ("server/snort/results-identical",
      if Atomic.get identical then 1.0 else 0.0) ]
 
+(* --- Ambiguity-analysis bench -------------------------------------------
+
+   Per-rule latency of the precise ambiguity analysis over the three
+   workload samplers (the same 600 rules the @ambigcheck sweep pins),
+   plus the class counts, which the compare gate holds exactly equal to
+   the baseline: an analysis change that reclassifies a serving rule
+   must be deliberate, not drift. The geomean per-rule latency is gated
+   absolutely (admission-control budget), not relative to baseline. *)
+
+let analysis_bench () : (string * float) list =
+  let samplers =
+    [ ("powren",
+       Alveare_workloads.Powren.patterns (Alveare_workloads.Rng.create 11) 200);
+      ("protomata",
+       Alveare_workloads.Protomata.patterns
+         (Alveare_workloads.Rng.create 12) 200);
+      ("snort",
+       Alveare_workloads.Snort.patterns (Alveare_workloads.Rng.create 13) 200) ]
+  in
+  Fmt.pr "== Ambiguity analysis (per-rule latency, 3 x 200 workload rules) ==@.";
+  let log_sum = ref 0.0 in
+  let entries =
+    List.concat_map
+      (fun (name, pats) ->
+         let linear = ref 0 and poly = ref 0 and expo = ref 0 in
+         let t0 = Unix.gettimeofday () in
+         List.iter
+           (fun p ->
+              match Alveare_analysis.Ambiguity.pattern p with
+              | Error _ -> ()
+              | Ok t ->
+                (match t.Alveare_analysis.Ambiguity.verdict with
+                 | Alveare_analysis.Ambiguity.Linear -> incr linear
+                 | Alveare_analysis.Ambiguity.Polynomial _ -> incr poly
+                 | Alveare_analysis.Ambiguity.Exponential -> incr expo))
+           pats;
+         let wall = Unix.gettimeofday () -. t0 in
+         let ms_per_rule = wall *. 1e3 /. float_of_int (List.length pats) in
+         log_sum := !log_sum +. log (Float.max 1e-9 ms_per_rule);
+         Fmt.pr "  %-10s %.3f ms/rule (linear %d, polynomial %d, exponential %d)@."
+           name ms_per_rule !linear !poly !expo;
+         [ (Printf.sprintf "analysis/%s/ms-per-rule" name, ms_per_rule);
+           (Printf.sprintf "analysis/%s/linear" name, float_of_int !linear);
+           (Printf.sprintf "analysis/%s/polynomial" name, float_of_int !poly);
+           (Printf.sprintf "analysis/%s/exponential" name, float_of_int !expo) ])
+      samplers
+  in
+  let geomean = exp (!log_sum /. float_of_int (List.length samplers)) in
+  Fmt.pr "  geomean    %.3f ms/rule@.@." geomean;
+  entries @ [ ("analysis/geomean-ms", geomean) ]
+
 let () =
   let results = benchmark () in
   print_results results;
@@ -582,8 +633,9 @@ let () =
   let ablation = prefilter_ablation () in
   let opt = opt_ablation () in
   let serving = serving_bench () in
+  let analysis = analysis_bench () in
   write_json !json_path
-    (timing_entries results @ plan @ ablation @ opt @ serving);
+    (timing_entries results @ plan @ ablation @ opt @ serving @ analysis);
   (* Regenerate every paper artefact at quick scale. *)
   let workers = !workers in
   let scale = E.quick_scale () in

@@ -42,7 +42,7 @@ let summarize metrics =
   end
 
 let main socket tcp queue workers scan_workers cores cache_capacity
-    idle_timeout no_lint_gate max_input quiet =
+    idle_timeout no_lint_gate max_poly_degree max_input quiet =
   let addr =
     match (socket, tcp) with
     | _, Some port -> Server.Tcp ("", port)
@@ -54,6 +54,7 @@ let main socket tcp queue workers scan_workers cores cache_capacity
       scan_workers;
       cores;
       lint_gate = not no_lint_gate;
+      max_polynomial_degree = max_poly_degree;
       max_input }
   in
   let cfg =
@@ -140,8 +141,16 @@ let idle_arg =
 let no_lint_gate_arg =
   Arg.(value & flag
        & info [ "no-lint-gate" ]
-           ~doc:"Serve ReDoS-flagged patterns without requiring the \
-                 per-request allow_risky override.")
+           ~doc:"Serve patterns with proven-exploitable backtracking \
+                 without requiring the per-request allow_risky override.")
+
+let max_poly_degree_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-poly-degree" ] ~docv:"K"
+           ~doc:"Also refuse patterns with proven polynomial backtracking \
+                 of degree K or higher (attempt cost grows like \
+                 n^(K+1)). By default only proven-exponential patterns \
+                 are refused.")
 
 let max_input_arg =
   Arg.(value & opt int (16 * 1024 * 1024)
@@ -168,6 +177,6 @@ let cmd =
     Term.(
       const main $ socket_arg $ tcp_arg $ queue_arg $ workers_arg
       $ scan_workers_arg $ cores_arg $ cache_arg $ idle_arg $ no_lint_gate_arg
-      $ max_input_arg $ quiet_arg)
+      $ max_poly_degree_arg $ max_input_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,93 @@
+(** Precise ambiguity / worst-case backtracking-cost analysis.
+
+    Classifies a pattern's worst-case matching complexity on the
+    speculative backtracking core by the degree of ambiguity of a
+    Thompson-style epsilon NFA built from the positioned AST
+    (Weber–Seidl): EDA — a strongly-connected component of the
+    product automaton that contains a diagonal state and an ambiguous
+    step — means exponentially many runs over a pumpable word;
+    IDA — pump pairs [(p, q)] with a word [v] such that [p →v→ p],
+    [p →v→ q] and [q →v→ q], found by cube-automaton reachability —
+    means polynomially many, with the degree given by the longest
+    chain of pump pairs.
+
+    Ambiguity alone over-approximates engine cost (an ambiguous
+    pattern that can never be forced to fail, e.g. [(a|a)*] with no
+    required continuation, still matches in linear time), so every
+    non-linear verdict here is backed by a concrete attack witness
+    [(prefix, pump, suffix)] synthesised from the product cycle and
+    validated at analysis time against the exact engine NFA: the
+    pumped strings must not match, and a priority-faithful
+    backtracking cost simulation must grow with the claimed class.
+    Structural ambiguity that fails witness validation is reported as
+    [Linear] with the [eda] / [ida_degree] facts preserved and an
+    explanatory note — the polarity a serving admission gate needs. *)
+
+type verdict =
+  | Linear  (** finitely ambiguous, or ambiguity not exploitable *)
+  | Polynomial of int
+      (** super-linear backtracking of degree [d >= 1]
+          (attempt cost grows like [n^(d+1)]) *)
+  | Exponential  (** catastrophic backtracking, [2^Omega(n)] *)
+
+type witness = {
+  prefix : string;  (** reaches the pump anchor from the match start *)
+  pump : string;  (** ambiguous cycle word — repeat to scale the attack *)
+  suffix : string;  (** forces overall failure, so every run is explored *)
+  pump_left : int;  (** pattern byte span of the ambiguous sub-expression *)
+  pump_right : int;
+}
+
+type t = {
+  verdict : verdict;
+  witness : witness option;
+      (** present on every non-linear verdict; validated against the
+          exact engine NFA at analysis time *)
+  eda : bool;  (** structural exponential ambiguity detected *)
+  ida_degree : int;
+      (** longest detected pump-pair chain (0 = finitely ambiguous);
+          meaningful even when the verdict is [Linear] because no
+          witness validated *)
+  states : int;  (** consuming states of the analysed machine *)
+  budget_hit : bool;
+      (** a construction or search budget was exceeded — the analysis
+          degraded to a sound-but-incomplete answer *)
+  notes : string list;  (** human-readable analysis remarks *)
+}
+
+val analyze : Alveare_frontend.Spanned.t -> t
+(** Total: never raises; any internal limit or error degrades to a
+    [Linear] verdict with [budget_hit] set and a note attached.
+    Bounded repeats are expanded under caps before the machine is
+    built; all witness membership checks run against the engine's
+    exact unfolded NFA, so caps can only lose findings, never
+    fabricate them. *)
+
+val pattern : string -> (t, string) result
+(** Parse and analyze one pattern; [Error] carries the parse error. *)
+
+val unanalyzed : t
+(** Placeholder for compilations that skip the analysis (bare-AST
+    compiles): [Linear] verdict, no facts, a note saying so. *)
+
+val attack_string : ?pumps:int -> witness -> string
+(** [prefix ^ pump^pumps ^ suffix] (default 8 pumps). *)
+
+val verdict_name : verdict -> string
+(** ["linear"], ["polynomial"] or ["exponential"]. *)
+
+val pp_verdict : verdict Fmt.t
+(** ["linear"], ["polynomial(d=2)"], ["exponential"]. *)
+
+val pp : t Fmt.t
+
+val program_fragments : Alveare_isa.Program.t -> (int * int) list
+(** Address intervals [\[lo, hi)] of the compiled program proven
+    backtracking-free: the same pump detection run over the epsilon
+    sub-graph of {!Alveare_isa.Cfg}, with every instruction belonging
+    to an ambiguous core (and the enclosing sub-RE of any such
+    instruction) excluded. A program with no detectable pumps is one
+    whole fragment [\[0, length)]. Groundwork for the lazy-DFA
+    overlay: these are the regions a determinised executor may run
+    without speculation. Conservative under budget pressure — when a
+    search limit is hit, nothing is claimed safe. *)

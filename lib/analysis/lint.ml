@@ -24,8 +24,14 @@
      nothing, so forward progress relies entirely on the core's
      zero-width cutoff and each empty iteration is wasted speculation.
 
-   All checks over-approximate: they flag shapes that CAN be
-   pathological, which is the useful polarity for a lint gate. *)
+   The backtracking heuristics over-approximate: they flag shapes that
+   CAN be pathological. Since the precise ambiguity analysis
+   (Ambiguity) decides worst-case cost exactly and backs every
+   non-linear verdict with a validated attack witness, the heuristic
+   backtracking diagnostics are advisory (Info) — severity comes from
+   the precise kinds emitted by [full]. Repeat_blowup keeps its
+   Warning tier: it measures compile-time instruction inflation, which
+   the ambiguity analysis does not cover. *)
 
 module F = Alveare_frontend
 module Spanned = F.Spanned
@@ -39,6 +45,9 @@ type kind =
   | Overlapping_alternation
   | Repeat_blowup
   | Empty_quantifier_body
+  | Exponential_backtracking
+  | Polynomial_backtracking
+  | Unexploitable_ambiguity
 
 type diagnostic = {
   kind : kind;
@@ -53,6 +62,9 @@ let kind_name = function
   | Overlapping_alternation -> "redos-overlapping-alternation"
   | Repeat_blowup -> "bounded-repeat-blowup"
   | Empty_quantifier_body -> "empty-quantifier-body"
+  | Exponential_backtracking -> "redos-exponential-backtracking"
+  | Polynomial_backtracking -> "redos-polynomial-backtracking"
+  | Unexploitable_ambiguity -> "ambiguity-not-exploitable"
 
 let severity_name = function Info -> "info" | Warning -> "warning"
 
@@ -203,14 +215,14 @@ let check (root : Spanned.t) : diagnostic list =
                 match clash with
                 | None -> ()
                 | Some why ->
-                  let severity, tail =
+                  let tail =
                     if in_variable_repeat then
-                      ( Warning,
-                        "; under a variable quantifier the ambiguity \
-                         compounds per iteration (ReDoS risk)" )
-                    else (Info, "; the engine speculates both")
+                      "; under a variable quantifier the ambiguity may \
+                       compound per iteration (advisory — the precise \
+                       analysis decides)"
+                    else "; the engine speculates both"
                   in
-                  emit Overlapping_alternation severity s
+                  emit Overlapping_alternation Info s
                     (Printf.sprintf
                        "ambiguous alternation: %s (branches at %d..%d and \
                         %d..%d)%s"
@@ -222,7 +234,7 @@ let check (root : Spanned.t) : diagnostic list =
        pairs firsts
      | Spanned.Repeat (body, q) ->
        if repeats q && nullable body then
-         emit Empty_quantifier_body Warning s
+         emit Empty_quantifier_body Info s
            (Printf.sprintf
               "quantifier '%s' over a body that can match empty: every \
                iteration can be zero-width, so the match leans on the \
@@ -232,11 +244,12 @@ let check (root : Spanned.t) : diagnostic list =
        if repeats q && variable_quant q then begin
          match find_inner_variable body with
          | Some inner ->
-           emit Nested_quantifiers Warning s
+           emit Nested_quantifiers Info s
              (Printf.sprintf
                 "nested variable quantifiers: outer '%s' over an inner \
-                 variable quantifier at %d..%d gives exponentially many \
-                 ways to split the same input (catastrophic backtracking)"
+                 variable quantifier at %d..%d can give exponentially \
+                 many ways to split the same input (advisory — the \
+                 precise analysis decides)"
                 (quant_text q) inner.Spanned.left inner.Spanned.right)
          | None -> ()
        end;
@@ -266,9 +279,72 @@ let check (root : Spanned.t) : diagnostic list =
        match compare a.left b.left with 0 -> compare a.right b.right | c -> c)
     (List.rev !out)
 
+(* --- Precise layer ----------------------------------------------------- *)
+
+let sort_diags ds =
+  List.stable_sort
+    (fun a b ->
+       match compare a.left b.left with 0 -> compare a.right b.right | c -> c)
+    ds
+
+let escaped s = Printf.sprintf "%S" s
+
+(* Witness-backed diagnostics from the ambiguity analysis. Every
+   non-linear verdict carries a validated witness, so these are the
+   only backtracking diagnostics at Warning severity. *)
+let precise_diagnostics (root : Spanned.t) (a : Ambiguity.t) : diagnostic list =
+  let root_span = (root.Spanned.left, root.Spanned.right) in
+  match a.Ambiguity.verdict, a.Ambiguity.witness with
+  | Ambiguity.Exponential, Some w ->
+    [ { kind = Exponential_backtracking;
+        severity = Warning;
+        left = w.Ambiguity.pump_left;
+        right = w.Ambiguity.pump_right;
+        message =
+          Printf.sprintf
+            "catastrophic backtracking proven: pumping %s after prefix %s \
+             with failing suffix %s doubles the attempt cost per repetition \
+             (validated attack witness)"
+            (escaped w.Ambiguity.pump) (escaped w.Ambiguity.prefix)
+            (escaped w.Ambiguity.suffix) } ]
+  | Ambiguity.Polynomial d, Some w ->
+    [ { kind = Polynomial_backtracking;
+        severity = Warning;
+        left = w.Ambiguity.pump_left;
+        right = w.Ambiguity.pump_right;
+        message =
+          Printf.sprintf
+            "super-linear backtracking of degree %d proven: attempt cost \
+             grows like n^%d when pumping %s after prefix %s with failing \
+             suffix %s (validated attack witness)"
+            d (d + 1) (escaped w.Ambiguity.pump) (escaped w.Ambiguity.prefix)
+            (escaped w.Ambiguity.suffix) } ]
+  | _ ->
+    if a.Ambiguity.eda || a.Ambiguity.ida_degree > 0 then
+      let left, right = root_span in
+      [ { kind = Unexploitable_ambiguity;
+          severity = Info;
+          left; right;
+          message =
+            Printf.sprintf
+              "the pattern is %s ambiguous but no failing continuation \
+               exists, so worst-case matching stays linear"
+              (if a.Ambiguity.eda then "exponentially" else "polynomially") } ]
+    else []
+
+let full (root : Spanned.t) : diagnostic list * Ambiguity.t =
+  let analysis = Ambiguity.analyze root in
+  (sort_diags (check root @ precise_diagnostics root analysis), analysis)
+
 let pattern (src : string) : (diagnostic list, string) result =
   match F.Parser.parse_spanned_result src with
   | Ok spanned -> Ok (check spanned)
+  | Error msg -> Error msg
+
+let pattern_full (src : string) :
+  (diagnostic list * Ambiguity.t, string) result =
+  match F.Parser.parse_spanned_result src with
+  | Ok spanned -> Ok (full spanned)
   | Error msg -> Error msg
 
 let has_warnings ds = List.exists (fun d -> d.severity = Warning) ds

@@ -9,24 +9,36 @@
     the byte span of the offending sub-expression. *)
 
 type severity =
-  | Info  (** stylistic / informational; never fails a lint gate *)
-  | Warning  (** likely pathological at match time or compile time *)
+  | Info  (** advisory / informational; never fails a lint gate *)
+  | Warning  (** proven pathological at match time, or compile blowup *)
 
 type kind =
   | Nested_quantifiers
-      (** variable quantifier whose body contains another variable
-          quantifier with a consuming body, e.g. [(a+)+] *)
+      (** advisory heuristic: variable quantifier whose body contains
+          another variable quantifier with a consuming body,
+          e.g. [(a+)+]; always [Info] — the precise analysis decides
+          whether the shape is actually exploitable *)
   | Overlapping_alternation
-      (** two alternation branches can start with the same byte (or
-          both match empty); a [Warning] when the alternation sits
-          under a variable quantifier, [Info] otherwise *)
+      (** advisory heuristic: two alternation branches can start with
+          the same byte (or both match empty); always [Info] *)
   | Repeat_blowup
       (** bounded repeat whose unfolded form is large ([Warning]) or
           whose count exceeds the ISA's 6-bit counters and must be
           split by the compiler ([Info]) *)
   | Empty_quantifier_body
-      (** quantifier that can iterate more than once over a body that
-          matches the empty string, e.g. [(a?)*] *)
+      (** advisory heuristic: quantifier that can iterate more than
+          once over a body that matches the empty string, e.g. [(a?)*];
+          always [Info] *)
+  | Exponential_backtracking
+      (** precise: the ambiguity analysis proved catastrophic
+          backtracking and validated an attack witness; always
+          [Warning], span covers the pumped sub-expression *)
+  | Polynomial_backtracking
+      (** precise: proven super-linear backtracking of some degree
+          with a validated witness; always [Warning] *)
+  | Unexploitable_ambiguity
+      (** precise: the automaton is ambiguous but no failing
+          continuation exists, so matching stays linear; [Info] *)
 
 type diagnostic = {
   kind : kind;
@@ -42,10 +54,21 @@ val kind_name : kind -> string
 val severity_name : severity -> string
 
 val check : Alveare_frontend.Spanned.t -> diagnostic list
-(** All diagnostics for one positioned AST, sorted by start offset. *)
+(** Heuristic (advisory) diagnostics only, sorted by start offset.
+    Does not run the precise ambiguity analysis — use {!full} for the
+    witness-backed [Warning]-severity kinds. *)
+
+val full : Alveare_frontend.Spanned.t -> diagnostic list * Ambiguity.t
+(** Heuristic diagnostics plus the precise witness-backed ones, with
+    the underlying {!Ambiguity.t} result. Every [Exponential] /
+    [Polynomial] verdict contributes one [Warning] diagnostic whose
+    span covers the pumped sub-expression. *)
 
 val pattern : string -> (diagnostic list, string) result
-(** Parse and lint one pattern; [Error] carries the parse error. *)
+(** Parse and lint (heuristics only); [Error] carries the parse error. *)
+
+val pattern_full : string -> (diagnostic list * Ambiguity.t, string) result
+(** Parse and run {!full}; [Error] carries the parse error. *)
 
 val has_warnings : diagnostic list -> bool
 

@@ -12,6 +12,8 @@ type compiled = {
   plan : Alveare_arch.Plan.t;           (* pre-decoded execution plan *)
   options : Alveare_ir.Lower.options;
   lint : Alveare_analysis.Lint.diagnostic list;
+  analysis : Alveare_analysis.Ambiguity.t;
+  safe_fragments : (int * int) list;
   prefilter : Alveare_prefilter.Prefilter.t;
 }
 
@@ -33,7 +35,8 @@ let merge_optimize options = function
   | Some optimize -> { options with Alveare_ir.Lower.optimize }
 
 let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
-    ?(pattern = "<ast>") ?(verify = true) ?(lint = []) ast
+    ?(pattern = "<ast>") ?(verify = true) ?(lint = [])
+    ?(analysis = Alveare_analysis.Ambiguity.unanalyzed) ast
   : (compiled, error) result =
   let options = merge_optimize options optimize in
   let ast = Alveare_frontend.Desugar.normalize ast in
@@ -75,7 +78,14 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
        re-validating or re-decoding the binary. *)
     let finish () =
       let plan = Alveare_arch.Plan.of_program_unchecked program in
-      Ok { pattern; ast; ir; program; plan; options; lint; prefilter }
+      (* Safe fragments come from the emitted program itself (not the
+         source analysis), so they hold for bare-AST compiles too and
+         describe exactly the binary a lazy-DFA overlay would run. *)
+      let safe_fragments =
+        Alveare_analysis.Ambiguity.program_fragments program
+      in
+      Ok { pattern; ast; ir; program; plan; options; lint; analysis;
+           safe_fragments; prefilter }
     in
     (* Post-emission self-check: the verifier accepting every program
        the backend emits is a compiler invariant, so a rejection here
@@ -91,8 +101,8 @@ let compile ?options ?optimize ?verify pattern : (compiled, error) result =
   match Alveare_frontend.Parser.parse_spanned_result pattern with
   | Error m -> Error (Frontend_error m)
   | Ok spanned ->
-    let lint = Alveare_analysis.Lint.check spanned in
-    compile_ast ?options ?optimize ~pattern ?verify ~lint
+    let lint, analysis = Alveare_analysis.Lint.full spanned in
+    compile_ast ?options ?optimize ~pattern ?verify ~lint ~analysis
       (Alveare_frontend.Spanned.strip spanned)
 
 let compile_exn ?options ?optimize ?verify pattern =

@@ -16,7 +16,19 @@ type compiled = {
   options : Alveare_ir.Lower.options;
   lint : Alveare_analysis.Lint.diagnostic list;
       (** lint diagnostics for the source pattern (empty when compiled
-          from a bare AST) — advisory, never a compile failure *)
+          from a bare AST) — advisory, never a compile failure;
+          includes the precise witness-backed kinds from
+          {!Alveare_analysis.Lint.full} *)
+  analysis : Alveare_analysis.Ambiguity.t;
+      (** precise worst-case backtracking classification of the source
+          pattern, witness-backed ({!Alveare_analysis.Ambiguity});
+          {!Alveare_analysis.Ambiguity.unanalyzed} when compiled from a
+          bare AST unless the caller supplies one *)
+  safe_fragments : (int * int) list;
+      (** address intervals [[lo, hi)] of [program] proven
+          backtracking-free by {!Alveare_analysis.Ambiguity.program_fragments}
+          — groundwork for a lazy-DFA overlay; computed from the
+          emitted program in every compile path *)
   prefilter : Alveare_prefilter.Prefilter.t;
       (** start-of-match prefilter facts extracted from the normalised
           AST (first byte-set, required literals, min match length);
@@ -57,8 +69,15 @@ val compile_ast :
   ?pattern:string ->
   ?verify:bool ->
   ?lint:Alveare_analysis.Lint.diagnostic list ->
+  ?analysis:Alveare_analysis.Ambiguity.t ->
   Alveare_frontend.Ast.t ->
   (compiled, error) result
+(** Compile a bare AST. Skips the source-level lint / ambiguity passes
+    (they are span-typed): [lint] defaults to [[]] and [analysis] to
+    {!Alveare_analysis.Ambiguity.unanalyzed}, keeping this path cheap
+    for differential harnesses that compile thousands of generated
+    ASTs. [safe_fragments] is still computed — it reads the emitted
+    program, not the source. *)
 
 val compile_exn :
   ?options:Alveare_ir.Lower.options ->

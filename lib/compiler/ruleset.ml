@@ -131,6 +131,12 @@ let lint_report (t : t) =
       | [] -> None
       | ds -> Some (r.rule, ds))
 
+(* Per-rule precise ambiguity verdicts (every rule appears — an
+   admission gate needs the Linear rows too, to count them). *)
+let analysis_report (t : t) =
+  Array.to_list t.rules
+  |> List.map (fun r -> (r.rule, r.compiled.Compile.analysis))
+
 let size t = Array.length t.rules
 
 let rules t = Array.to_list (Array.map (fun r -> r.rule) t.rules)

@@ -53,6 +53,10 @@ val lint_report : t -> (rule * Alveare_analysis.Lint.diagnostic list) list
     blowup, …), in rule order. Compilation never fails on lint; this
     is how a ruleset build surfaces its suspect rules. *)
 
+val analysis_report : t -> (rule * Alveare_analysis.Ambiguity.t) list
+(** Every rule with its precise worst-case backtracking verdict, in
+    rule order — the input an admission gate filters on. *)
+
 val size : t -> int
 val rules : t -> rule list
 val find_rule : t -> int -> rule option

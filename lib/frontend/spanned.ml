@@ -17,6 +17,22 @@ and node =
   | Repeat of t * Ast.quant
   | Group of t
 
+(* Inverse embedding for consumers that only have a bare AST (the
+   analysis entry points are span-typed): every node carries the empty
+   span 0..0, so diagnostics computed over it are position-free but the
+   tree shape is exact. *)
+let rec of_ast (a : Ast.t) : t =
+  let mk node = { node; left = 0; right = 0 } in
+  match a with
+  | Ast.Empty -> mk Empty
+  | Ast.Char c -> mk (Char c)
+  | Ast.Class cls -> mk (Class cls)
+  | Ast.Any -> mk Any
+  | Ast.Concat xs -> mk (Concat (List.map of_ast xs))
+  | Ast.Alt xs -> mk (Alt (List.map of_ast xs))
+  | Ast.Repeat (x, q) -> mk (Repeat (of_ast x, q))
+  | Ast.Group x -> mk (Group (of_ast x))
+
 let rec strip (s : t) : Ast.t =
   match s.node with
   | Empty -> Ast.Empty

@@ -22,6 +22,11 @@ and node =
 val strip : t -> Ast.t
 (** Erase spans. [strip (Parser.parse_spanned src) = Parser.parse src]. *)
 
+val of_ast : Ast.t -> t
+(** Embed a bare AST with zero spans (every node covers [0..0]), so the
+    span-typed analysis passes run on ASTs that never had source text.
+    [strip (of_ast a) = a]. *)
+
 val span_text : string -> t -> string
 (** The source slice a node covers (clipped to the string bounds). *)
 

@@ -9,6 +9,7 @@ module Compile = Alveare_compiler.Compile
 module Ruleset = Alveare_compiler.Ruleset
 module Core = Alveare_arch.Core
 module Lint = Alveare_analysis.Lint
+module Ambiguity = Alveare_analysis.Ambiguity
 module Pool = Alveare_exec.Pool
 module Cache = Alveare_exec.Cache
 
@@ -19,6 +20,7 @@ type config = {
   scan_workers : int;
   cores : int;
   lint_gate : bool;
+  max_polynomial_degree : int option;
   max_input : int;
 }
 
@@ -27,6 +29,7 @@ let default_config =
     scan_workers = 1;
     cores = 1;
     lint_gate = true;
+    max_polynomial_degree = None;
     max_input = 16 * 1024 * 1024 }
 
 type t = {
@@ -73,19 +76,43 @@ let scan_stats (s : Core.stats) : Protocol.scan_stats =
     offsets_pruned = s.Core.offsets_pruned;
     cycles = s.Core.cycles }
 
-let lint_warnings (ds : Lint.diagnostic list) =
-  List.filter (fun d -> d.Lint.severity = Lint.Warning) ds
+(* Admission verdict for one analysed pattern: [Some (metric, why)]
+   when the precise analysis says the worst case is non-linear and the
+   configured policy refuses it. Exponential patterns are refused by
+   default; polynomial ones only when [max_polynomial_degree] is set
+   and the proven degree reaches it. Heuristic (Info) lint diagnostics
+   never gate admission on their own. *)
+let refusal_of_analysis t (a : Ambiguity.t) : (string * string) option =
+  let witness_text () =
+    match a.Ambiguity.witness with
+    | None -> ""
+    | Some w ->
+      Printf.sprintf " — validated attack witness pumps %S at bytes %d..%d"
+        w.Ambiguity.pump w.Ambiguity.pump_left w.Ambiguity.pump_right
+  in
+  match a.Ambiguity.verdict with
+  | Ambiguity.Exponential ->
+    Some
+      ( "gate/rejected-exponential",
+        Printf.sprintf "proven exponential backtracking%s" (witness_text ()) )
+  | Ambiguity.Polynomial d ->
+    (match t.config.max_polynomial_degree with
+     | Some k when d >= k ->
+       Some
+         ( "gate/rejected-polynomial",
+           Printf.sprintf
+             "proven polynomial backtracking of degree %d (server limit %d)%s"
+             d k (witness_text ()) )
+     | _ -> None)
+  | Ambiguity.Linear -> None
 
-let lint_rejection_message pattern ds =
-  Printf.sprintf "pattern %S refused by the lint gate (%s); resend with \
-                  allow_risky to override"
-    pattern
-    (String.concat ", "
-       (List.map
-          (fun d ->
-            Printf.sprintf "%s at %d..%d" (Lint.kind_name d.Lint.kind)
-              d.Lint.left d.Lint.right)
-          ds))
+let refusal t (c : Compile.compiled) = refusal_of_analysis t c.Compile.analysis
+
+let rejection_message pattern why =
+  Printf.sprintf
+    "pattern %S refused by the admission gate: %s; resend with allow_risky \
+     to override"
+    pattern why
 
 (* --- Request handlers --------------------------------------------------- *)
 
@@ -94,10 +121,13 @@ let err t id code message =
   Protocol.Error { id; code; message }
 
 let gate t ~id ~allow_risky (c : Compile.compiled) k =
-  match lint_warnings c.Compile.lint with
-  | [] -> k c
-  | _ when (not t.config.lint_gate) || allow_risky -> k c
-  | ws -> err t id Protocol.Lint_rejected (lint_rejection_message c.Compile.pattern ws)
+  match refusal t c with
+  | None -> k c
+  | Some _ when (not t.config.lint_gate) || allow_risky -> k c
+  | Some (metric, why) ->
+    Metrics.inc t.metrics metric;
+    err t id Protocol.Lint_rejected
+      (rejection_message c.Compile.pattern why)
 
 let compile_pattern t ~id pattern k =
   match Compile.cached ~cache:t.config.cache pattern with
@@ -189,19 +219,22 @@ let handle_ruleset_scan t ~id ~rules ~input ~allow_risky =
                 errs))
       | Ok rs ->
         let flagged =
-          List.filter
-            (fun (_, ds) -> lint_warnings ds <> [])
-            (Ruleset.lint_report rs)
+          List.filter_map
+            (fun ((r : Ruleset.rule), a) ->
+              Option.map (fun ref -> (r, ref)) (refusal_of_analysis t a))
+            (Ruleset.analysis_report rs)
         in
-        if flagged <> [] && t.config.lint_gate && not allow_risky then
+        if flagged <> [] && t.config.lint_gate && not allow_risky then begin
+          List.iter (fun (_, (metric, _)) -> Metrics.inc t.metrics metric)
+            flagged;
           err t id Protocol.Lint_rejected
             (String.concat "; "
                (List.map
-                  (fun ((r : Ruleset.rule), ds) ->
-                    lint_rejection_message
-                      (r.Ruleset.tag ^ ": " ^ r.Ruleset.pattern)
-                      (lint_warnings ds))
+                  (fun ((r : Ruleset.rule), (_, why)) ->
+                    rejection_message
+                      (r.Ruleset.tag ^ ": " ^ r.Ruleset.pattern) why)
                   flagged))
+        end
         else begin
           let t0 = Unix.gettimeofday () in
           let report =

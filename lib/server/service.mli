@@ -1,12 +1,13 @@
 (** Request broker: the pure-ish middle of the serving stack. Maps one
     decoded {!Protocol.request} to one {!Protocol.response}, routing
     compiles through the shared {!Alveare_compiler.Compile.cached} LRU,
-    running the level-2 lint gate on submitted patterns (ReDoS-flagged
-    patterns are refused with [Lint_rejected] unless the client sets
-    [allow_risky]), and dispatching ruleset scans over the
-    {!Alveare_exec.Pool} host domains. No sockets, no threads of its
-    own — the {!Server} accept loop calls {!handle} from its worker
-    threads, and tests call it directly. *)
+    running the precise admission gate on submitted patterns (patterns
+    with proven-exploitable backtracking are refused with
+    [Lint_rejected] unless the client sets [allow_risky]), and
+    dispatching ruleset scans over the {!Alveare_exec.Pool} host
+    domains. No sockets, no threads of its own — the {!Server} accept
+    loop calls {!handle} from its worker threads, and tests call it
+    directly. *)
 
 type config = {
   cache : Alveare_compiler.Compile.cache;
@@ -15,13 +16,22 @@ type config = {
       (** host domains for per-rule ruleset scan fan-out (1 = in-line) *)
   cores : int;  (** simulated DSA cores per scan *)
   lint_gate : bool;
-      (** refuse warning-linted patterns unless the request opts in *)
+      (** admission gate master switch: when on, refuse patterns the
+          precise analysis proves [Exponential] (and [Polynomial]
+          beyond [max_polynomial_degree], if set) unless the request
+          opts in with [allow_risky]; heuristic lint diagnostics are
+          advisory and never gate on their own. Rejections increment
+          [gate/rejected-exponential] / [gate/rejected-polynomial]. *)
+  max_polynomial_degree : int option;
+      (** when [Some k], also refuse patterns with proven polynomial
+          backtracking of degree [>= k] (attempt cost n^(k+1));
+          [None] (default) admits every polynomial pattern *)
   max_input : int;  (** inputs longer than this are [Too_large] *)
 }
 
 val default_config : config
-(** Shared default cache, 1 worker, 1 core, lint gate on, 16 MiB input
-    cap. *)
+(** Shared default cache, 1 worker, 1 core, gate on (exponential only,
+    [max_polynomial_degree = None]), 16 MiB input cap. *)
 
 type t
 

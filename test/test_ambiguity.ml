@@ -1,0 +1,280 @@
+(* The @ambigcheck battery: the precise ambiguity analysis.
+
+   Four layers of guarantee:
+   - known classifications: a curated corpus of patterns whose
+     worst-case class is understood by hand (including the shapes the
+     old heuristics got wrong in both directions) classifies exactly;
+   - witness soundness: every non-linear verdict's attack witness
+     reproduces the claimed growth class on the cycle-level core via
+     the pumping harness (test/support/pumping.ml) — the analysis may
+     never claim an attack it cannot demonstrate;
+   - totality: the analysis never raises, over generated ASTs
+     (QCheck2) and all three workload samplers (600 rules);
+   - admission polarity: the 600 workload rules all classify Linear,
+     so the server gate built on these verdicts admits the entire
+     serving corpus while rejecting the proven-exploitable patterns. *)
+
+module A = Alveare_analysis.Ambiguity
+module Lint = Alveare_analysis.Lint
+module Compile = Alveare_compiler.Compile
+module Spanned = Alveare_frontend.Spanned
+module Ast = Alveare_frontend.Ast
+module Rng = Alveare_workloads.Rng
+module Pumping = Alveare_test_support.Pumping
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let analyze_exn pat =
+  match A.pattern pat with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%S failed to parse: %s" pat e
+
+let verdict_str t = Fmt.str "%a" A.pp_verdict t.A.verdict
+
+(* --- Known classifications --------------------------------------------- *)
+
+let exponential_patterns =
+  [ "(a+)+b"; "(a|a)*b"; "(a*)*b"; "(a|a)+b"; "(a{0,2})*b" ]
+
+let polynomial_patterns = [ "a*a*c"; "a+a+b"; ".*a.*ac" ]
+
+(* Linear for distinct reasons: plain patterns, bounded repeats,
+   heuristic false positives, and ambiguous-but-unexploitable shapes
+   (no continuation can ever fail, so the engine never backtracks
+   expensively). *)
+let linear_patterns =
+  [ "abc"; "a+b"; "(a|b)c"; "[0-9]{1,3}"; "x{3,5}y";
+    "(a|ab)c"; "(a|ab)+c"; "(a|ab)*c";
+    "(a|a)*"; "(a+)+"; ".*a.*a";
+    "(x{20,40}){20,40}" ]
+
+let test_exponential () =
+  List.iter
+    (fun p ->
+       let t = analyze_exn p in
+       (match t.A.verdict with
+        | A.Exponential -> ()
+        | _ -> Alcotest.failf "%S: expected exponential, got %s" p
+                 (verdict_str t));
+       if t.A.witness = None then
+         Alcotest.failf "%S: exponential verdict without witness" p)
+    exponential_patterns
+
+let test_polynomial () =
+  List.iter
+    (fun p ->
+       let t = analyze_exn p in
+       (match t.A.verdict with
+        | A.Polynomial d when d >= 1 -> ()
+        | _ -> Alcotest.failf "%S: expected polynomial, got %s" p
+                 (verdict_str t));
+       if t.A.witness = None then
+         Alcotest.failf "%S: polynomial verdict without witness" p)
+    polynomial_patterns
+
+let test_linear () =
+  List.iter
+    (fun p ->
+       let t = analyze_exn p in
+       match t.A.verdict with
+       | A.Linear -> ()
+       | _ -> Alcotest.failf "%S: expected linear, got %s" p (verdict_str t))
+    linear_patterns
+
+(* Ambiguity facts survive an unexploitable (Linear) verdict — the
+   gate ignores them but the report must still carry them. *)
+let test_unexploitable_facts () =
+  let t = analyze_exn "(a|a)*" in
+  Alcotest.(check bool) "(a|a)* has EDA" true t.A.eda;
+  let t = analyze_exn ".*a.*a" in
+  Alcotest.(check bool) ".*a.*a has IDA" true (t.A.ida_degree >= 1)
+
+(* --- Witness soundness on the core ------------------------------------- *)
+
+let test_witnesses_validate () =
+  List.iter
+    (fun p ->
+       let t = analyze_exn p in
+       let c = Pumping.compile_for_attack p in
+       match Pumping.validate c t with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%S: %s" p e)
+    (exponential_patterns @ polynomial_patterns)
+
+let test_linear_flat () =
+  List.iter
+    (fun p ->
+       let c = Pumping.compile_for_attack p in
+       match Pumping.validate_flat c (fun n -> String.make n 'a') with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "%S: %s" p e)
+    [ "abc"; "a+b"; "(a|ab)c"; "(a|ab)+c"; "(a|a)*"; "(a+)+" ]
+
+(* --- Heuristic false positives cleared by the precise analysis --------- *)
+
+(* The old heuristic gate rejected these (overlapping alternation
+   under a variable quantifier); the precise analysis proves them
+   linear, so they must carry no warning-severity diagnostic and pass
+   the admission gate. The heuristic still fires — as Info. *)
+let test_false_positive_corpus () =
+  List.iter
+    (fun p ->
+       match Lint.pattern_full p with
+       | Error e -> Alcotest.failf "%S: %s" p e
+       | Ok (ds, t) ->
+         (match t.A.verdict with
+          | A.Linear -> ()
+          | _ ->
+            Alcotest.failf "%S: false-positive pattern classified %s" p
+              (verdict_str t));
+         if Lint.has_warnings ds then
+           Alcotest.failf
+             "%S: linear pattern carries a warning-severity diagnostic" p;
+         if not (List.exists (fun d -> d.Lint.severity = Lint.Info) ds) then
+           Alcotest.failf "%S: expected an advisory Info diagnostic" p)
+    [ "(a|ab)+c"; "(a|ab)*c"; "(aa|aab)+x"; "(foo|foobar)+!" ]
+
+(* Conversely, a true positive must carry exactly the precise Warning. *)
+let test_precise_warning () =
+  match Lint.pattern_full "(a+)+b" with
+  | Error e -> Alcotest.fail e
+  | Ok (ds, t) ->
+    (match t.A.verdict with
+     | A.Exponential -> ()
+     | _ -> Alcotest.failf "(a+)+b classified %s" (verdict_str t));
+    let warnings = List.filter (fun d -> d.Lint.severity = Lint.Warning) ds in
+    (match warnings with
+     | [ d ] ->
+       Alcotest.(check string) "precise kind" "redos-exponential-backtracking"
+         (Lint.kind_name d.Lint.kind)
+     | _ ->
+       Alcotest.failf "(a+)+b: expected exactly one warning, got %d"
+         (List.length warnings))
+
+(* --- Safe program fragments -------------------------------------------- *)
+
+let test_safe_fragments () =
+  let frag_len fs = List.fold_left (fun k (lo, hi) -> k + (hi - lo)) 0 fs in
+  let check_invariants p (c : Compile.compiled) =
+    let n = Alveare_isa.Program.length c.Compile.program in
+    let rec ordered = function
+      | (lo, hi) :: (((lo', _) :: _) as rest) ->
+        lo >= 0 && hi <= n && lo < hi && hi <= lo' && ordered rest
+      | [ (lo, hi) ] -> lo >= 0 && hi <= n && lo < hi
+      | [] -> true
+    in
+    if not (ordered c.Compile.safe_fragments) then
+      Alcotest.failf "%S: malformed fragment list" p
+  in
+  (* An unambiguous program is one whole safe fragment. *)
+  List.iter
+    (fun p ->
+       let c = Pumping.compile_for_attack p in
+       check_invariants p c;
+       let n = Alveare_isa.Program.length c.Compile.program in
+       if c.Compile.safe_fragments <> [ (0, n) ] then
+         Alcotest.failf "%S: expected the whole program safe" p)
+    [ "abc"; "a+b"; "(a|b)c"; "x{3,5}y" ];
+  (* An exploitable pattern's pump core must be excluded. *)
+  List.iter
+    (fun p ->
+       let c = Pumping.compile_for_attack p in
+       check_invariants p c;
+       let n = Alveare_isa.Program.length c.Compile.program in
+       if frag_len c.Compile.safe_fragments >= n then
+         Alcotest.failf "%S: ambiguous core not excluded from fragments" p)
+    [ "(a+)+b"; "a*a*c"; "(a|a)*b" ]
+
+(* --- Totality and witness soundness over generated ASTs ---------------- *)
+
+let qcheck_total =
+  QCheck2.Test.make ~count:300 ~name:"analysis total over generated ASTs"
+    Gen_ast.gen_ast ~print:Gen_ast.print_ast (fun ast ->
+      let t = A.analyze (Spanned.of_ast ast) in
+      (* Shape invariants, not just absence of exceptions. *)
+      (match t.A.verdict with
+       | A.Polynomial d when d < 1 ->
+         QCheck2.Test.fail_reportf "polynomial degree %d < 1" d
+       | (A.Exponential | A.Polynomial _) when t.A.witness = None ->
+         QCheck2.Test.fail_report "non-linear verdict without witness"
+       | _ -> ());
+      true)
+
+let qcheck_witness_sound =
+  QCheck2.Test.make ~count:150
+    ~name:"non-linear witnesses validate on the core"
+    Gen_ast.gen_ast ~print:Gen_ast.print_ast (fun ast ->
+      let t = A.analyze (Spanned.of_ast ast) in
+      match t.A.verdict with
+      | A.Linear -> true
+      | A.Exponential | A.Polynomial _ ->
+        (match
+           Compile.compile_ast ~optimize:false
+             ~pattern:(Ast.to_pattern ast) ast
+         with
+         | Error _ -> true (* unemittable AST: nothing to drive *)
+         | Ok c ->
+           (match Pumping.validate c t with
+            | Ok () -> true
+            | Error e ->
+              QCheck2.Test.fail_reportf "%S: %s" (Ast.to_pattern ast) e)))
+
+(* --- The 600-rule workload sweep --------------------------------------- *)
+
+let sweep name patterns =
+  Alcotest.test_case name `Quick (fun () ->
+      let linear = ref 0 and poly = ref 0 and expo = ref 0 in
+      List.iter
+        (fun p ->
+           let t = analyze_exn p in
+           (match t.A.verdict with
+            | A.Linear -> incr linear
+            | A.Polynomial _ -> incr poly
+            | A.Exponential -> incr expo);
+           (* Every non-linear claim must come with a core-validated
+              attack; none is expected on the serving corpus. *)
+           match t.A.verdict with
+           | A.Linear -> ()
+           | _ ->
+             let c = Pumping.compile_for_attack p in
+             (match Pumping.validate c t with
+              | Ok () -> ()
+              | Error e -> Alcotest.failf "%S: %s" p e))
+        patterns;
+      Alcotest.(check int) "sweep total" (List.length patterns)
+        (!linear + !poly + !expo);
+      (* The admission gate must admit the whole serving corpus. *)
+      Alcotest.(check int) (name ^ " all admitted") (List.length patterns)
+        !linear)
+
+let powren () = Alveare_workloads.Powren.patterns (Rng.create 11) 200
+let protomata () = Alveare_workloads.Protomata.patterns (Rng.create 12) 200
+let snort () = Alveare_workloads.Snort.patterns (Rng.create 13) 200
+
+let () =
+  Alcotest.run "ambiguity"
+    [ ( "known classifications",
+        [ Alcotest.test_case "exponential corpus" `Quick test_exponential;
+          Alcotest.test_case "polynomial corpus" `Quick test_polynomial;
+          Alcotest.test_case "linear corpus" `Quick test_linear;
+          Alcotest.test_case "unexploitable facts survive" `Quick
+            test_unexploitable_facts ] );
+      ( "witness soundness",
+        [ Alcotest.test_case "witnesses validate on core" `Quick
+            test_witnesses_validate;
+          Alcotest.test_case "linear corpus is flat" `Quick test_linear_flat ]
+      );
+      ( "lint integration",
+        [ Alcotest.test_case "heuristic false positives cleared" `Quick
+            test_false_positive_corpus;
+          Alcotest.test_case "precise warning on true positive" `Quick
+            test_precise_warning ] );
+      ( "safe fragments",
+        [ Alcotest.test_case "fragment invariants" `Quick test_safe_fragments ]
+      );
+      ( "generated",
+        [ QCheck_alcotest.to_alcotest qcheck_total;
+          QCheck_alcotest.to_alcotest qcheck_witness_sound ] );
+      ( "workload sweep",
+        [ sweep "powren" (powren ());
+          sweep "protomata" (protomata ());
+          sweep "snort" (snort ()) ] ) ]
