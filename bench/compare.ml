@@ -22,6 +22,11 @@
      from the legacy interpreter down to every counter), and
      plan/speedup — plan vs legacy measured in the SAME run, so immune
      to machine drift and baseline refreshes — must stay >= 2x;
+   - the plan/dfa-... gates: same shape for the lazy-DFA overlay —
+     hits- and stats-identical flags must be 1 (the overlay must be
+     indistinguishable from the plain plan path down to every counter)
+     and plan/dfa-speedup (overlay vs plan, same run, dense
+     non-literal corpus) must stay >= 2x;
    - no workload left with an attempts-ratio >= 2 (the prefilter's
      reason to exist: at least one unanchored ruleset scan must start
      2x fewer attempts than the dense scan);
@@ -53,6 +58,7 @@ let required_opt_reduction = 10.0 (* geomean emitted-size reduction, percent *)
 let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
 let required_attempts_ratio = 2.0
 let required_plan_speedup = 2.0 (* plan executor vs legacy, same-run ratio *)
+let required_dfa_speedup = 2.0 (* lazy-DFA overlay vs plain plan, same-run ratio *)
 let server_latency_slack = 2.0 (* server/... -ns entries: >2x baseline fails *)
 let server_throughput_slack = 0.5 (* throughput-rps below half baseline fails *)
 let analysis_ms_budget = 2.0 (* analysis geomean ms/rule, absolute ceiling *)
@@ -160,6 +166,23 @@ let () =
    | Some s when s < required_plan_speedup ->
      fail "plan/speedup %.2fx below the %.1fx floor (plan vs legacy, same run)"
        s required_plan_speedup
+   | Some _ -> ());
+  (* Lazy-DFA overlay gates: hits-identical is covered by the suffix
+     filter above; stats-identical must hold (the overlay claims bit-
+     identical counters, not just spans) and the same-run speedup on
+     the dense non-literal corpus must clear its floor. *)
+  (match List.assoc_opt "plan/dfa-stats-identical" fresh with
+   | None -> fail "no plan/dfa-stats-identical entry in %s" fresh_path
+   | Some 1.0 -> ()
+   | Some v ->
+     fail "plan/dfa-stats-identical = %g: DFA overlay stats diverged from \
+           the plain plan executor" v);
+  (match List.assoc_opt "plan/dfa-speedup" fresh with
+   | None -> fail "no plan/dfa-speedup entry in %s" fresh_path
+   | Some s when s < required_dfa_speedup ->
+     fail "plan/dfa-speedup %.2fx below the %.1fx floor (overlay vs plan, \
+           same run)"
+       s required_dfa_speedup
    | Some _ -> ());
   (* Optimiser gates: hits-identical is covered by the suffix filter
      above; the size reduction and the attempts delta are deterministic

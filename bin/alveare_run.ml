@@ -51,7 +51,7 @@ let load_program ~verify ~optimize ~lint pattern binary =
                 (Alveare_analysis.Lint.pp_diagnostic_source ~pattern:p)
                 d)
            c.Compile.lint;
-       Ok (c.Compile.program, Some c.Compile.ast, Some c.Compile.prefilter)
+       Ok (c.Compile.program, Some c, Some c.Compile.prefilter)
      | Error e -> Error (Compile.error_message e))
   | None, Some path ->
     if lint then
@@ -64,31 +64,100 @@ let load_program ~verify ~optimize ~lint pattern binary =
   | None, None -> Error "give a PATTERN or --binary FILE"
 
 (* Mini Figure-4 for a user's own pattern and data: every engine's
-   modelled time on this input. Needs the AST, so pattern-only. *)
+   modelled time on this input. Needs the AST, so pattern-only.
+
+   Beyond the timing table, the rows are cross-checked against the PCRE
+   backtracking oracle. Engines that expose spans (the ALVEARE
+   configurations) are compared span by span and a disagreement is
+   reported with the first divergent span; the priced baselines expose
+   only match counts (and the DFA/Pike-VM-based ones count
+   leftmost-longest matches, so a count difference there is a semantics
+   note, not necessarily a bug). *)
+let pp_span ppf (s : Alveare_engine.Semantics.span) =
+  Fmt.pf ppf "%d-%d" s.start s.stop
+
+(* First index where the two span lists disagree, with what each side
+   has there ([None] = the list already ended). Equal lists -> [None]. *)
+let first_divergence oracle spans =
+  let rec go i os es =
+    match os, es with
+    | [], [] -> None
+    | o :: os', e :: es' ->
+      if o = e then go (i + 1) os' es' else Some (i, Some o, Some e)
+    | o :: _, [] -> Some (i, Some o, None)
+    | [], e :: _ -> Some (i, None, Some e)
+  in
+  go 0 oracle spans
+
+let report_disagreements ~oracle rows =
+  let oracle_count = List.length oracle in
+  let side = function
+    | Some s -> Fmt.str "%a" pp_span s
+    | None -> "no match"
+  in
+  let mismatches =
+    List.filter_map
+      (fun (name, count, spans, note) ->
+         match spans with
+         | Some spans ->
+           (match first_divergence oracle spans with
+            | None -> None
+            | Some (i, o, e) ->
+              Some
+                (Fmt.str
+                   "%s: %d match(es) vs oracle's %d; first divergence at \
+                    match #%d — oracle %s, engine %s"
+                   name (List.length spans) oracle_count i (side o) (side e)))
+         | None ->
+           if count = oracle_count then None
+           else
+             Some
+               (Fmt.str "%s: %d match(es) vs oracle's %d%s" name count
+                  oracle_count note))
+      rows
+  in
+  match mismatches with
+  | [] ->
+    Fmt.pr "  engines agree with the PCRE oracle (%d matches)@." oracle_count
+  | ms ->
+    List.iter (fun m -> Fmt.pr "  MISMATCH %s@." m) ms
+
 let compare_engines ast program data =
   let module M = Alveare_platform.Measure in
+  let x1 = Fpga.run ~cores:1 program data in
+  let x10 = Fpga.run ~cores:10 program data in
   let rows =
     [ ( "RE2 (A53)",
-        (Alveare_platform.A53_re2.run ast data).Alveare_platform.A53_re2.run )
+        (Alveare_platform.A53_re2.run ast data).Alveare_platform.A53_re2.run,
+        None, " (leftmost-longest count)" )
     ; ( "BF-2 DPU",
-        (Alveare_platform.Dpu.run ast data).Alveare_platform.Dpu.run )
+        (Alveare_platform.Dpu.run ast data).Alveare_platform.Dpu.run,
+        None, " (leftmost-longest count)" )
     ; ( "OBAT (V100)",
         (Alveare_platform.Gpu.run Alveare_platform.Gpu.Obat ast data)
-          .Alveare_platform.Gpu.run )
-    ; ( "ALVEARE x1",
-        (Fpga.run ~cores:1 program data).Fpga.run )
-    ; ( "ALVEARE x10",
-        (Fpga.run ~cores:10 program data).Fpga.run ) ]
+          .Alveare_platform.Gpu.run,
+        None, " (leftmost-longest count)" )
+    ; ( "ALVEARE x1", x1.Fpga.run,
+        Some x1.Fpga.result.Multicore.matches, "" )
+    ; ( "ALVEARE x10", x10.Fpga.run,
+        Some x10.Fpga.result.Multicore.matches, "" ) ]
   in
   Fmt.pr "@.engine comparison (modelled, this input):@.";
   List.iter
-    (fun (name, (r : M.run)) ->
+    (fun (name, (r : M.run), _, _) ->
        Fmt.pr "  %-12s %10.3f ms  (%d matches)@." name (r.M.seconds *. 1e3)
          r.M.match_count)
-    rows
+    rows;
+  let oracle = Alveare_engine.Backtrack.find_all ast data in
+  Fmt.pr "@.result agreement:@.";
+  report_disagreements ~oracle
+    (List.map
+       (fun (name, (r : M.run), spans, note) ->
+          (name, r.M.match_count, spans, note))
+       rows)
 
 let run pattern binary text file cores quiet stats_flag trace_path compare
-    lint no_verify no_prefilter no_opt =
+    lint no_verify no_prefilter no_opt no_dfa =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -104,8 +173,28 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
   | Error m, _ | _, Error m ->
     Fmt.epr "alveare_run: %s@." m;
     1
-  | Ok (program, ast, prefilter), Ok data ->
+  | Ok (program, compiled, prefilter), Ok data ->
+    let ast = Option.map (fun c -> c.Compile.ast) compiled in
     let prefilter = if no_prefilter then None else prefilter in
+    (* Compiled patterns carry their plan and overlay family; a loaded
+       binary builds both here (same safe-fragment analysis the
+       compiler runs, applied to the loaded program). *)
+    let plan, dfa =
+      match compiled with
+      | Some c ->
+        (Some c.Compile.plan, if no_dfa then None else c.Compile.dfa)
+      | None ->
+        let plan = Alveare_arch.Plan.of_program program in
+        let dfa =
+          if no_dfa then None
+          else
+            Alveare_arch.Dfa_overlay.family
+              ~fragments:
+                (Alveare_analysis.Ambiguity.program_fragments program)
+              plan
+        in
+        (Some plan, dfa)
+    in
     let overlap =
       match ast with
       | Some ast -> Multicore.overlap_for_ast ast
@@ -123,7 +212,7 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
          (Alveare_arch.Trace.length trace)
          (if Alveare_arch.Trace.truncated trace then ", truncated" else "")
          path);
-    let outcome = Fpga.run ~cores ~overlap ?prefilter program data in
+    let outcome = Fpga.run ~cores ~overlap ?prefilter ?plan ?dfa program data in
     let result = outcome.Fpga.result in
     if not quiet then
       List.iter
@@ -222,6 +311,14 @@ let no_opt_flag =
                  lowered as written. Matches are identical either way — \
                  useful for ablation against the optimised program.")
 
+let no_dfa_flag =
+  Arg.(value & flag
+       & info [ "no-dfa" ]
+           ~doc:"Disable the lazy-DFA overlay (table-per-byte execution of \
+                 backtracking-free fragments). Matches, cycles and stats \
+                 are bit-identical either way; only host simulation speed \
+                 changes.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_run" ~version:"1.0"
@@ -229,6 +326,6 @@ let cmd =
     Term.(
       const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
       $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
-      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag)
+      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag $ no_dfa_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -42,7 +42,7 @@ let summarize metrics =
   end
 
 let main socket tcp queue workers scan_workers cores cache_capacity
-    idle_timeout no_lint_gate max_poly_degree max_input quiet =
+    idle_timeout no_lint_gate max_poly_degree max_input no_dfa quiet =
   let addr =
     match (socket, tcp) with
     | _, Some port -> Server.Tcp ("", port)
@@ -55,7 +55,8 @@ let main socket tcp queue workers scan_workers cores cache_capacity
       cores;
       lint_gate = not no_lint_gate;
       max_polynomial_degree = max_poly_degree;
-      max_input }
+      max_input;
+      dfa = not no_dfa }
   in
   let cfg =
     { Server.default_config with
@@ -157,6 +158,14 @@ let max_input_arg =
        & info [ "max-input" ] ~docv:"BYTES"
            ~doc:"Reject scan inputs larger than this with too-large.")
 
+let no_dfa_arg =
+  Arg.(value & flag
+       & info [ "no-dfa" ]
+           ~doc:"Disable the lazy-DFA overlay (table-per-byte execution of \
+                 backtracking-free fragments). Responses are bit-identical \
+                 either way; this only trades host throughput, e.g. to \
+                 isolate the plan executor when profiling.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup/shutdown chatter.")
 
@@ -177,6 +186,6 @@ let cmd =
     Term.(
       const main $ socket_arg $ tcp_arg $ queue_arg $ workers_arg
       $ scan_workers_arg $ cores_arg $ cache_arg $ idle_arg $ no_lint_gate_arg
-      $ max_poly_degree_arg $ max_input_arg $ quiet_arg)
+      $ max_poly_degree_arg $ max_input_arg $ no_dfa_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

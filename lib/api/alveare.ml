@@ -93,33 +93,37 @@ let cached pattern = Compile.cached pattern
 
 let string_error r = Result.map_error Compile.error_message r
 
-(* The helpers run with the compiled pattern's prefilter unless the
-   caller turns it off; matches are identical either way. *)
-let find_all ?(cores = 1) ?workers ?(prefilter = true) pattern input
-  : (span list, string) result =
+(* The helpers run with the compiled pattern's prefilter and lazy-DFA
+   overlay unless the caller turns them off; matches are identical
+   either way. *)
+let find_all ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) pattern
+    input : (span list, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
           let pf = if prefilter then Some c.Compile.prefilter else None in
+          let fam = if dfa then c.Compile.dfa else None in
           if cores = 1 then
-            Core.find_all ?prefilter:pf ~plan:c.Compile.plan
+            Core.find_all ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
               c.Compile.program input
           else
             Multicore.find_all ~cores ?workers ?prefilter:pf
-              ~plan:c.Compile.plan c.Compile.program input)
+              ~plan:c.Compile.plan ?dfa:fam c.Compile.program input)
        (cached pattern))
 
-let search ?(prefilter = true) pattern input : (span option, string) result =
+let search ?(prefilter = true) ?(dfa = true) pattern input
+  : (span option, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
           let pf = if prefilter then Some c.Compile.prefilter else None in
-          Core.search ?prefilter:pf ~plan:c.Compile.plan c.Compile.program
-            input)
+          let fam = if dfa then c.Compile.dfa else None in
+          Core.search ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
+            c.Compile.program input)
        (cached pattern))
 
-let matches ?prefilter pattern input : (bool, string) result =
-  Result.map Option.is_some (search ?prefilter pattern input)
+let matches ?prefilter ?dfa pattern input : (bool, string) result =
+  Result.map Option.is_some (search ?prefilter ?dfa pattern input)
 
 let disassemble pattern : (string, string) result =
   string_error (Result.map Compile.disassemble (cached pattern))

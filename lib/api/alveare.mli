@@ -101,18 +101,24 @@ val compile : string -> (compiled, Compile.error) result
 val compile_exn : string -> compiled
 
 val find_all :
-  ?cores:int -> ?workers:int -> ?prefilter:bool ->
+  ?cores:int -> ?workers:int -> ?prefilter:bool -> ?dfa:bool ->
   string -> string -> (span list, string) result
 (** [find_all pattern input] — all non-overlapping matches on the
     simulated DSA ([cores] > 1 uses the multi-core scale-out; [workers]
     parallelises the simulated cores on host domains). [prefilter]
     (default [true]) skips start offsets the compiled pattern's first
-    byte-set rules out; matches are identical either way. *)
+    byte-set rules out; [dfa] (default [true]) executes
+    backtracking-free fragments on the lazy-DFA overlay
+    ({!Alveare_arch.Dfa_overlay}). Matches and stats are identical with
+    either toggle off. *)
 
-val search : ?prefilter:bool -> string -> string -> (span option, string) result
+val search :
+  ?prefilter:bool -> ?dfa:bool -> string -> string ->
+  (span option, string) result
 (** Leftmost match. *)
 
-val matches : ?prefilter:bool -> string -> string -> (bool, string) result
+val matches :
+  ?prefilter:bool -> ?dfa:bool -> string -> string -> (bool, string) result
 
 val disassemble : string -> (string, string) result
 

@@ -352,7 +352,24 @@ let dense_next offset = Some offset
    reads instead of a per-offset closure call, with the run lengths —
    and hence every counter and scan-cycle charge — unchanged. *)
 
-let scan_plan ~config ~stats ~all ~next plan scratch input from =
+(* Lazy-DFA overlay session for one scan. The overlay is engaged only
+   when the caller's family was built from this very plan (physical
+   equality guards against a mismatched ?plan/?dfa pair) and the
+   instance is available ([acquire] refuses finite stack capacities and
+   contended instances). The lock is taken once per scan, not per
+   attempt. *)
+let dfa_session ?dfa ~config plan =
+  match dfa with
+  | Some fam when Dfa_overlay.plan_of fam == plan ->
+    let t = Dfa_overlay.get fam in
+    if Dfa_overlay.acquire t ~config then Some t else None
+  | Some _ | None -> None
+
+let dfa_finish = function
+  | Some t -> Dfa_overlay.release t
+  | None -> ()
+
+let scan_plan ?dfa ~config ~stats ~all ~next plan scratch input from =
   let n = String.length input in
   let leading = Plan.leading plan in
   let found = ref [] in
@@ -379,6 +396,12 @@ let scan_plan ~config ~stats ~all ~next plan scratch input from =
     | Plan.Lead_set bits ->
       cand < n && Plan.set_mem bits (String.unsafe_get input cand)
   in
+  let session = dfa_session ?dfa ~config plan in
+  let run_attempt cand =
+    match session with
+    | Some t -> Dfa_overlay.run_acquired t ~config ~stats scratch input cand
+    | None -> Plan.run ~config ~stats plan scratch input cand
+  in
   let rec go offset =
     if offset > n then flush_run ()
     else begin
@@ -396,7 +419,7 @@ let scan_plan ~config ~stats ~all ~next plan scratch input from =
         end
         else begin
           flush_run ();
-          match Plan.run ~config ~stats plan scratch input cand with
+          match run_attempt cand with
           | Some stop ->
             let span = { Span.start = cand; stop } in
             found := span :: !found;
@@ -406,18 +429,19 @@ let scan_plan ~config ~stats ~all ~next plan scratch input from =
         end
     end
   in
-  go from;
+  (try go from with e -> dfa_finish session; raise e);
+  dfa_finish session;
   List.rev !found
 
-let scan_plan_dense ~config ~stats ~all plan scratch input from =
+let scan_plan_dense ?dfa ~config ~stats ~all plan scratch input from =
   let n = String.length input in
   match Plan.leading plan with
   | Plan.Lead_none ->
     (* No leading filter: every offset is attempted, no runs to skip. *)
-    scan_plan ~config ~stats ~all ~next:dense_next plan scratch input from
+    scan_plan ?dfa ~config ~stats ~all ~next:dense_next plan scratch input from
   | Plan.Lead_literal lit when String.length lit = 0 ->
     (* Degenerate leading AND over zero chars: passes everywhere. *)
-    scan_plan ~config ~stats ~all ~next:dense_next plan scratch input from
+    scan_plan ?dfa ~config ~stats ~all ~next:dense_next plan scratch input from
   | (Plan.Lead_literal _ | Plan.Lead_set _) as leading ->
     (* [skip offset] = smallest offset >= [offset] passing the leading
        filter, or [n] when none is left (offset [n] itself can never
@@ -459,6 +483,12 @@ let scan_plan_dense ~config ~stats ~all plan scratch input from =
       stats.offsets_pruned <- stats.offsets_pruned + k;
       rejected_run := !rejected_run + k
     in
+    let session = dfa_session ?dfa ~config plan in
+    let run_attempt cand =
+      match session with
+      | Some t -> Dfa_overlay.run_acquired t ~config ~stats scratch input cand
+      | None -> Plan.run ~config ~stats plan scratch input cand
+    in
     let rec go offset =
       if offset > n then flush_run ()
       else begin
@@ -472,7 +502,7 @@ let scan_plan_dense ~config ~stats ~all plan scratch input from =
           if cand > offset then prune (cand - offset);
           stats.offsets_scanned <- stats.offsets_scanned + 1;
           flush_run ();
-          match Plan.run ~config ~stats plan scratch input cand with
+          match run_attempt cand with
           | Some stop ->
             let span = { Span.start = cand; stop } in
             found := span :: !found;
@@ -482,7 +512,8 @@ let scan_plan_dense ~config ~stats ~all plan scratch input from =
         end
       end
     in
-    go from;
+    (try go from with e -> dfa_finish session; raise e);
+    dfa_finish session;
     List.rev !found
 
 (* --- Entry points -------------------------------------------------------
@@ -501,8 +532,8 @@ let plan_of ?plan program =
 let scratch_of ?scratch () =
   match scratch with Some s -> s | None -> Plan.create_scratch ()
 
-let match_at ?(config = default_config) ?stats ?trace ?plan ?(use_plan = true)
-    ?scratch (program : I.t array) input start : int option =
+let match_at ?(config = default_config) ?stats ?trace ?plan ?dfa
+    ?(use_plan = true) ?scratch (program : I.t array) input start : int option =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   match trace with
   | Some _ ->
@@ -513,7 +544,16 @@ let match_at ?(config = default_config) ?stats ?trace ?plan ?(use_plan = true)
     attempt ~config ~stats program input start
   | None ->
     let plan = plan_of ?plan program in
-    Plan.run ~config ~stats plan (scratch_of ?scratch ()) input start
+    let scratch = scratch_of ?scratch () in
+    (match dfa_session ?dfa ~config plan with
+     | Some t ->
+       let r =
+         try Dfa_overlay.run_acquired t ~config ~stats scratch input start
+         with e -> Dfa_overlay.release t; raise e
+       in
+       Dfa_overlay.release t;
+       r
+     | None -> Plan.run ~config ~stats plan scratch input start)
 
 (* Candidate sources from compile-time prefilter facts are built inline
    in [search]/[find_all] (they close over the input string). Soundness:
@@ -534,7 +574,7 @@ let prefilter_next ?(anchor_at = 0) prefilter input =
            Alveare_prefilter.Prefilter.next_candidate pf input offset)
   | Some _ | None -> None
 
-let search ?(config = default_config) ?stats ?trace ?prefilter ?plan
+let search ?(config = default_config) ?stats ?trace ?prefilter ?plan ?dfa
     ?(use_plan = true) ?scratch ?(from = 0) program input
   : Span.span option =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
@@ -556,12 +596,13 @@ let search ?(config = default_config) ?stats ?trace ?prefilter ?plan
       let scratch = scratch_of ?scratch () in
       (match prefilter_next ~anchor_at:from prefilter input with
        | Some next ->
-         scan_plan ~config ~stats ~all:false ~next plan scratch input from
-       | None -> scan_plan_dense ~config ~stats ~all:false plan scratch input from)
+         scan_plan ?dfa ~config ~stats ~all:false ~next plan scratch input from
+       | None ->
+         scan_plan_dense ?dfa ~config ~stats ~all:false plan scratch input from)
   in
   match spans with [] -> None | span :: _ -> Some span
 
-let find_all ?(config = default_config) ?stats ?trace ?prefilter ?plan
+let find_all ?(config = default_config) ?stats ?trace ?prefilter ?plan ?dfa
     ?(use_plan = true) ?scratch program input : Span.span list =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   let legacy trace =
@@ -580,8 +621,9 @@ let find_all ?(config = default_config) ?stats ?trace ?prefilter ?plan
     let plan = plan_of ?plan program in
     let scratch = scratch_of ?scratch () in
     (match prefilter_next prefilter input with
-     | Some next -> scan_plan ~config ~stats ~all:true ~next plan scratch input 0
-     | None -> scan_plan_dense ~config ~stats ~all:true plan scratch input 0)
+     | Some next ->
+       scan_plan ?dfa ~config ~stats ~all:true ~next plan scratch input 0
+     | None -> scan_plan_dense ?dfa ~config ~stats ~all:true plan scratch input 0)
 
 (* Scan restricted to an explicit sorted candidate-offset array (from
    the ruleset Aho-Corasick pass): every other offset is pruned without
@@ -597,7 +639,7 @@ let candidate_next candidates =
     if !pos >= m then None else Some (Array.unsafe_get candidates !pos)
 
 let find_all_candidates ?(config = default_config) ?stats ?trace ~candidates
-    ?plan ?(use_plan = true) ?scratch program input : Span.span list =
+    ?plan ?dfa ?(use_plan = true) ?scratch program input : Span.span list =
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   if trace <> None || not use_plan then begin
     Alveare_isa.Program.validate_exn program;
@@ -607,10 +649,12 @@ let find_all_candidates ?(config = default_config) ?stats ?trace ~candidates
   else begin
     let plan = plan_of ?plan program in
     let scratch = scratch_of ?scratch () in
-    scan_plan ~config ~stats ~all:true ~next:(candidate_next candidates) plan
-      scratch input 0
+    scan_plan ?dfa ~config ~stats ~all:true ~next:(candidate_next candidates)
+      plan scratch input 0
   end
 
-let matches ?config ?stats ?prefilter ?plan ?use_plan ?scratch program input =
+let matches ?config ?stats ?prefilter ?plan ?dfa ?use_plan ?scratch program
+    input =
   Option.is_some
-    (search ?config ?stats ?prefilter ?plan ?use_plan ?scratch program input)
+    (search ?config ?stats ?prefilter ?plan ?dfa ?use_plan ?scratch program
+       input)

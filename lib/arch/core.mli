@@ -17,7 +17,16 @@
     Every entry point accepts an optional pre-built [?plan] (skip
     re-lowering; {!Alveare_compiler} compilations carry one) and
     [?scratch] (reuse one executor state across calls; never share a
-    scratch between concurrent domains). *)
+    scratch between concurrent domains).
+
+    Plan-path entry points also accept a [?dfa] overlay family
+    ({!Dfa_overlay}): attempts whose execution stays inside the
+    pattern's backtracking-free fragments then run at one table lookup
+    per byte, with bit-identical spans and stats. The family must have
+    been built from the same [?plan] value (physical equality) —
+    otherwise it is silently ignored — and is also ignored on the
+    trace/legacy paths and for finite [stack_capacity] configs.
+    {!Alveare_compiler} compilations carry a matching family. *)
 
 type config = Machine.config = {
   compute_units : int;          (** CUs in the vector unit (paper: 4) *)
@@ -56,14 +65,16 @@ exception Exec_error of error
 
 val match_at :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
-  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?plan:Plan.t -> ?dfa:Dfa_overlay.family -> ?use_plan:bool ->
+  ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> int -> int option
 (** Anchored attempt at an offset; returns the match end. *)
 
 val search :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
-  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?plan:Plan.t -> ?dfa:Dfa_overlay.family -> ?use_plan:bool ->
+  ?scratch:Plan.scratch ->
   ?from:int ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span option
 (** Leftmost match at or after [from]. When [prefilter] is passed and
@@ -74,7 +85,8 @@ val search :
 val find_all :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
-  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?plan:Plan.t -> ?dfa:Dfa_overlay.family -> ?use_plan:bool ->
+  ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
 (** All non-overlapping matches, left to right. [trace] records one
     {!Trace.event} per cycle for waveform inspection ({!Vcd}).
@@ -83,7 +95,8 @@ val find_all :
 val find_all_candidates :
   ?config:config -> ?stats:stats -> ?trace:Trace.t ->
   candidates:int array ->
-  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?plan:Plan.t -> ?dfa:Dfa_overlay.family -> ?use_plan:bool ->
+  ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list
 (** Like {!find_all} but attempts only at the given sorted start
     offsets (e.g. from the ruleset Aho-Corasick pass); all other
@@ -95,5 +108,6 @@ val find_all_candidates :
 val matches :
   ?config:config -> ?stats:stats ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
-  ?plan:Plan.t -> ?use_plan:bool -> ?scratch:Plan.scratch ->
+  ?plan:Plan.t -> ?dfa:Dfa_overlay.family -> ?use_plan:bool ->
+  ?scratch:Plan.scratch ->
   Alveare_isa.Program.t -> string -> bool

@@ -170,6 +170,7 @@ let of_program program =
 
 let program t = t.program
 let leading t = t.leading
+let ops t = t.ops
 
 (* Full leading-literal test at an offset (the skip loop's slow
    confirmation once the first byte matched). *)

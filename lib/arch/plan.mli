@@ -31,6 +31,31 @@ val program : t -> Alveare_isa.Program.t
 (** The source instruction array the plan was lowered from (used for
     the traced-execution fallback, which stays on the interpreter). *)
 
+(** {1 Decoded ops}
+
+    The per-instruction decoded form, exposed for {!Dfa_overlay}: the
+    lazy-DFA overlay re-executes these ops symbolically to build its
+    transition table, so it reads exactly the representation {!run}
+    dispatches on. One op per source instruction; [fwd]/[bwd] are
+    absolute targets; [close] is a [cl_*] code ([cl_none] = no fused
+    close). *)
+type op =
+  | Eor
+  | Lit of { chars : string; close : int }
+  | Set of { bits : Bytes.t; close : int }
+  | Open_quant of { qmin : int; qmax : int; greedy : bool; fwd : int }
+  | Open_alt of { bwd : int; fwd : int }  (** [bwd = -1] when disabled *)
+  | Close_op of int
+  | Bad of string
+
+val ops : t -> op array
+
+val cl_none : int
+val cl_close : int
+val cl_alt_close : int
+val cl_quant_greedy : int
+val cl_quant_lazy : int
+
 (** Leading-filter table: the first instruction's sub-match test when it
     is a base operator — the same applicability rule as the
     interpreter's vector-unit prefilter. *)

@@ -14,6 +14,7 @@ type compiled = {
   lint : Alveare_analysis.Lint.diagnostic list;
   analysis : Alveare_analysis.Ambiguity.t;
   safe_fragments : (int * int) list;
+  dfa : Alveare_arch.Dfa_overlay.family option;
   prefilter : Alveare_prefilter.Prefilter.t;
 }
 
@@ -84,8 +85,13 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
       let safe_fragments =
         Alveare_analysis.Ambiguity.program_fragments program
       in
+      (* The overlay family is built against this exact plan value;
+         Core's [?dfa] guard checks that correspondence physically. *)
+      let dfa =
+        Alveare_arch.Dfa_overlay.family ~fragments:safe_fragments plan
+      in
       Ok { pattern; ast; ir; program; plan; options; lint; analysis;
-           safe_fragments; prefilter }
+           safe_fragments; dfa; prefilter }
     in
     (* Post-emission self-check: the verifier accepting every program
        the backend emits is a compiler invariant, so a rejection here

@@ -26,9 +26,13 @@ type compiled = {
           bare AST unless the caller supplies one *)
   safe_fragments : (int * int) list;
       (** address intervals [[lo, hi)] of [program] proven
-          backtracking-free by {!Alveare_analysis.Ambiguity.program_fragments}
-          — groundwork for a lazy-DFA overlay; computed from the
-          emitted program in every compile path *)
+          backtracking-free by {!Alveare_analysis.Ambiguity.program_fragments};
+          computed from the emitted program in every compile path *)
+  dfa : Alveare_arch.Dfa_overlay.family option;
+      (** lazy-DFA overlay family built from [plan] and
+          [safe_fragments]; pass to {!Alveare_arch.Core} entry points
+          as [?dfa] alongside [?plan]. [None] when the fragments are
+          trivial (the overlay could never engage) *)
   prefilter : Alveare_prefilter.Prefilter.t;
       (** start-of-match prefilter facts extracted from the normalised
           AST (first byte-set, required literals, min match length);

@@ -175,8 +175,11 @@ type report = {
    automaton pass over the stream (single-core scans only: candidates
    are stream-global offsets); every other rule scans with its first-set
    skip loop. Hits are identical to the unfiltered scan either way. *)
-let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
-  : report =
+let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) (t : t)
+    (input : string) : report =
+  let dfa_of (r : compiled_rule) =
+    if dfa then r.compiled.Compile.dfa else None
+  in
   let candidates =
     match t.index with
     | Some idx when prefilter && cores = 1 ->
@@ -191,7 +194,8 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
            let stats = Core.fresh_stats () in
            let matches =
              Core.find_all_candidates ~stats ~candidates:cands.(i)
-               ~plan:r.compiled.Compile.plan r.compiled.Compile.program input
+               ~plan:r.compiled.Compile.plan ?dfa:(dfa_of r)
+               r.compiled.Compile.program input
            in
            ( r.rule, stats.Core.cycles, matches,
              (stats.Core.attempts, stats.Core.offsets_scanned,
@@ -203,8 +207,8 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) (t : t) (input : string)
              if prefilter then Some r.compiled.Compile.prefilter else None
            in
            let result =
-             Multicore.run ?prefilter:pf ~plan:r.compiled.Compile.plan ~config
-               r.compiled.Compile.program input
+             Multicore.run ?prefilter:pf ~plan:r.compiled.Compile.plan
+               ?dfa:(dfa_of r) ~config r.compiled.Compile.program input
            in
            let sum f =
              Array.fold_left

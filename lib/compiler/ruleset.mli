@@ -78,7 +78,9 @@ type report = {
       (** rules scanned via the Aho-Corasick candidate path this scan *)
 }
 
-val scan : ?cores:int -> ?workers:int -> ?prefilter:bool -> t -> string -> report
+val scan :
+  ?cores:int -> ?workers:int -> ?prefilter:bool -> ?dfa:bool -> t -> string ->
+  report
 (** Rules run sequentially on the DSA (one compiled RE in instruction
     memory at a time); [cores] parallelises each rule over the stream on
     the simulated hardware. [workers] parallelises the host-side
@@ -91,6 +93,12 @@ val scan : ?cores:int -> ?workers:int -> ?prefilter:bool -> t -> string -> repor
     the stream (single-core scans; multi-core slicing falls back to the
     per-slice first-set skip loop), and every other rule scans with its
     first-set prefilter. Hits are identical with prefiltering on or
-    off — only attempts/cycles change. *)
+    off — only attempts/cycles change.
+
+    [dfa] (default [true]): rules whose compilation carries a lazy-DFA
+    overlay family execute their backtracking-free fragments on the
+    transition table ({!Alveare_arch.Dfa_overlay}); hits, cycles and
+    every stat are bit-identical with it on or off — only host
+    simulation speed changes. *)
 
 val hits_for : report -> int -> hit list

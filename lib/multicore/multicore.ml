@@ -48,7 +48,7 @@ type result = {
   per_core : core_result array;
 }
 
-let run ?(workers = 1) ?prefilter ?plan ~config
+let run ?(workers = 1) ?prefilter ?plan ?dfa ~config
     (program : Alveare_isa.Program.t) (input : string) : result =
   (* One plan for the whole run: lowering (and, for a raw program, the
      validity check) happens once here instead of once per slice. The
@@ -78,9 +78,11 @@ let run ?(workers = 1) ?prefilter ?plan ~config
           else begin
             let region = String.sub input slice_start (region_stop - slice_start) in
             (* The prefilter is position-independent (a per-byte first-set
-               test), so applying it per slice is sound. *)
-            Core.find_all ?prefilter ~plan ~config:config.core_config ~stats
-              program region
+               test), so applying it per slice is sound. The dfa family is
+               domain-shareable: each worker domain materializes its own
+               transition table via domain-local storage. *)
+            Core.find_all ?prefilter ~plan ?dfa ~config:config.core_config
+              ~stats program region
             |> List.filter_map (fun (s : Span.span) ->
                 let start = s.Span.start + slice_start in
                 let stop = s.Span.stop + slice_start in
@@ -108,8 +110,8 @@ let run ?(workers = 1) ?prefilter ?plan ~config
   { matches; cycles; total_cycles; per_core }
 
 let find_all ?(cores = 1) ?overlap ?core_config ?workers ?prefilter ?plan
-    program input =
-  (run ?workers ?prefilter ?plan
+    ?dfa program input =
+  (run ?workers ?prefilter ?plan ?dfa
      ~config:(config ~cores ?overlap ?core_config ())
      program input)
     .matches

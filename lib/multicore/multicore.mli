@@ -38,7 +38,8 @@ type result = {
 
 val run :
   ?workers:int -> ?prefilter:Alveare_prefilter.Prefilter.t ->
-  ?plan:Alveare_arch.Plan.t -> config:config ->
+  ?plan:Alveare_arch.Plan.t -> ?dfa:Alveare_arch.Dfa_overlay.family ->
+  config:config ->
   Alveare_isa.Program.t -> string -> result
 (** [workers] parallelises the per-core simulations on host domains
     (via {!Alveare_exec.Pool}); results are identical to the sequential
@@ -48,9 +49,13 @@ val run :
     [plan] supplies a pre-decoded execution plan (e.g. from
     {!Alveare_compiler}'s [compiled.plan]); without one, the program is
     validated and lowered once per [run], never per slice. Plans are
-    immutable and shared across worker domains. *)
+    immutable and shared across worker domains. [dfa] engages the
+    lazy-DFA overlay inside every slice scan (must match [plan], as in
+    {!Alveare_arch.Core}); the family is domain-shareable — each worker
+    domain lazily materializes its own transition table. *)
 
 val find_all :
   ?cores:int -> ?overlap:int -> ?core_config:Core.config -> ?workers:int ->
   ?prefilter:Alveare_prefilter.Prefilter.t -> ?plan:Alveare_arch.Plan.t ->
+  ?dfa:Alveare_arch.Dfa_overlay.family ->
   Alveare_isa.Program.t -> string -> Span.span list

@@ -52,7 +52,7 @@ type result = {
 let load_cycles_of_bytes ~config bytes =
   int_of_float (ceil (float_of_int bytes /. config.load_bytes_per_cycle))
 
-let run ?(workers = 1) ?plan ~config (program : Alveare_isa.Program.t)
+let run ?(workers = 1) ?plan ?dfa ~config (program : Alveare_isa.Program.t)
     (input : string) : result =
   (* Validate and lower once per stream, not once per chunk. *)
   let plan =
@@ -85,7 +85,10 @@ let run ?(workers = 1) ?plan ~config (program : Alveare_isa.Program.t)
     Alveare_exec.Pool.map_list ~workers
       (fun (slice_start, slice_stop) ->
          let slice = String.sub input slice_start (slice_stop - slice_start) in
-         let mc = Multicore.run ~plan ~config:mc_config program slice in
+         (* The overlay family (and so its lazily built transition
+            table) persists across chunks: a refill resumes on whatever
+            table the previous chunks already built. *)
+         let mc = Multicore.run ~plan ?dfa ~config:mc_config program slice in
          (* A chunk owns matches starting at or after its slice start but
             more than [overlap] before its slice end: those near the end
             may not fit the buffer and are re-seen (complete) by the next
@@ -135,7 +138,7 @@ let run ?(workers = 1) ?plan ~config (program : Alveare_isa.Program.t)
     load_cycles = load;
     wall_cycles = wall }
 
-let find_all ?buffer_bytes ?overlap ?cores ?workers ?plan program input =
-  (run ?workers ?plan ~config:(config ?buffer_bytes ?overlap ?cores ())
+let find_all ?buffer_bytes ?overlap ?cores ?workers ?plan ?dfa program input =
+  (run ?workers ?plan ?dfa ~config:(config ?buffer_bytes ?overlap ?cores ())
      program input)
     .matches

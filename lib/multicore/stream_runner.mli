@@ -37,7 +37,8 @@ type result = {
 }
 
 val run :
-  ?workers:int -> ?plan:Alveare_arch.Plan.t -> config:config ->
+  ?workers:int -> ?plan:Alveare_arch.Plan.t ->
+  ?dfa:Alveare_arch.Dfa_overlay.family -> config:config ->
   Alveare_isa.Program.t -> string -> result
 (** [workers] fans the per-chunk compute out over host domains (via
     {!Alveare_exec.Pool}); the double-buffered cycle accounting is folded
@@ -45,9 +46,11 @@ val run :
     cycle count are identical to the sequential run for any value.
     Default 1 = sequential. [plan] as in {!Multicore.run}: without one,
     the program is validated and lowered once per stream, never per
-    chunk. *)
+    chunk. [dfa] as in {!Multicore.run}; the family's transition table
+    persists across chunk refills, so a resumed stream keeps the states
+    earlier chunks already built. *)
 
 val find_all :
   ?buffer_bytes:int -> ?overlap:int -> ?cores:int -> ?workers:int ->
-  ?plan:Alveare_arch.Plan.t ->
+  ?plan:Alveare_arch.Plan.t -> ?dfa:Alveare_arch.Dfa_overlay.family ->
   Alveare_isa.Program.t -> string -> Alveare_engine.Semantics.span list

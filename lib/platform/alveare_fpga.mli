@@ -14,6 +14,11 @@ val run :
   ?overlap:int ->
   ?core_config:Alveare_arch.Core.config ->
   ?prefilter:Alveare_prefilter.Prefilter.t ->
+  ?plan:Alveare_arch.Plan.t ->
+  ?dfa:Alveare_arch.Dfa_overlay.family ->
   Alveare_isa.Program.t ->
   string ->
   outcome
+(** [plan]/[dfa] as in {!Alveare_multicore.Multicore.run}: a pre-built
+    execution plan and its lazy-DFA overlay family (host simulation
+    speed only — modelled cycles and matches are unchanged). *)

@@ -22,6 +22,7 @@ type config = {
   lint_gate : bool;
   max_polynomial_degree : int option;
   max_input : int;
+  dfa : bool;
 }
 
 let default_config =
@@ -30,7 +31,8 @@ let default_config =
     cores = 1;
     lint_gate = true;
     max_polynomial_degree = None;
-    max_input = 16 * 1024 * 1024 }
+    max_input = 16 * 1024 * 1024;
+    dfa = true }
 
 type t = {
   config : config;
@@ -56,6 +58,23 @@ let create ?(config = default_config) metrics =
       let lookups = s.Cache.hits + s.Cache.misses in
       if lookups = 0 then 0.0
       else Float.of_int s.Cache.hits /. Float.of_int lookups);
+  (* Lazy-DFA overlay cache counters, aggregated over every live
+     pattern family in the process. *)
+  let dfa_stat f =
+    fun () -> Float.of_int (f (Alveare_arch.Dfa_overlay.global_stats ()))
+  in
+  let module D = Alveare_arch.Dfa_overlay in
+  Metrics.register_gauge metrics "dfa/states-built"
+    (dfa_stat (fun s -> s.D.states_built));
+  Metrics.register_gauge metrics "dfa/transitions-built"
+    (dfa_stat (fun s -> s.D.transitions_built));
+  Metrics.register_gauge metrics "dfa/hits" (dfa_stat (fun s -> s.D.hits));
+  Metrics.register_gauge metrics "dfa/misses" (dfa_stat (fun s -> s.D.misses));
+  Metrics.register_gauge metrics "dfa/flushes"
+    (dfa_stat (fun s -> s.D.flushes));
+  Metrics.register_gauge metrics "dfa/bails" (dfa_stat (fun s -> s.D.bails));
+  Metrics.register_gauge metrics "dfa/attempts"
+    (dfa_stat (fun s -> s.D.dfa_attempts));
   { config; metrics }
 
 let config t = t.config
@@ -163,10 +182,11 @@ let handle_scan t ~id ~pattern ~input ~allow_risky =
           gate t ~id ~allow_risky c (fun c ->
               let t0 = Unix.gettimeofday () in
               let stats = Core.fresh_stats () in
+              let fam = if t.config.dfa then c.Compile.dfa else None in
               let spans =
                 if t.config.cores = 1 then
                   Core.find_all ~stats ~prefilter:c.Compile.prefilter
-                    ~plan:c.Compile.plan c.Compile.program input
+                    ~plan:c.Compile.plan ?dfa:fam c.Compile.program input
                 else
                   (* multicore scale-out keeps its own per-core stats;
                      aggregate by summing into the fresh record *)
@@ -176,7 +196,7 @@ let handle_scan t ~id ~pattern ~input ~allow_risky =
                         (Alveare_multicore.Multicore.config
                            ~cores:t.config.cores ())
                       ~prefilter:c.Compile.prefilter ~plan:c.Compile.plan
-                      c.Compile.program input
+                      ?dfa:fam c.Compile.program input
                   in
                   Array.iter
                     (fun (cs : Alveare_multicore.Multicore.core_result) ->
@@ -239,7 +259,7 @@ let handle_ruleset_scan t ~id ~rules ~input ~allow_risky =
           let t0 = Unix.gettimeofday () in
           let report =
             Ruleset.scan ~cores:t.config.cores ~workers:t.config.scan_workers
-              rs input
+              ~dfa:t.config.dfa rs input
           in
           let s : Protocol.scan_stats =
             { attempts = report.Ruleset.total_attempts;

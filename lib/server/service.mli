@@ -27,18 +27,27 @@ type config = {
           backtracking of degree [>= k] (attempt cost n^(k+1));
           [None] (default) admits every polynomial pattern *)
   max_input : int;  (** inputs longer than this are [Too_large] *)
+  dfa : bool;
+      (** execute backtracking-free fragments on the lazy-DFA overlay
+          ({!Alveare_arch.Dfa_overlay}); responses — spans and every
+          stat — are bit-identical with it off, only host throughput
+          changes *)
 }
 
 val default_config : config
 (** Shared default cache, 1 worker, 1 core, gate on (exponential only,
-    [max_polynomial_degree = None]), 16 MiB input cap. *)
+    [max_polynomial_degree = None]), 16 MiB input cap, overlay on. *)
 
 type t
 
 val create : ?config:config -> Metrics.t -> t
 (** Registers the serving callback gauges on the given registry:
-    [exec/pool-queue-depth] ({!Alveare_exec.Pool.queue_depth}) and the
-    compile-cache gauges ([cache/size], [cache/hit-rate], ...). *)
+    [exec/pool-queue-depth] ({!Alveare_exec.Pool.queue_depth}), the
+    compile-cache gauges ([cache/size], [cache/hit-rate], ...) and the
+    lazy-DFA overlay cache gauges ([dfa/states-built],
+    [dfa/transitions-built], [dfa/hits], [dfa/misses], [dfa/flushes],
+    [dfa/bails], [dfa/attempts] — process-wide aggregates from
+    {!Alveare_arch.Dfa_overlay.global_stats}). *)
 
 val config : t -> config
 val metrics : t -> Metrics.t

@@ -74,6 +74,39 @@ let check_case ast input : failure list =
     plan_vs_legacy "plan+prefilter" (fun ~stats ~use_plan ->
         Core.find_all ~stats ~use_plan ~plan:c.Compile.plan
           ~prefilter:c.Compile.prefilter c.Compile.program input);
+    (* lazy-DFA overlay vs plain plan path: identical spans AND a
+       bit-identical stats record, dense and prefiltered, plus a
+       2-state arena (constant flushing) as graceful-degradation
+       coverage. Skipped when the family is None (trivial fragments). *)
+    let dfa_vs_plan engine fam run =
+      let ds = Core.fresh_stats () in
+      let ps = Core.fresh_stats () in
+      let dm = run ~stats:ds ~dfa:(Some fam) in
+      let pm = run ~stats:ps ~dfa:None in
+      if dm <> pm then
+        fail engine (Fmt.str "dfa %s plan %s" (show_spans dm) (show_spans pm));
+      if ds <> ps then
+        fail engine
+          (Fmt.str "stats diverge@.  dfa:  %s@.  plan: %s" (show_stats ds)
+             (show_stats ps))
+    in
+    (match c.Compile.dfa with
+     | None -> ()
+     | Some fam ->
+       let tiny =
+         Alveare_arch.Dfa_overlay.family ~max_states:2
+           ~fragments:c.Compile.safe_fragments c.Compile.plan
+       in
+       List.iter
+         (fun (tag, fam) ->
+            dfa_vs_plan ("dfa-dense" ^ tag) fam (fun ~stats ~dfa ->
+                Core.find_all ~stats ?dfa ~plan:c.Compile.plan
+                  c.Compile.program input);
+            dfa_vs_plan ("dfa+prefilter" ^ tag) fam (fun ~stats ~dfa ->
+                Core.find_all ~stats ?dfa ~plan:c.Compile.plan
+                  ~prefilter:c.Compile.prefilter c.Compile.program input))
+         (("", fam)
+          :: (match tiny with Some f -> [ ("-tiny", f) ] | None -> [])));
     (* prefiltered simulator: the start-of-match skip loop must be
        invisible in the reported spans — same oracle, same chain *)
     let simf = Core.find_all ~prefilter:c.Compile.prefilter c.Compile.program input in
@@ -193,22 +226,23 @@ let check_opt_case ast input : failure list =
     let fail engine detail =
       failures := { engine; pattern; input; detail } :: !failures
     in
-    let run (c : Compile.compiled) ~use_plan ~prefilter =
+    let run (c : Compile.compiled) ~use_plan ~prefilter ~dfa =
       let stats = Core.fresh_stats () in
+      let fam = if dfa then c.Compile.dfa else None in
       let spans =
         if prefilter then
-          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan
+          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan ?dfa:fam
             ~prefilter:c.Compile.prefilter c.Compile.program input
         else
-          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan c.Compile.program
-            input
+          Core.find_all ~stats ~use_plan ~plan:c.Compile.plan ?dfa:fam
+            c.Compile.program input
       in
       (spans, stats)
     in
     List.iter
-      (fun (name, use_plan, prefilter) ->
-         let os, ostats = run o ~use_plan ~prefilter in
-         let rs, rstats = run r ~use_plan ~prefilter in
+      (fun (name, use_plan, prefilter, dfa) ->
+         let os, ostats = run o ~use_plan ~prefilter ~dfa in
+         let rs, rstats = run r ~use_plan ~prefilter ~dfa in
          if os <> rs then
            fail ("opt-" ^ name)
              (Fmt.str "optimised %s unoptimised %s" (show_spans os)
@@ -224,10 +258,12 @@ let check_opt_case ast input : failure list =
                 "attempts+scan cycles worse: optimised %d+%d unoptimised %d+%d"
                 ostats.Core.attempts ostats.Core.scan_cycles
                 rstats.Core.attempts rstats.Core.scan_cycles))
-      [ ("dense-legacy", false, false);
-        ("dense-plan", true, false);
-        ("prefilter-legacy", false, true);
-        ("prefilter-plan", true, true) ];
+      [ ("dense-legacy", false, false, false);
+        ("dense-plan", true, false, false);
+        ("dense-plan-dfa", true, false, true);
+        ("prefilter-legacy", false, true, false);
+        ("prefilter-plan", true, true, false);
+        ("prefilter-plan-dfa", true, true, true) ];
     (* the emitted binary must never grow (compile-driver guard) *)
     if Compile.code_size o > Compile.code_size r then
       fail "opt-size"

@@ -1,0 +1,259 @@
+(* Lazy-DFA overlay (Alveare_arch.Dfa_overlay) versus the plain plan
+   executor: table-per-byte execution of the backtracking-free fragments
+   must reproduce the plan path bit for bit — every span AND every stats
+   counter, on every scan mode, for every attempt offset — because the
+   overlay ships as the default executor for covered patterns. Backed by
+   qcheck properties over the shared random-AST generators plus unit
+   tests for the seams: the bail handoff at fragment boundaries, the
+   flush-and-refill path under an artificially tiny arena, streaming
+   resume across chunk refills, and the guards that keep the overlay off
+   mismatched plans and finite-stack configs. The [@dfacheck] dune alias
+   runs exactly this binary. *)
+
+module Compile = Alveare_compiler.Compile
+module Core = Alveare_arch.Core
+module Plan = Alveare_arch.Plan
+module Dfa = Alveare_arch.Dfa_overlay
+module Stream = Alveare_multicore.Stream_runner
+module S = Alveare_engine.Semantics
+module Gen_ast = Alveare_test_support.Gen_ast
+
+let check = Alcotest.(check bool)
+
+let show_spans spans = Fmt.str "%a" Fmt.(list ~sep:semi S.pp_span) spans
+
+let show_stats (s : Core.stats) =
+  Fmt.str
+    "cyc=%d ins=%d rb=%d push=%d depth=%d scan=%d att=%d seen=%d pruned=%d \
+     hits=%d"
+    s.Core.cycles s.Core.instructions s.Core.rollbacks s.Core.stack_pushes
+    s.Core.max_stack_depth s.Core.scan_cycles s.Core.attempts
+    s.Core.offsets_scanned s.Core.offsets_pruned s.Core.match_count
+
+(* One scan with the overlay and one without; any span or counter drift
+   is a test failure with both sides printed. *)
+let scan_agrees ?fail name fam run =
+  let fail =
+    match fail with
+    | Some f -> f
+    | None -> fun fmt -> Alcotest.failf ("%s: " ^^ fmt) name
+  in
+  let ds = Core.fresh_stats () in
+  let ps = Core.fresh_stats () in
+  let dm = run ~stats:ds ~dfa:(Some fam) in
+  let pm = run ~stats:ps ~dfa:None in
+  if dm <> pm then fail "spans: dfa %s plan %s" (show_spans dm) (show_spans pm);
+  if ds <> ps then
+    fail "stats:@.  dfa:  %s@.  plan: %s" (show_stats ds) (show_stats ps)
+
+(* Per-attempt parity at EVERY offset, through the public per-attempt
+   entry point (Dfa_overlay.run locks and falls back internally). *)
+let attempts_agree ?fail name fam plan input =
+  let fail =
+    match fail with
+    | Some f -> f
+    | None -> fun fmt -> Alcotest.failf ("%s: " ^^ fmt) name
+  in
+  let t = Dfa.get fam in
+  let scratch = Plan.create_scratch () in
+  for start = 0 to String.length input do
+    let ds = Core.fresh_stats () in
+    let ps = Core.fresh_stats () in
+    let dr = Dfa.run t ~stats:ds scratch input start in
+    let pr = Plan.run ~stats:ps plan scratch input start in
+    if dr <> pr then
+      fail "offset %d: dfa %s plan %s" start
+        (match dr with Some e -> string_of_int e | None -> "none")
+        (match pr with Some e -> string_of_int e | None -> "none");
+    if ds <> ps then
+      fail "offset %d stats:@.  dfa:  %s@.  plan: %s" start (show_stats ds)
+        (show_stats ps)
+  done
+
+(* --- qcheck: random ASTs, spans + stats + per-offset attempts ---------- *)
+
+let prop_dfa_equals_plan =
+  QCheck2.Test.make ~count:400
+    ~name:"dfa overlay == plan (spans, all stats, every offset)"
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      match Compile.compile_ast ast with
+      | Error _ -> true (* jump-field overflow: legitimately uncompilable *)
+      | Ok c ->
+        (match c.Compile.dfa with
+         | None -> true (* trivial fragments: overlay correctly absent *)
+         | Some fam ->
+           let fail fmt = QCheck2.Test.fail_reportf fmt in
+           scan_agrees ~fail "dense" fam (fun ~stats ~dfa ->
+               Core.find_all ~stats ?dfa ~plan:c.Compile.plan
+                 c.Compile.program input);
+           scan_agrees ~fail "prefilter" fam (fun ~stats ~dfa ->
+               Core.find_all ~stats ?dfa ~plan:c.Compile.plan
+                 ~prefilter:c.Compile.prefilter c.Compile.program input);
+           attempts_agree ~fail "attempt" fam c.Compile.plan input;
+           true))
+
+(* Tiny arena: 2 states force constant flush-and-refill; results must
+   not move. (The budget floor in the implementation is 2.) *)
+let prop_tiny_budget =
+  QCheck2.Test.make ~count:200
+    ~name:"2-state arena (constant flushing) == plan"
+    ~print:Gen_ast.print_ast_and_input Gen_ast.gen_ast_and_input
+    (fun (ast, input) ->
+      match Compile.compile_ast ast with
+      | Error _ -> true
+      | Ok c ->
+        (match
+           Dfa.family ~max_states:2 ~fragments:c.Compile.safe_fragments
+             c.Compile.plan
+         with
+         | None -> true
+         | Some fam ->
+           let fail fmt = QCheck2.Test.fail_reportf fmt in
+           scan_agrees ~fail "tiny-dense" fam (fun ~stats ~dfa ->
+               Core.find_all ~stats ?dfa ~plan:c.Compile.plan
+                 c.Compile.program input);
+           attempts_agree ~fail "tiny-attempt" fam c.Compile.plan input;
+           true))
+
+(* --- fragment-boundary handoff ----------------------------------------- *)
+
+(* A pattern whose overlapping alternative classes make a stale
+   speculation snapshot actually consume: the overlay must hand those
+   attempts back to Plan.run (a counted bail), with results unmoved. *)
+let test_fragment_handoff () =
+  let c = Compile.compile_exn "([ab]x|[bc]y)" in
+  let fam =
+    match c.Compile.dfa with
+    | Some fam -> fam
+    | None -> Alcotest.fail "expected an overlay family"
+  in
+  let before = (Dfa.family_stats fam).Dfa.bails in
+  let input = "bxbyaxcybybxayczbx" in
+  scan_agrees "handoff" fam (fun ~stats ~dfa ->
+      Core.find_all ~stats ?dfa ~plan:c.Compile.plan c.Compile.program input);
+  attempts_agree "handoff" fam c.Compile.plan input;
+  let after = (Dfa.family_stats fam).Dfa.bails in
+  check "bail path exercised" true (after > before)
+
+(* --- tiny budget flushes, counted -------------------------------------- *)
+
+let test_tiny_budget_flushes () =
+  let c = Compile.compile_exn "([a-c]|[d-f]|[g-i]|[j-m]){4,}[n-z]" in
+  let fam =
+    match
+      Dfa.family ~max_states:2 ~fragments:c.Compile.safe_fragments
+        c.Compile.plan
+    with
+    | Some fam -> fam
+    | None -> Alcotest.fail "expected an overlay family"
+  in
+  let input = "abcmz lkjihgfedcban abcdn" in
+  scan_agrees "tiny" fam (fun ~stats ~dfa ->
+      Core.find_all ~stats ?dfa ~plan:c.Compile.plan c.Compile.program input);
+  let s = Dfa.family_stats fam in
+  check "flushes happened" true (s.Dfa.flushes > 0);
+  check "states stayed within budget" true (s.Dfa.states_built > 0)
+
+(* --- streaming resume --------------------------------------------------- *)
+
+(* The family persists across chunk refills: a stream scanned in 32-byte
+   chunks must report the same spans with the overlay on or off, and the
+   later chunks must run mostly on transitions the earlier chunks built
+   (table hits strictly dominate builds on this repetitive corpus). *)
+let test_streaming_resume () =
+  let c = Compile.compile_exn "ab+c" in
+  let fam =
+    match c.Compile.dfa with
+    | Some fam -> fam
+    | None -> Alcotest.fail "expected an overlay family"
+  in
+  let chunk = "xxabbcyyabczz" in
+  let input = String.concat "" (List.init 24 (fun _ -> chunk)) in
+  let before = Dfa.family_stats fam in
+  let with_dfa =
+    Stream.run ~config:(Stream.config ~buffer_bytes:32 ~overlap:8 ())
+      ~plan:c.Compile.plan ~dfa:fam c.Compile.program input
+  in
+  let without =
+    Stream.run ~config:(Stream.config ~buffer_bytes:32 ~overlap:8 ())
+      ~plan:c.Compile.plan c.Compile.program input
+  in
+  check "chunked" true (with_dfa.Stream.chunks > 4);
+  if with_dfa.Stream.matches <> without.Stream.matches then
+    Alcotest.failf "streamed spans: dfa %s plan %s"
+      (show_spans with_dfa.Stream.matches)
+      (show_spans without.Stream.matches);
+  check "compute cycles identical" true
+    (with_dfa.Stream.compute_cycles = without.Stream.compute_cycles);
+  let after = Dfa.family_stats fam in
+  let hits = after.Dfa.hits - before.Dfa.hits in
+  let misses = after.Dfa.misses - before.Dfa.misses in
+  check "table reused across refills" true (hits > misses)
+
+(* --- guards -------------------------------------------------------------- *)
+
+(* A family built from a different plan value must be silently ignored —
+   never consulted with mismatched ops. *)
+let test_mismatched_plan_ignored () =
+  let c = Compile.compile_exn "ab+c" in
+  let other = Compile.compile_exn "xy*z" in
+  let fam = Option.get other.Compile.dfa in
+  let before = Dfa.family_stats fam in
+  let s1 = Core.fresh_stats () in
+  let r1 =
+    Core.find_all ~stats:s1 ~plan:c.Compile.plan ~dfa:fam c.Compile.program
+      "xabbcx"
+  in
+  let s2 = Core.fresh_stats () in
+  let r2 =
+    Core.find_all ~stats:s2 ~plan:c.Compile.plan c.Compile.program "xabbcx"
+  in
+  check "spans unchanged" true (r1 = r2);
+  check "stats unchanged" true (s1 = s2);
+  let after = Dfa.family_stats fam in
+  check "foreign family untouched" true
+    (after.Dfa.dfa_attempts = before.Dfa.dfa_attempts
+     && after.Dfa.bails = before.Dfa.bails)
+
+(* Finite stack capacity must keep the overlay out entirely (overflow
+   raises the plan path's exact error), while results stay correct. *)
+let test_finite_stack_bypasses () =
+  let c = Compile.compile_exn "a(b|c)*d" in
+  let fam = Option.get c.Compile.dfa in
+  let config = { Core.default_config with Core.stack_capacity = Some 1024 } in
+  let before = Dfa.family_stats fam in
+  let s1 = Core.fresh_stats () in
+  let r1 =
+    Core.find_all ~config ~stats:s1 ~plan:c.Compile.plan ~dfa:fam
+      c.Compile.program "xabcbcdx"
+  in
+  let s2 = Core.fresh_stats () in
+  let r2 =
+    Core.find_all ~config ~stats:s2 ~plan:c.Compile.plan c.Compile.program
+      "xabcbcdx"
+  in
+  check "spans equal" true (r1 = r2);
+  check "stats equal" true (s1 = s2);
+  let after = Dfa.family_stats fam in
+  check "overlay never engaged" true
+    (after.Dfa.dfa_attempts = before.Dfa.dfa_attempts
+     && after.Dfa.bails = before.Dfa.bails)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest [ prop_dfa_equals_plan; prop_tiny_budget ]
+
+let () =
+  Alcotest.run "dfa_overlay"
+    [ ("differential", qsuite);
+      ( "seams",
+        [ Alcotest.test_case "fragment-boundary handoff" `Quick
+            test_fragment_handoff;
+          Alcotest.test_case "tiny budget flush-and-refill" `Quick
+            test_tiny_budget_flushes;
+          Alcotest.test_case "streaming resume" `Quick test_streaming_resume ] );
+      ( "guards",
+        [ Alcotest.test_case "mismatched plan ignored" `Quick
+            test_mismatched_plan_ignored;
+          Alcotest.test_case "finite stack bypasses" `Quick
+            test_finite_stack_bypasses ] ) ]

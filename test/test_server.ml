@@ -415,7 +415,15 @@ let test_stats_reply () =
             check "queue-depth gauge present" true
               (value "admission/queue-depth" = 0.0);
             check "pool gauge present" true
-              (List.mem_assoc "exec/pool-queue-depth" entries)
+              (List.mem_assoc "exec/pool-queue-depth" entries);
+            (* the lazy-DFA overlay ran for the scan above ("ab+c" is
+               fully backtracking-free), so its cache gauges are live *)
+            check "dfa states built" true (value "dfa/states-built" >= 1.0);
+            check "dfa lookups served" true (value "dfa/hits" >= 1.0);
+            check "dfa attempts completed on the table" true
+              (value "dfa/attempts" >= 1.0);
+            check "dfa flush gauge present" true
+              (List.mem_assoc "dfa/flushes" entries)
           | r -> fail_resp "stats" r);
           (* the registry agrees with the wire view *)
           check "server-side counter" true
