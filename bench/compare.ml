@@ -33,6 +33,11 @@
    - any server/.../results-identical flag not 1 (a daemon response
      diverged from the direct library scan of the same slice — a
      serving-layer correctness bug);
+   - the ext/... gates: ext/hits-identical (every policy rule's served
+     spans — lowered ISA program or derivative engine — must equal a
+     fresh derivative oracle's) and at least one rule on EACH backend
+     (ext/lowered-rules >= 1 and ext/derivative-rules >= 1), all
+     deterministic;
    - a server/... latency entry (-ns suffix) more than 2x its baseline,
      or a server/.../throughput-rps below half its baseline. Wide
      envelopes for the same reason as the timing gate: the serving
@@ -235,6 +240,26 @@ let () =
            fail "%s: %.1f req/s vs baseline %.1f (below the %.0f%% floor)"
              name v base (100.0 *. server_throughput_slack))
     server_entries;
+  (* Extended-dialect gates: the policy-workload scan must exist, its
+     served spans must agree with the derivative oracle for every rule
+     (ext/hits-identical, value checked by the suffix filter above),
+     and the corpus must keep exercising BOTH backends — a mid-end
+     change that silently routes everything one way loses half the
+     differential coverage. All deterministic (seeded sampler). *)
+  (match List.assoc_opt "ext/hits-identical" fresh with
+   | None -> fail "no ext/hits-identical entry in %s" fresh_path
+   | Some _ -> () (* value gated with the other hits-identical flags *));
+  (match List.assoc_opt "ext/lowered-rules" fresh with
+   | None -> fail "no ext/lowered-rules entry in %s" fresh_path
+   | Some n when n < 1.0 ->
+     fail "ext/lowered-rules = %g: no policy rule was rewritten to plain ISA" n
+   | Some _ -> ());
+  (match List.assoc_opt "ext/derivative-rules" fresh with
+   | None -> fail "no ext/derivative-rules entry in %s" fresh_path
+   | Some n when n < 1.0 ->
+     fail "ext/derivative-rules = %g: no policy rule reached the derivative \
+           engine" n
+   | Some _ -> ());
   (* Ambiguity-analysis gates: per-rule latency must stay inside the
      absolute admission-control budget, and the class counts over the
      600 workload rules must match the baseline exactly — a

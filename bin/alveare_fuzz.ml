@@ -8,26 +8,40 @@
 
      alveare_fuzz --count 10000 --seed 7
      alveare_fuzz --count 500 --verbose
-*)
+     alveare_fuzz --extended --count 5000
+
+   With --extended the generator emits the extended dialect
+   (intersection, complement, lookarounds) and each case is checked
+   through the mid-end elimination pipeline against the derivative
+   engine as the oracle, instead of the plain every-engine battery. *)
 
 module Gen = Alveare_test_support.Gen_ast
 module Diff = Alveare_test_support.Differential
 open Cmdliner
 
-let run count seed verbose =
+let run count seed verbose extended =
   let rng = Alveare_workloads.Rng.create seed in
   let failures = ref 0 in
+  let case rng =
+    if extended then
+      let ast, input = Gen.random_extended_case rng in
+      Diff.check_extended_case ast input
+    else
+      let ast, input = Gen.random_case rng in
+      Diff.check_case ast input
+  in
   for k = 1 to count do
-    let ast, input = Gen.random_case rng in
     List.iter
       (fun f ->
          incr failures;
          Fmt.epr "[%d] %a@." k Diff.pp_failure f)
-      (Diff.check_case ast input);
+      (case rng);
     if verbose && k mod 500 = 0 then
       Fmt.pr "%d/%d cases, %d divergences@." k count !failures
   done;
-  Fmt.pr "fuzzed %d cases (seed %d): %d divergences@." count seed !failures;
+  Fmt.pr "fuzzed %d %scases (seed %d): %d divergences@." count
+    (if extended then "extended " else "")
+    seed !failures;
   if !failures = 0 then 0 else 1
 
 let count_arg =
@@ -38,10 +52,17 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"PRNG seed.")
 let verbose_flag =
   Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Progress output.")
 
+let extended_flag =
+  Arg.(value & flag
+       & info [ "extended" ]
+           ~doc:"Fuzz the extended dialect (intersection, complement, \
+                 lookarounds): the mid-end lowering is checked against \
+                 the derivative engine instead of the plain battery.")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_fuzz" ~version:"1.0"
        ~doc:"Differential fuzzing of every engine against the oracle.")
-    Term.(const run $ count_arg $ seed_arg $ verbose_flag)
+    Term.(const run $ count_arg $ seed_arg $ verbose_flag $ extended_flag)
 
 let () = exit (Cmd.eval' cmd)

@@ -39,10 +39,10 @@ let load_sidecar path =
       None
   end
 
-let load_program ~verify ~optimize ~lint pattern binary =
+let load_program ~verify ~optimize ~lint ~extended pattern binary =
   match pattern, binary with
   | Some p, None ->
-    (match Compile.compile ~verify ~optimize p with
+    (match Compile.compile ~verify ~optimize ~extended p with
      | Ok c ->
        if lint then
          List.iter
@@ -126,6 +126,13 @@ let compare_engines ast program data =
   let module M = Alveare_platform.Measure in
   let x1 = Fpga.run ~cores:1 program data in
   let x10 = Fpga.run ~cores:10 program data in
+  (* third comparand: the derivative engine, host execution — it is a
+     semantic oracle, not a priced platform, so it appears in the
+     agreement report but not the timing table *)
+  let deriv_spans =
+    Alveare_derivative.Engine.find_all
+      (Alveare_derivative.Engine.of_ast ast) data
+  in
   let rows =
     [ ( "RE2 (A53)",
         (Alveare_platform.A53_re2.run ast data).Alveare_platform.A53_re2.run,
@@ -148,16 +155,43 @@ let compare_engines ast program data =
        Fmt.pr "  %-12s %10.3f ms  (%d matches)@." name (r.M.seconds *. 1e3)
          r.M.match_count)
     rows;
+  Fmt.pr "  %-12s %10s     (%d matches, host oracle)@." "derivative" "—"
+    (List.length deriv_spans);
   let oracle = Alveare_engine.Backtrack.find_all ast data in
   Fmt.pr "@.result agreement:@.";
   report_disagreements ~oracle
     (List.map
        (fun (name, (r : M.run), spans, note) ->
           (name, r.M.match_count, spans, note))
-       rows)
+       rows
+     @ [ ("derivative", List.length deriv_spans, Some deriv_spans, "") ])
+
+(* Serve a run on the derivative engine (host execution): extended
+   patterns the mid-end could not rewrite for the ISA always take this
+   path; --engine derivative forces it for any pattern compiled from
+   source. No modelled DSA cycles — the engine is the semantic oracle,
+   not a priced platform. *)
+let run_derivative eng data ~quiet ~compare =
+  let matches = Alveare_derivative.Engine.find_all eng data in
+  if not quiet then
+    List.iter
+      (fun (m : Alveare_engine.Semantics.span) ->
+         let shown = min 40 (m.stop - m.start) in
+         Fmt.pr "%d-%d: %S%s@." m.start m.stop
+           (String.sub data m.start shown)
+           (if m.stop - m.start > shown then "..." else ""))
+      matches;
+  Fmt.pr "%d match(es) in %d bytes on the derivative engine (host \
+          execution, %d states interned)@."
+    (List.length matches) (String.length data)
+    (Alveare_derivative.Engine.state_count eng);
+  if compare then
+    Fmt.epr "alveare_run: --compare needs an ISA-servable pattern; the \
+             derivative engine is the only engine for this one@.";
+  0
 
 let run pattern binary text file cores quiet stats_flag trace_path compare
-    lint no_verify no_prefilter no_opt no_dfa =
+    lint no_verify no_prefilter no_opt no_dfa extended engine =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -167,11 +201,21 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
     | None, None -> Error "give --text or --file input"
   in
   match
-    load_program ~verify:(not no_verify) ~optimize:(not no_opt) ~lint pattern
-      binary, input
+    load_program ~verify:(not no_verify) ~optimize:(not no_opt) ~lint
+      ~extended pattern binary, input
   with
   | Error m, _ | _, Error m ->
     Fmt.epr "alveare_run: %s@." m;
+    1
+  | Ok (_, Some { Compile.backend = Compile.Derivative eng; _ }, _), Ok data ->
+    run_derivative eng data ~quiet ~compare
+  | Ok (_, Some c, _), Ok data when engine = "derivative" ->
+    run_derivative
+      (Alveare_derivative.Engine.of_ast c.Compile.ast)
+      data ~quiet ~compare
+  | Ok (_, None, _), Ok _ when engine = "derivative" ->
+    Fmt.epr "alveare_run: --engine derivative needs a PATTERN (binaries \
+             carry no AST)@.";
     1
   | Ok (program, compiled, prefilter), Ok data ->
     let ast = Option.map (fun c -> c.Compile.ast) compiled in
@@ -319,6 +363,23 @@ let no_dfa_flag =
                  are bit-identical either way; only host simulation speed \
                  changes.")
 
+let extended_flag =
+  Arg.(value & flag
+       & info [ "extended" ]
+           ~doc:"Parse the extended dialect: intersection (r&s), complement \
+                 ((?~r)) and the four lookarounds. Patterns the mid-end \
+                 cannot rewrite for the ISA run on the derivative engine \
+                 (host execution); none are rejected as unsupported.")
+
+let engine_arg =
+  Arg.(value & opt (enum [ ("plan", "plan"); ("derivative", "derivative") ])
+         "plan"
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,plan) (the simulated DSA, default) or \
+                 $(b,derivative) (the Brzozowski-derivative oracle, host \
+                 execution — worst-case linear per start position, \
+                 identical spans).")
+
 let cmd =
   Cmd.v
     (Cmd.info "alveare_run" ~version:"1.0"
@@ -326,6 +387,7 @@ let cmd =
     Term.(
       const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
       $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
-      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag $ no_dfa_flag)
+      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag $ no_dfa_flag
+      $ extended_flag $ engine_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -42,7 +42,8 @@ let summarize metrics =
   end
 
 let main socket tcp queue workers scan_workers cores cache_capacity
-    idle_timeout no_lint_gate max_poly_degree max_input no_dfa quiet =
+    idle_timeout no_lint_gate max_poly_degree max_input no_dfa extended
+    quiet =
   let addr =
     match (socket, tcp) with
     | _, Some port -> Server.Tcp ("", port)
@@ -56,7 +57,8 @@ let main socket tcp queue workers scan_workers cores cache_capacity
       lint_gate = not no_lint_gate;
       max_polynomial_degree = max_poly_degree;
       max_input;
-      dfa = not no_dfa }
+      dfa = not no_dfa;
+      extended }
   in
   let cfg =
     { Server.default_config with
@@ -166,6 +168,16 @@ let no_dfa_arg =
                  either way; this only trades host throughput, e.g. to \
                  isolate the plan executor when profiling.")
 
+let extended_arg =
+  Arg.(value & flag
+       & info [ "extended" ]
+           ~doc:"Accept the extended pattern dialect (intersection &, \
+                 complement (?~r), lookarounds). Patterns the mid-end \
+                 cannot rewrite for the ISA are served by the derivative \
+                 engine (worst-case linear per start position, so they \
+                 pass the admission gate by construction). Advertised via \
+                 the +extended suffix on the Health version string.")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No startup/shutdown chatter.")
 
@@ -186,6 +198,7 @@ let cmd =
     Term.(
       const main $ socket_arg $ tcp_arg $ queue_arg $ workers_arg
       $ scan_workers_arg $ cores_arg $ cache_arg $ idle_arg $ no_lint_gate_arg
-      $ max_poly_degree_arg $ max_input_arg $ no_dfa_arg $ quiet_arg)
+      $ max_poly_degree_arg $ max_input_arg $ no_dfa_arg $ extended_arg
+      $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

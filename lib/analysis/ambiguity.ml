@@ -179,6 +179,9 @@ let expand ~mcap ~ocap (root : Spanned.t) : Spanned.t * bool =
           | [] -> mk Spanned.Empty
           | [ p ] -> p
           | ps -> mk (Spanned.Concat ps)))
+    | Spanned.Inter _ | Spanned.Negate _ | Spanned.Look _ ->
+      (* [analyze] short-circuits extended patterns before expansion *)
+      invalid_arg "Ambiguity: extended operators are not analysed"
   in
   let r = go root in
   (r, !capped)
@@ -250,6 +253,8 @@ let machine_of_spanned (s : Spanned.t) : machine =
        | _ ->
          (* expand left only *, + and ? behind *)
          raise (Budget "unexpanded bounded repeat"))
+    | Spanned.Inter _ | Spanned.Negate _ | Spanned.Look _ ->
+      invalid_arg "Ambiguity: extended operators are not analysed"
   in
   let stop = badd b Stop in
   let start = go s stop in
@@ -978,6 +983,13 @@ let analyze_exn (spanned : Spanned.t) : t =
   end
 
 let analyze (spanned : Spanned.t) : t =
+  if Ast.has_extended (Spanned.strip spanned) then
+    { unanalyzed with
+      notes =
+        [ "extended operators (intersection, complement, lookaround) are \
+           outside the backtracking cost model; the derivative engine \
+           serves these patterns in worst-case linear time per position" ] }
+  else
   try analyze_exn spanned with
   | Budget m ->
     { verdict = Linear; witness = None; eda = false; ida_degree = 0;

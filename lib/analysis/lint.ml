@@ -48,6 +48,7 @@ type kind =
   | Exponential_backtracking
   | Polynomial_backtracking
   | Unexploitable_ambiguity
+  | Extended_operator_unanalyzed
 
 type diagnostic = {
   kind : kind;
@@ -65,6 +66,7 @@ let kind_name = function
   | Exponential_backtracking -> "redos-exponential-backtracking"
   | Polynomial_backtracking -> "redos-polynomial-backtracking"
   | Unexploitable_ambiguity -> "ambiguity-not-exploitable"
+  | Extended_operator_unanalyzed -> "extended-operator-unanalyzed"
 
 let severity_name = function Info -> "info" | Warning -> "warning"
 
@@ -122,6 +124,17 @@ let rec first (s : Spanned.t) : Charset.t * bool =
     let fx, nx = first x in
     (fx, q.Ast.qmin = 0 || nx)
   | Spanned.Group x -> first x
+  | Spanned.Inter xs ->
+    (* a match of the intersection is a match of every member, so one
+       member's first set already over-approximates; nullable iff all
+       members are *)
+    let firsts = List.map first xs in
+    let set = match firsts with (f, _) :: _ -> f | [] -> Charset.empty in
+    (set, List.for_all snd firsts)
+  | Spanned.Negate x ->
+    let _, nx = first x in
+    (Charset.complement ~alphabet_size:256 Charset.empty, not nx)
+  | Spanned.Look _ -> (Charset.empty, true)
 
 let nullable s = snd (first s)
 let consumes s = not (Charset.is_empty (fst (first s)))
@@ -160,6 +173,9 @@ let rec unfold_weight (s : Spanned.t) : int =
      | Some m -> (max m 1 * body) + 2
      | None -> body + 2)
   | Spanned.Group x -> unfold_weight x
+  | Spanned.Inter xs ->
+    List.fold_left (fun k x -> k + unfold_weight x) 1 xs
+  | Spanned.Negate x | Spanned.Look (_, x) -> unfold_weight x + 1
 
 let blowup_threshold = 256
 
@@ -190,6 +206,10 @@ let check (root : Spanned.t) : diagnostic list =
       if variable_quant q && consumes x then Some s
       else find_inner_variable x
     | Spanned.Group x -> find_inner_variable x
+    | Spanned.Inter _ | Spanned.Negate _ | Spanned.Look _ ->
+      (* the backtracking heuristics model the speculative core, which
+         never executes extended operators — the derivative engine does *)
+      None
   in
   let rec walk in_variable_repeat (s : Spanned.t) =
     (match s.Spanned.node with
@@ -271,7 +291,25 @@ let check (root : Spanned.t) : diagnostic list =
                  m Alveare_isa.Instruction.max_bounded_count)
         | None -> ());
        walk (in_variable_repeat || (repeats q && variable_quant q)) body
-     | Spanned.Group x -> walk in_variable_repeat x)
+     | Spanned.Group x -> walk in_variable_repeat x
+     | Spanned.Inter xs ->
+       emit Extended_operator_unanalyzed Info s
+         "intersection is outside the backtracking cost model; the \
+          derivative engine serves it and the precise ambiguity \
+          analysis does not apply";
+       List.iter (walk in_variable_repeat) xs
+     | Spanned.Negate x ->
+       emit Extended_operator_unanalyzed Info s
+         "complement is outside the backtracking cost model; the \
+          derivative engine serves it and the precise ambiguity \
+          analysis does not apply";
+       walk in_variable_repeat x
+     | Spanned.Look (_, x) ->
+       emit Extended_operator_unanalyzed Info s
+         "lookaround is outside the backtracking cost model; the \
+          derivative engine serves it and the precise ambiguity \
+          analysis does not apply";
+       walk in_variable_repeat x)
   in
   walk false root;
   List.stable_sort
@@ -336,14 +374,14 @@ let full (root : Spanned.t) : diagnostic list * Ambiguity.t =
   let analysis = Ambiguity.analyze root in
   (sort_diags (check root @ precise_diagnostics root analysis), analysis)
 
-let pattern (src : string) : (diagnostic list, string) result =
-  match F.Parser.parse_spanned_result src with
+let pattern ?extended (src : string) : (diagnostic list, string) result =
+  match F.Parser.parse_spanned_result ?extended src with
   | Ok spanned -> Ok (check spanned)
   | Error msg -> Error msg
 
-let pattern_full (src : string) :
+let pattern_full ?extended (src : string) :
   (diagnostic list * Ambiguity.t, string) result =
-  match F.Parser.parse_spanned_result src with
+  match F.Parser.parse_spanned_result ?extended src with
   | Ok spanned -> Ok (full spanned)
   | Error msg -> Error msg
 

@@ -39,6 +39,11 @@ type kind =
   | Unexploitable_ambiguity
       (** precise: the automaton is ambiguous but no failing
           continuation exists, so matching stays linear; [Info] *)
+  | Extended_operator_unanalyzed
+      (** an intersection, complement or lookaround operator: outside
+          the backtracking cost model (the derivative engine serves
+          these patterns), so neither the heuristics nor the precise
+          ambiguity analysis apply to it; always [Info] *)
 
 type diagnostic = {
   kind : kind;
@@ -64,11 +69,17 @@ val full : Alveare_frontend.Spanned.t -> diagnostic list * Ambiguity.t
     [Polynomial] verdict contributes one [Warning] diagnostic whose
     span covers the pumped sub-expression. *)
 
-val pattern : string -> (diagnostic list, string) result
-(** Parse and lint (heuristics only); [Error] carries the parse error. *)
+val pattern : ?extended:bool -> string -> (diagnostic list, string) result
+(** Parse and lint (heuristics only); [Error] carries the parse error.
+    [~extended:true] admits the intersection/complement/lookaround
+    dialect — extended operators degrade to
+    [Extended_operator_unanalyzed] [Info] diagnostics. *)
 
-val pattern_full : string -> (diagnostic list * Ambiguity.t, string) result
-(** Parse and run {!full}; [Error] carries the parse error. *)
+val pattern_full :
+  ?extended:bool -> string -> (diagnostic list * Ambiguity.t, string) result
+(** Parse and run {!full}; [Error] carries the parse error. On extended
+    patterns the precise analysis degrades to {!Ambiguity.unanalyzed}
+    (with an explanatory note) instead of failing. *)
 
 val has_warnings : diagnostic list -> bool
 

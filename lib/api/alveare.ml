@@ -30,6 +30,12 @@ module Engine = struct
   module Dfa_offline = Alveare_engine.Dfa_offline
 end
 
+module Derivative = struct
+  module Regex = Alveare_derivative.Regex
+  module Engine = Alveare_derivative.Engine
+  module Enumerate = Alveare_derivative.Enumerate
+end
+
 module Compile = Alveare_compiler.Compile
 module Ruleset = Alveare_compiler.Ruleset
 module Opt = Alveare_ir.Opt
@@ -81,49 +87,60 @@ type compiled = Compile.compiled
 
 (* --- One-call helpers --------------------------------------------------- *)
 
-let compile pattern = Compile.compile pattern
-let compile_exn pattern = Compile.compile_exn pattern
+let compile ?extended pattern = Compile.compile ?extended pattern
+let compile_exn ?extended pattern = Compile.compile_exn ?extended pattern
 
 (* Compiled-pattern cache for the string-level helpers below: matching
    many inputs against the same pattern should not recompile it. Uses
    the compiler's shared thread-safe LRU, so the helpers are safe to
    call from pooled domains and share compilations with rulesets and
    the harness. *)
-let cached pattern = Compile.cached pattern
+let cached ?extended pattern = Compile.cached ?extended pattern
 
 let string_error r = Result.map_error Compile.error_message r
 
 (* The helpers run with the compiled pattern's prefilter and lazy-DFA
    overlay unless the caller turns them off; matches are identical
-   either way. *)
-let find_all ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) pattern
-    input : (span list, string) result =
+   either way. Patterns the mid-end could not rewrite to the ISA
+   ([backend = Derivative]) are served by the derivative engine — its
+   spans agree with the ISA span-for-span on everything both can run,
+   so the dispatch is invisible in the results. *)
+let find_all ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true)
+    ?extended pattern input : (span list, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
-          let pf = if prefilter then Some c.Compile.prefilter else None in
-          let fam = if dfa then c.Compile.dfa else None in
-          if cores = 1 then
-            Core.find_all ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
-              c.Compile.program input
-          else
-            Multicore.find_all ~cores ?workers ?prefilter:pf
-              ~plan:c.Compile.plan ?dfa:fam c.Compile.program input)
-       (cached pattern))
+          match c.Compile.backend with
+          | Compile.Derivative eng ->
+            Alveare_derivative.Engine.find_all eng input
+          | Compile.Isa | Compile.Isa_lowered ->
+            let pf = if prefilter then Some c.Compile.prefilter else None in
+            let fam = if dfa then c.Compile.dfa else None in
+            if cores = 1 then
+              Core.find_all ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
+                c.Compile.program input
+            else
+              Multicore.find_all ~cores ?workers ?prefilter:pf
+                ~plan:c.Compile.plan ?dfa:fam c.Compile.program input)
+       (cached ?extended pattern))
 
-let search ?(prefilter = true) ?(dfa = true) pattern input
+let search ?(prefilter = true) ?(dfa = true) ?extended pattern input
   : (span option, string) result =
   string_error
     (Result.map
        (fun (c : compiled) ->
-          let pf = if prefilter then Some c.Compile.prefilter else None in
-          let fam = if dfa then c.Compile.dfa else None in
-          Core.search ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
-            c.Compile.program input)
-       (cached pattern))
+          match c.Compile.backend with
+          | Compile.Derivative eng ->
+            Alveare_derivative.Engine.search eng input
+          | Compile.Isa | Compile.Isa_lowered ->
+            let pf = if prefilter then Some c.Compile.prefilter else None in
+            let fam = if dfa then c.Compile.dfa else None in
+            Core.search ?prefilter:pf ~plan:c.Compile.plan ?dfa:fam
+              c.Compile.program input)
+       (cached ?extended pattern))
 
-let matches ?prefilter ?dfa pattern input : (bool, string) result =
-  Result.map Option.is_some (search ?prefilter ?dfa pattern input)
+let matches ?prefilter ?dfa ?extended pattern input : (bool, string) result =
+  Result.map Option.is_some (search ?prefilter ?dfa ?extended pattern input)
 
 let disassemble pattern : (string, string) result =
   string_error (Result.map Compile.disassemble (cached pattern))

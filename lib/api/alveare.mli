@@ -33,6 +33,16 @@ module Engine : sig
   module Dfa_offline = Alveare_engine.Dfa_offline
 end
 
+(** The derivative engine: the semantic oracle for the extended
+    operators (intersection, complement, lookarounds) — worst-case
+    linear per start position, differentially tested span-for-span
+    against the plan executor on the shared POSIX-ERE fragment. *)
+module Derivative : sig
+  module Regex = Alveare_derivative.Regex
+  module Engine = Alveare_derivative.Engine
+  module Enumerate = Alveare_derivative.Enumerate
+end
+
 module Compile = Alveare_compiler.Compile
 module Ruleset = Alveare_compiler.Ruleset
 module Opt = Alveare_ir.Opt
@@ -97,12 +107,12 @@ type span = Alveare_engine.Semantics.span = {
 
 type compiled = Compile.compiled
 
-val compile : string -> (compiled, Compile.error) result
-val compile_exn : string -> compiled
+val compile : ?extended:bool -> string -> (compiled, Compile.error) result
+val compile_exn : ?extended:bool -> string -> compiled
 
 val find_all :
   ?cores:int -> ?workers:int -> ?prefilter:bool -> ?dfa:bool ->
-  string -> string -> (span list, string) result
+  ?extended:bool -> string -> string -> (span list, string) result
 (** [find_all pattern input] — all non-overlapping matches on the
     simulated DSA ([cores] > 1 uses the multi-core scale-out; [workers]
     parallelises the simulated cores on host domains). [prefilter]
@@ -110,15 +120,22 @@ val find_all :
     byte-set rules out; [dfa] (default [true]) executes
     backtracking-free fragments on the lazy-DFA overlay
     ({!Alveare_arch.Dfa_overlay}). Matches and stats are identical with
-    either toggle off. *)
+    either toggle off.
+
+    [extended] (default [false]) parses the extended dialect
+    (intersection [&], complement [(?~r)], lookarounds); patterns the
+    mid-end cannot rewrite for the ISA are served transparently by the
+    derivative engine ({!Derivative.Engine}) — no extended pattern is
+    rejected as unsupported. *)
 
 val search :
-  ?prefilter:bool -> ?dfa:bool -> string -> string ->
+  ?prefilter:bool -> ?dfa:bool -> ?extended:bool -> string -> string ->
   (span option, string) result
 (** Leftmost match. *)
 
 val matches :
-  ?prefilter:bool -> ?dfa:bool -> string -> string -> (bool, string) result
+  ?prefilter:bool -> ?dfa:bool -> ?extended:bool -> string -> string ->
+  (bool, string) result
 
 val disassemble : string -> (string, string) result
 

@@ -2,7 +2,25 @@
 
    The result bundles every stage so tools (disassembler, simulator,
    harness) can inspect intermediate forms, plus the statistics the
-   evaluation reports (code size excluding EoR, operator histogram). *)
+   evaluation reports (code size excluding EoR, operator histogram).
+
+   Extended patterns (intersection, complement, lookarounds) route
+   through {!Alveare_ir.Elim} BEFORE the optimizer: when the rewrite
+   produces an equivalent plain AST the normal ISA pipeline serves it
+   ([Isa_lowered]); otherwise the pattern is compiled to a derivative
+   matcher ([Derivative]) and the ISA fields hold a placeholder program
+   (lowered from the empty pattern) that dispatch never executes —
+   every execution surface checks [backend] first. *)
+
+type backend =
+  | Isa
+      (* plain POSIX-ERE source; the normal pipeline *)
+  | Isa_lowered
+      (* extended source rewritten to an equivalent plain AST
+         (priority-preserving) and served by the ISA *)
+  | Derivative of Alveare_derivative.Engine.t
+      (* served natively by the derivative engine; the ISA fields are a
+         placeholder *)
 
 type compiled = {
   pattern : string;
@@ -16,6 +34,7 @@ type compiled = {
   safe_fragments : (int * int) list;
   dfa : Alveare_arch.Dfa_overlay.family option;
   prefilter : Alveare_prefilter.Prefilter.t;
+  backend : backend;
 }
 
 type error =
@@ -35,12 +54,8 @@ let merge_optimize options = function
   | None -> options
   | Some optimize -> { options with Alveare_ir.Lower.optimize }
 
-let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
-    ?(pattern = "<ast>") ?(verify = true) ?(lint = [])
-    ?(analysis = Alveare_analysis.Ambiguity.unanalyzed) ast
+let compile_plain ~options ~pattern ~verify ~lint ~analysis ~backend ast
   : (compiled, error) result =
-  let options = merge_optimize options optimize in
-  let ast = Alveare_frontend.Desugar.normalize ast in
   (* The mid-end rewrite pass runs here, not inside [Lower.lower], so
      the driver can apply a never-worse guard: the optimised and
      unoptimised ASTs are both lowered and the smaller program wins
@@ -91,7 +106,7 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
         Alveare_arch.Dfa_overlay.family ~fragments:safe_fragments plan
       in
       Ok { pattern; ast; ir; program; plan; options; lint; analysis;
-           safe_fragments; dfa; prefilter }
+           safe_fragments; dfa; prefilter; backend }
     in
     (* Post-emission self-check: the verifier accepting every program
        the backend emits is a compiler invariant, so a rejection here
@@ -103,16 +118,59 @@ let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
     end
     else finish ()
 
-let compile ?options ?optimize ?verify pattern : (compiled, error) result =
-  match Alveare_frontend.Parser.parse_spanned_result pattern with
+(* Serve an extended AST with the derivative engine. The ISA fields
+   hold a placeholder lowered from the empty pattern — never executed,
+   since every dispatch site checks [backend] first — but keep the
+   [compiled] record total so the tooling (disassembler, stats, cache)
+   works unmodified. The prefilter is analysed from the real AST, so
+   its facts stay honest for the pattern actually served. *)
+let serve_derivative ~options ~pattern ~verify ~lint ~analysis ast
+  : (compiled, error) result =
+  let engine = Alveare_derivative.Engine.of_ast ast in
+  match
+    compile_plain ~options ~pattern ~verify ~lint ~analysis ~backend:Isa
+      Alveare_frontend.Ast.Empty
+  with
+  | Error _ as e -> e
+  | Ok c ->
+    Ok { c with ast; backend = Derivative engine;
+         prefilter = Alveare_prefilter.Prefilter.analyze ast }
+
+let compile_ast ?(options = Alveare_ir.Lower.default_options) ?optimize
+    ?(pattern = "<ast>") ?(verify = true) ?(lint = [])
+    ?(analysis = Alveare_analysis.Ambiguity.unanalyzed) ast
+  : (compiled, error) result =
+  let options = merge_optimize options optimize in
+  let ast = Alveare_frontend.Desugar.normalize ast in
+  if not (Alveare_frontend.Ast.has_extended ast) then
+    compile_plain ~options ~pattern ~verify ~lint ~analysis ~backend:Isa ast
+  else
+    (* extended operators route through Elim BEFORE the optimizer: the
+       rewrite either erases them (priority-preserving, so the ISA
+       serves the pattern) or the derivative engine takes over — no
+       extended pattern is ever rejected as unsupported *)
+    (match Alveare_ir.Elim.plainify ast with
+     | Alveare_ir.Elim.Plain plain ->
+       compile_plain ~options ~pattern ~verify ~lint ~analysis
+         ~backend:Isa_lowered plain
+     | Alveare_ir.Elim.Extended simplified ->
+       serve_derivative ~options ~pattern ~verify ~lint ~analysis simplified
+     | Alveare_ir.Elim.Dead ->
+       (* the language is empty; the derivative engine on the original
+          AST reports exactly that (no AST literal denotes ⊥) *)
+       serve_derivative ~options ~pattern ~verify ~lint ~analysis ast)
+
+let compile ?options ?optimize ?verify ?(extended = false) pattern
+  : (compiled, error) result =
+  match Alveare_frontend.Parser.parse_spanned_result ~extended pattern with
   | Error m -> Error (Frontend_error m)
   | Ok spanned ->
     let lint, analysis = Alveare_analysis.Lint.full spanned in
     compile_ast ?options ?optimize ~pattern ?verify ~lint ~analysis
       (Alveare_frontend.Spanned.strip spanned)
 
-let compile_exn ?options ?optimize ?verify pattern =
-  match compile ?options ?optimize ?verify pattern with
+let compile_exn ?options ?optimize ?verify ?extended pattern =
+  match compile ?options ?optimize ?verify ?extended pattern with
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.compile: " ^ error_message e)
 
@@ -132,29 +190,31 @@ let create_cache ?capacity () : cache = Alveare_exec.Cache.create ?capacity ()
 let default_cache : cache = create_cache ~capacity:1024 ()
 
 (* Key = compile options rendered unambiguously + the pattern source.
-   Every options field participates: two compilations agree on the key
-   iff they would produce the same binary. *)
-let cache_key ~(options : Alveare_ir.Lower.options) pattern =
-  Printf.sprintf "%c:%d:%b:%s"
+   Every options field participates (the extended-dialect flag
+   included: the same source can parse differently under the two
+   dialects): two compilations agree on the key iff they would produce
+   the same binary. *)
+let cache_key ~(options : Alveare_ir.Lower.options) ~extended pattern =
+  Printf.sprintf "%c:%d:%b:%b:%s"
     (match options.Alveare_ir.Lower.mode with
      | Alveare_ir.Lower.Advanced -> 'a'
      | Alveare_ir.Lower.Minimal -> 'm')
     options.Alveare_ir.Lower.alphabet_size options.Alveare_ir.Lower.optimize
-    pattern
+    extended pattern
 
 let cached ?(cache = default_cache) ?(options = Alveare_ir.Lower.default_options)
-    ?optimize ?verify pattern : (compiled, error) result =
+    ?optimize ?verify ?(extended = false) pattern : (compiled, error) result =
   let options = merge_optimize options optimize in
-  let key = cache_key ~options pattern in
+  let key = cache_key ~options ~extended pattern in
   match Alveare_exec.Cache.find_opt cache key with
   | Some c -> Ok c
   | None ->
-    (match compile ~options ?verify pattern with
+    (match compile ~options ?verify ~extended pattern with
      | Ok c -> Alveare_exec.Cache.add cache key c; Ok c
      | Error _ as e -> e)
 
-let cached_exn ?cache ?options ?optimize pattern =
-  match cached ?cache ?options ?optimize pattern with
+let cached_exn ?cache ?options ?optimize ?extended pattern =
+  match cached ?cache ?options ?optimize ?extended pattern with
   | Ok c -> c
   | Error e -> invalid_arg ("Compile.cached: " ^ error_message e)
 

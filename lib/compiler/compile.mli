@@ -1,4 +1,24 @@
-(** Compiler driver: pattern → AST → IR → ISA program (paper §5). *)
+(** Compiler driver: pattern → AST → IR → ISA program (paper §5).
+
+    Extended patterns (intersection [&], complement [(?~r)], the four
+    lookarounds) are accepted with [~extended:true]: the mid-end
+    rewrite {!Alveare_ir.Elim.plainify} eliminates the extended
+    operators when it can do so priority-preservingly (the ISA then
+    serves the pattern, [backend = Isa_lowered]); otherwise the pattern
+    compiles to a derivative matcher ([backend = Derivative]) — no
+    extended pattern is ever rejected as unsupported. *)
+
+type backend =
+  | Isa  (** plain POSIX-ERE source; the normal pipeline *)
+  | Isa_lowered
+      (** extended source rewritten to an equivalent plain AST
+          (same language, same leftmost-first spans) and served by
+          the ISA *)
+  | Derivative of Alveare_derivative.Engine.t
+      (** served natively by the derivative engine; [program], [plan],
+          [ir], [dfa] and [safe_fragments] hold a placeholder compiled
+          from the empty pattern and must not be executed — dispatch
+          sites check [backend] first *)
 
 type compiled = {
   pattern : string;
@@ -38,6 +58,9 @@ type compiled = {
           AST (first byte-set, required literals, min match length);
           feed to {!Alveare_arch.Core.search}/[find_all] or serialise as
           a [.pf] sidecar with {!Alveare_prefilter.Prefilter.to_bytes} *)
+  backend : backend;
+      (** which engine serves this pattern; [Isa] for every plain
+          compile, [Isa_lowered] / [Derivative] for extended ones *)
 }
 
 type error =
@@ -53,9 +76,12 @@ val compile :
   ?options:Alveare_ir.Lower.options ->
   ?optimize:bool ->
   ?verify:bool ->
+  ?extended:bool ->
   string ->
   (compiled, error) result
-(** Pattern → AST → IR → program. With [verify] (the default) the
+(** Pattern → AST → IR → program. [extended] (default false) parses
+    the extended dialect — see the module header for how extended
+    patterns are served. With [verify] (the default) the
     emitted program must pass {!Alveare_isa.Verify.run} — a
     post-emission self-check that turns any emission bug into a
     structured [Verify_error] instead of a latent bad binary. The
@@ -76,7 +102,8 @@ val compile_ast :
   ?analysis:Alveare_analysis.Ambiguity.t ->
   Alveare_frontend.Ast.t ->
   (compiled, error) result
-(** Compile a bare AST. Skips the source-level lint / ambiguity passes
+(** Compile a bare AST (extended nodes accepted — they route exactly
+    as in {!compile}). Skips the source-level lint / ambiguity passes
     (they are span-typed): [lint] defaults to [[]] and [analysis] to
     {!Alveare_analysis.Ambiguity.unanalyzed}, keeping this path cheap
     for differential harnesses that compile thousands of generated
@@ -87,6 +114,7 @@ val compile_exn :
   ?options:Alveare_ir.Lower.options ->
   ?optimize:bool ->
   ?verify:bool ->
+  ?extended:bool ->
   string ->
   compiled
 
@@ -110,17 +138,20 @@ val cached :
   ?options:Alveare_ir.Lower.options ->
   ?optimize:bool ->
   ?verify:bool ->
+  ?extended:bool ->
   string ->
   (compiled, error) result
 (** Like {!compile}, but consults [cache] first. Only successful
-    compilations are cached; errors always recompile. [optimize]
-    participates in the cache key (it overrides [options.optimize]
-    before the key is formed). *)
+    compilations are cached; errors always recompile. [optimize] and
+    [extended] participate in the cache key ([optimize] overrides
+    [options.optimize] before the key is formed; the same source can
+    parse differently under the two dialects). *)
 
 val cached_exn :
   ?cache:cache ->
   ?options:Alveare_ir.Lower.options ->
   ?optimize:bool ->
+  ?extended:bool ->
   string ->
   compiled
 

@@ -83,7 +83,8 @@ let candidates_by_rule idx input n_rules =
   Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) buckets
 
 let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
-    (specs : (string * string) list) : (t, compile_error list) result =
+    ?extended (specs : (string * string) list)
+  : (t, compile_error list) result =
   (* Rules compile independently, so the host pool fans them out; the
      shared compile cache (thread-safe) deduplicates repeated patterns
      across rules and across rulesets. *)
@@ -91,7 +92,7 @@ let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
     Alveare_exec.Pool.map_list ?workers
       (fun (id, (tag, pattern)) ->
          let rule = { id; tag; pattern } in
-         match Compile.cached ?cache ~options pattern with
+         match Compile.cached ?cache ~options ?extended pattern with
          | Ok compiled ->
            Ok
              { rule;
@@ -113,8 +114,8 @@ let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
     in
     Ok { rules; index = build_index rules }
 
-let compile_exn ?options ?cache ?workers specs =
-  match compile ?options ?cache ?workers specs with
+let compile_exn ?options ?cache ?workers ?extended specs =
+  match compile ?options ?cache ?workers ?extended specs with
   | Ok t -> t
   | Error (e :: _) ->
     invalid_arg
@@ -189,7 +190,17 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) (t : t)
   let per_rule_results =
     Alveare_exec.Pool.map ?workers
       (fun (i, r) ->
-         match candidates with
+         match r.compiled.Compile.backend with
+         | Compile.Derivative eng ->
+           (* extended rules the mid-end could not rewrite run on the
+              host derivative engine, outside the DSA cycle model:
+              they contribute hits but no modelled cycles or attempt
+              counters (they are never AC-covered — extended patterns
+              yield no usable literals) *)
+           ( r.rule, 0, Alveare_derivative.Engine.find_all eng input,
+             (0, 0, 0), false )
+         | Compile.Isa | Compile.Isa_lowered ->
+         (match candidates with
          | Some (idx, cands) when idx.covered.(i) ->
            let stats = Core.fresh_stats () in
            let matches =
@@ -219,7 +230,7 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) (t : t)
              ( sum (fun s -> s.Core.attempts),
                sum (fun s -> s.Core.offsets_scanned),
                sum (fun s -> s.Core.offsets_pruned) ),
-             false ))
+             false )))
       (Array.mapi (fun i r -> (i, r)) t.rules)
   in
   let hits =

@@ -34,17 +34,22 @@ val compile :
   ?options:Alveare_ir.Lower.options ->
   ?cache:Compile.cache ->
   ?workers:int ->
+  ?extended:bool ->
   (string * string) list ->
   (t, compile_error list) result
 (** [(tag, pattern)] pairs; reports EVERY ill-formed rule. Compilation
     goes through {!Compile.cached} (default: the shared
     {!Compile.default_cache}), so repeated patterns compile once;
-    [workers] fans independent rule compilations out over host domains. *)
+    [workers] fans independent rule compilations out over host domains.
+    [extended] (default false) parses the extended dialect — rules the
+    mid-end cannot rewrite for the ISA scan on the host derivative
+    engine (hits identical in {!scan}; no modelled DSA cycles). *)
 
 val compile_exn :
   ?options:Alveare_ir.Lower.options ->
   ?cache:Compile.cache ->
   ?workers:int ->
+  ?extended:bool ->
   (string * string) list ->
   t
 

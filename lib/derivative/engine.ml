@@ -1,0 +1,298 @@
+(* Priority-faithful Brzozowski-derivative matcher.
+
+   Plain Brzozowski derivatives decide language membership — which is
+   leftmost-LONGEST. The engines in this repository implement PCRE
+   leftmost-FIRST (the Backtrack oracle): on "ab", the pattern "a|ab"
+   matches "a". To reproduce that, the matcher tracks not just the
+   residual language but the backtracking LEAF ORDER, through a
+   three-way split:
+
+     split_at r p = (pre, acc, post)
+
+   decomposing the depth-first leaf sequence of r's epsilon-closure at
+   position p into the leaves strictly BEFORE the first epsilon-accept
+   (pre — each must consume a byte), whether such an accept exists
+   (acc), and the leaves after it (post). The rules mirror the
+   Backtrack CPS matcher case by case, including PCRE's zero-width
+   iteration cutoff for quantifiers (a greedy iteration that consumes
+   nothing exits the loop; a lazy one is pruned).
+
+   The ordered derivative keeps the same leaf order:
+
+     d (r . s) c | nullable r = (d r0 . s) | d s | (d r1 . s)
+       where split r = (r0, _, r1)
+
+   — the leaves of s sit between r's pre- and post-accept leaves,
+   exactly where the backtracker explores them.
+
+   The top-level driver per start position then needs only pre and acc:
+   an epsilon-accept at p records candidate end p, and only the
+   HIGHER-priority continuations (pre) may keep running — a later,
+   longer match wins only if it comes from a leaf the backtracker would
+   have reached first. Scanning start positions in ascending order
+   gives leftmost.
+
+   Extended operators carry set semantics:
+     nullable (r & s) = both        d (r & s) = d r & d s
+     nullable (?~r)   = not r's     d (?~r)   = ?~(d r)
+   Their split, when nullable, is ((r minus eps), true, bot): consuming
+   is PREFERRED over accepting — intersection and complement match
+   longest (prefer-continue), a documented choice since they have no
+   backtracking leaf order of their own.
+
+   Lookarounds are absolute-position predicates against the full input:
+   nullable_at (Look ...) p evaluates the body from/until p, derivatives
+   are bot (zero width). Look-bearing nodes bypass the arena caches and
+   memoise per search call, keyed (node id, position). *)
+
+open Alveare_frontend
+module R = Regex
+module Semantics = Alveare_engine.Semantics
+
+type t = {
+  arena : R.t;
+  root : R.node;
+}
+
+let of_ast ast =
+  let arena = R.create () in
+  let root =
+    Mutex.protect (R.lock arena) (fun () -> R.of_ast arena ast)
+  in
+  { arena; root }
+
+let of_pattern ?(extended = true) pattern =
+  of_ast (Desugar.pattern_exn ~extended pattern)
+
+let state_count eng = R.size eng.arena
+let look_free eng = eng.root.R.look_free
+let arena eng = eng.arena
+let root eng = eng.root
+
+(* Per-search memo tables for the position-dependent (look-bearing)
+   fraction of the node graph; look-free nodes hit the arena caches. *)
+type ctx = {
+  a : R.t;
+  input : string;
+  nul : (int * int, bool) Hashtbl.t;
+  spl : (int * int, R.node * bool * R.node) Hashtbl.t;
+  der : (int * int, R.node) Hashtbl.t;
+}
+
+let make_ctx arena input =
+  { a = arena; input;
+    nul = Hashtbl.create 16;
+    spl = Hashtbl.create 16;
+    der = Hashtbl.create 16 }
+
+let rec nullable_at ctx (n : R.node) (p : int) : bool =
+  if n.R.look_free then n.R.null
+  else
+    match Hashtbl.find_opt ctx.nul (n.R.id, p) with
+    | Some b -> b
+    | None ->
+      let b =
+        match n.R.desc with
+        | R.Look (l, body) -> eval_look ctx l body p
+        | R.Cat (x, y) -> nullable_at ctx x p && nullable_at ctx y p
+        | R.Alt xs -> List.exists (fun x -> nullable_at ctx x p) xs
+        | R.And xs -> List.for_all (fun x -> nullable_at ctx x p) xs
+        | R.Not x -> not (nullable_at ctx x p)
+        | R.Rep (x, lo, _, _) -> lo = 0 || nullable_at ctx x p
+        | R.Bot | R.Eps | R.Chars _ -> n.R.null
+      in
+      Hashtbl.add ctx.nul (n.R.id, p) b;
+      b
+
+and eval_look ctx (l : Ast.look) (body : R.node) (p : int) : bool =
+  let holds =
+    if l.Ast.behind then match_ending_at ctx body p
+    else match_starting_at ctx body p
+  in
+  if l.Ast.negative then not holds else holds
+
+(* (?=r): does the body match input[p..e) for some e? Derivative run
+   over the suffix, succeeding at the first nullable state. *)
+and match_starting_at ctx (body : R.node) (p : int) : bool =
+  let n = String.length ctx.input in
+  let rec go state q =
+    if nullable_at ctx state q then true
+    else if R.is_bot state || q >= n then false
+    else go (deriv_at ctx state q ctx.input.[q]) (q + 1)
+  in
+  go body p
+
+(* (?<=r): does the body match input[s..p) exactly for some s <= p? *)
+and match_ending_at ctx (body : R.node) (p : int) : bool =
+  let rec exact state q =
+    if q = p then nullable_at ctx state q
+    else if R.is_bot state then false
+    else exact (deriv_at ctx state q ctx.input.[q]) (q + 1)
+  in
+  let rec try_start s = s <= p && (exact body s || try_start (s + 1)) in
+  try_start 0
+
+and split_at ctx (n : R.node) (p : int) : R.node * bool * R.node =
+  let cached =
+    if n.R.look_free then Hashtbl.find_opt (R.split_cache ctx.a) n.R.id
+    else Hashtbl.find_opt ctx.spl (n.R.id, p)
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+    let a = ctx.a in
+    let result =
+      match n.R.desc with
+      | R.Bot -> (n, false, n)
+      | R.Eps -> (R.bot a, true, R.bot a)
+      | R.Chars _ -> (n, false, R.bot a)
+      | R.Alt xs ->
+        (* leaves in branch order; the first accepting branch
+           contributes the accept, later branches land in post *)
+        let rec go = function
+          | [] -> (R.bot a, false, R.bot a)
+          | x :: rest ->
+            let x0, xa, x1 = split_at ctx x p in
+            if xa then (x0, true, R.alt a (x1 :: rest))
+            else
+              let r0, ra, r1 = go rest in
+              (R.alt a [ x0; r0 ], ra, r1)
+        in
+        go xs
+      | R.Cat (x, y) ->
+        if nullable_at ctx x p && nullable_at ctx y p then begin
+          (* leaves: (x-pre . y) ++ y's own leaves ++ (x-post . y) *)
+          let x0, _, x1 = split_at ctx x p in
+          let y0, _, y1 = split_at ctx y p in
+          ( R.alt a [ R.cat a x0 y; y0 ],
+            true,
+            R.alt a [ y1; R.cat a x1 y ] )
+        end
+        else (n, false, R.bot a)
+      | R.Rep (x, lo, hi, greedy) ->
+        if lo > 0 then
+          (* unroll one mandatory copy; the Cat rule orders the rest *)
+          split_at ctx
+            (R.cat a x (R.rep a x (lo - 1) (R.pred_opt hi) greedy))
+            p
+        else begin
+          let tail = R.rep a x 0 (R.pred_opt hi) greedy in
+          if greedy then
+            if nullable_at ctx x p then begin
+              (* the body's first zero-width leaf exits the loop (PCRE
+                 cutoff) — that exit is the Rep's epsilon-accept; body
+                 leaves after it still loop *)
+              let x0, _, x1 = split_at ctx x p in
+              (R.cat a x0 tail, true, R.cat a x1 tail)
+            end
+            else (R.cat a x tail, true, R.bot a)
+          else if nullable_at ctx x p then begin
+            (* lazy: exit first; zero-width iterations are pruned, so
+               only the body's consuming leaves remain after it *)
+            let x0, _, x1 = split_at ctx x p in
+            (R.bot a, true, R.cat a (R.alt a [ x0; x1 ]) tail)
+          end
+          else (R.bot a, true, R.cat a x tail)
+        end
+      | R.And _ | R.Not _ ->
+        (* set semantics: prefer-continue — the accept ranks below every
+           consuming continuation, giving longest preference. r minus
+           eps via (r & ?~eps); its derivative reduces to d r because
+           d (?~eps) is the universal node, dropped by [inter]. *)
+        if nullable_at ctx n p then
+          (R.inter a [ n; R.neg a (R.eps a) ], true, R.bot a)
+        else (n, false, R.bot a)
+      | R.Look (l, body) -> (R.bot a, eval_look ctx l body p, R.bot a)
+    in
+    (if n.R.look_free then Hashtbl.replace (R.split_cache a) n.R.id result
+     else Hashtbl.replace ctx.spl (n.R.id, p) result);
+    result
+
+and deriv_at ctx (n : R.node) (p : int) (c : char) : R.node =
+  let cached =
+    if n.R.look_free then Hashtbl.find_opt (R.deriv_cache ctx.a) (n.R.id, c)
+    else Hashtbl.find_opt ctx.der (n.R.id, p)
+  in
+  match cached with
+  | Some r -> r
+  | None ->
+    let a = ctx.a in
+    let result =
+      match n.R.desc with
+      | R.Bot | R.Eps | R.Look _ -> R.bot a
+      | R.Chars s -> if Charset.mem c s then R.eps a else R.bot a
+      | R.Alt xs -> R.alt a (List.map (fun x -> deriv_at ctx x p c) xs)
+      | R.And xs -> R.inter a (List.map (fun x -> deriv_at ctx x p c) xs)
+      | R.Not x -> R.neg a (deriv_at ctx x p c)
+      | R.Cat (x, y) ->
+        if nullable_at ctx x p then begin
+          let x0, _, x1 = split_at ctx x p in
+          R.alt a
+            [ R.cat a (deriv_at ctx x0 p c) y;
+              deriv_at ctx y p c;
+              R.cat a (deriv_at ctx x1 p c) y ]
+        end
+        else R.cat a (deriv_at ctx x p c) y
+      | R.Rep (x, lo, hi, greedy) ->
+        if lo > 0 then
+          deriv_at ctx
+            (R.cat a x (R.rep a x (lo - 1) (R.pred_opt hi) greedy))
+            p c
+        else
+          (* d x covers the body's pre- and post-accept consuming
+             leaves in order; the zero-width leaf contributes nothing
+             to a derivative *)
+          R.cat a (deriv_at ctx x p c) (R.rep a x 0 (R.pred_opt hi) greedy)
+    in
+    (if n.R.look_free then Hashtbl.replace (R.deriv_cache a) (n.R.id, c) result
+     else Hashtbl.replace ctx.der (n.R.id, p) result);
+    result
+
+(* Derivative of a look-free node, position-independent (used by
+   Enumerate and the mid-end lowering). *)
+let deriv_free arena (n : R.node) (c : char) : R.node =
+  if not n.R.look_free then
+    invalid_arg "Derivative.Engine.deriv_free: node contains lookarounds";
+  deriv_at (make_ctx arena "") n 0 c
+
+(* --- Matching drivers ---------------------------------------------------- *)
+
+let match_at_ctx ctx (root : R.node) (start : int) : int option =
+  let n = String.length ctx.input in
+  let rec go state best p =
+    let pre, acc, _post = split_at ctx state p in
+    let best = if acc then Some p else best in
+    let state = if acc then pre else state in
+    if R.is_bot state || p >= n then best
+    else go (deriv_at ctx state p ctx.input.[p]) best (p + 1)
+  in
+  go root None start
+
+let match_at eng input start =
+  if start < 0 || start > String.length input then
+    invalid_arg "Derivative.Engine.match_at: start";
+  Mutex.protect (R.lock eng.arena) (fun () ->
+      match_at_ctx (make_ctx eng.arena input) eng.root start)
+
+let search ?(from = 0) eng input : Semantics.span option =
+  let n = String.length input in
+  Mutex.protect (R.lock eng.arena) (fun () ->
+      let ctx = make_ctx eng.arena input in
+      let rec scan start =
+        if start > n then None
+        else
+          match match_at_ctx ctx eng.root start with
+          | Some stop -> Some { Semantics.start; stop }
+          | None -> scan (start + 1)
+      in
+      scan (max 0 from))
+
+let find_all eng input : Semantics.span list =
+  let rec go from acc =
+    match search ~from eng input with
+    | None -> List.rev acc
+    | Some span -> go (Semantics.next_scan_position span) (span :: acc)
+  in
+  go 0 []
+
+let matches eng input = Option.is_some (search eng input)

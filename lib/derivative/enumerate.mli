@@ -1,0 +1,23 @@
+(** Finite-language detection and enumeration over the derivative
+    graph.
+
+    [enumerate eng] returns [Some strings] when the language of [eng]'s
+    pattern is provably finite within budget: every accepted string,
+    sorted longest-first (then lexicographic). The mid-end lowers such
+    patterns to a plain alternation of literals — longest-first order
+    reproduces the prefer-continue (longest) preference of the set
+    operators exactly, because on a fixed input the strings matching at
+    one position form a prefix chain.
+
+    Returns [None] when the pattern contains lookarounds, the live
+    derivative subgraph has a cycle (infinite language), or a budget is
+    exceeded — the caller then serves the pattern with the derivative
+    engine directly. *)
+
+val enumerate :
+  ?max_states:int ->
+  ?max_strings:int ->
+  ?max_bytes:int ->
+  Engine.t ->
+  string list option
+(** Defaults: 512 states, 256 strings, 64 bytes per string. *)

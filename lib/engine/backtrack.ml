@@ -69,6 +69,10 @@ let match_at (ast : Ast.t) (input : string) (start : int) : int option =
         end
       in
       boundary 0 pos
+    | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+      (* The derivative engine (Alveare_derivative) is the oracle for
+         extended operators; this matcher stays POSIX-ERE–only. *)
+      invalid_arg "Backtrack: extended operators are not supported"
   in
   if start < 0 || start > n then invalid_arg "Backtrack.match_at: start"
   else m ast start Option.some

@@ -121,7 +121,8 @@ let single_symbol_set (node : Ast.t) =
   | Ast.Char c -> Some (Charset.singleton c)
   | Ast.Class cls -> Some (Semantics.class_set cls)
   | Ast.Any -> Some (Semantics.class_set Desugar.dot_class)
-  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _ -> None
+  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ -> None
 
 let rec go b (node : Ast.t) (next : int) : int =
   match node with
@@ -167,6 +168,10 @@ let rec go b (node : Ast.t) (next : int) : int =
             if k = 0 then acc else mandatory (k - 1) (go b x acc)
           in
           mandatory q.Ast.qmin loop))
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+    (* Extended operators are served by the derivative engine; the
+       compiler never routes them here. *)
+    invalid_arg "Counting.of_ast: extended operators are not supported"
 
 let default_max_states = 100_000
 

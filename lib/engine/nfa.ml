@@ -90,6 +90,10 @@ let rec go b (node : Ast.t) (next : int) : int =
     (* qmin mandatory copies in front. *)
     let rec mandatory k acc = if k = 0 then acc else mandatory (k - 1) (go b x acc) in
     mandatory q.Ast.qmin tail
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+    (* Extended operators are served by the derivative engine; the
+       compiler never routes them here. *)
+    invalid_arg "Nfa.of_ast: extended operators are not supported"
 
 let of_ast ?(max_states = default_max_states) ast : (t, error) result =
   let b = { store = Array.make 64 Accept; len = 0; limit = max_states } in

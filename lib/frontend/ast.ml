@@ -16,6 +16,12 @@ type quant = {
   greedy : bool;
 }
 
+(* Lookaround direction and polarity: (?=r) (?!r) (?<=r) (?<!r). *)
+type look = {
+  behind : bool;
+  negative : bool;
+}
+
 type t =
   | Empty
   | Char of char
@@ -25,6 +31,11 @@ type t =
   | Alt of t list
   | Repeat of t * quant
   | Group of t
+  (* Extended operators (RE#-style), parsed behind ~extended:true and
+     served by the derivative engine or its decidable lowering. *)
+  | Inter of t list     (* r & s: both members must match the same span *)
+  | Negate of t         (* (?~r): any span NOT matched exactly by r *)
+  | Look of look * t    (* zero-width assertion against the full input *)
 
 let quant ?(greedy = true) qmin qmax =
   (match qmax with
@@ -47,28 +58,34 @@ let rec equal a b =
   | Empty, Empty | Any, Any -> true
   | Char c, Char d -> Char.equal c d
   | Class c, Class d -> c.negated = d.negated && Charset.equal c.set d.set
-  | Concat xs, Concat ys | Alt xs, Alt ys ->
+  | Concat xs, Concat ys | Alt xs, Alt ys | Inter xs, Inter ys ->
     List.length xs = List.length ys && List.for_all2 equal xs ys
   | Repeat (x, q), Repeat (y, r) -> equal_quant q r && equal x y
-  | Group x, Group y -> equal x y
-  | (Empty | Char _ | Class _ | Any | Concat _ | Alt _ | Repeat _ | Group _), _ ->
+  | Group x, Group y | Negate x, Negate y -> equal x y
+  | Look (l, x), Look (l', y) -> l = l' && equal x y
+  | (Empty | Char _ | Class _ | Any | Concat _ | Alt _ | Repeat _ | Group _
+    | Inter _ | Negate _ | Look _), _ ->
     false
 
 let rec size = function
   | Empty -> 0
   | Char _ | Class _ | Any -> 1
-  | Concat xs | Alt xs -> List.fold_left (fun acc x -> acc + size x) 1 xs
+  | Concat xs | Alt xs | Inter xs ->
+    List.fold_left (fun acc x -> acc + size x) 1 xs
   | Repeat (x, _) -> 1 + size x
-  | Group x -> 1 + size x
+  | Group x | Negate x | Look (_, x) -> 1 + size x
 
 let rec depth = function
   | Empty | Char _ | Class _ | Any -> 1
-  | Concat xs | Alt xs ->
+  | Concat xs | Alt xs | Inter xs ->
     1 + List.fold_left (fun acc x -> max acc (depth x)) 0 xs
-  | Repeat (x, _) | Group x -> 1 + depth x
+  | Repeat (x, _) | Group x | Negate x | Look (_, x) -> 1 + depth x
 
 (* True when the node can match the empty string — needed by the lowering
-   pass and by zero-width-iteration protection in the engines. *)
+   pass and by zero-width-iteration protection in the engines. On the
+   extended operators the answer is language-exact for Inter/Negate;
+   lookarounds are zero-width, so "can match empty" is the conservative
+   [true] (the predicate may still fail at a given position). *)
 let rec nullable = function
   | Empty -> true
   | Char _ | Class _ | Any -> false
@@ -76,9 +93,14 @@ let rec nullable = function
   | Alt xs -> List.exists nullable xs
   | Repeat (x, q) -> q.qmin = 0 || nullable x
   | Group x -> nullable x
+  | Inter xs -> List.for_all nullable xs
+  | Negate x -> not (nullable x)
+  | Look _ -> true
 
 (* Upper bound on the match length, None if unbounded. Used to size the
-   multi-core overlap window. *)
+   multi-core overlap window. An intersection match satisfies every
+   member, so any member's bound applies; a complement is unbounded; a
+   lookaround consumes nothing. *)
 let rec max_match_length = function
   | Empty -> Some 0
   | Char _ | Class _ | Any -> Some 1
@@ -102,11 +124,31 @@ let rec max_match_length = function
      | None, Some 0 -> Some 0
      | None, _ | _, None -> None)
   | Group x -> max_match_length x
+  | Inter xs ->
+    List.fold_left
+      (fun acc x ->
+         match acc, max_match_length x with
+         | Some a, Some b -> Some (min a b)
+         | None, b -> b
+         | acc, None -> acc)
+      None xs
+  | Negate _ -> None
+  | Look _ -> Some 0
+
+(* Does the tree contain any extended operator? Decides backend routing
+   in the compiler and syntax-flag defaults in tools. *)
+let rec has_extended = function
+  | Empty | Char _ | Class _ | Any -> false
+  | Concat xs | Alt xs -> List.exists has_extended xs
+  | Repeat (x, _) | Group x -> has_extended x
+  | Inter _ | Negate _ | Look _ -> true
 
 let escape_char buf c =
   match c with
   | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
-  | '^' | '$' ->
+  | '^' | '$' | '&' ->
+    (* '&' is the intersection operator under ~extended syntax; escaping
+       it unconditionally keeps one rendering valid in both dialects. *)
     Buffer.add_char buf '\\';
     Buffer.add_char buf c
   | '\n' -> Buffer.add_string buf "\\n"
@@ -159,12 +201,19 @@ let quant_to_buf buf q =
 (* Render back to pattern syntax. Parenthesisation is conservative: any
    structured subtree under a repetition or inside a concatenation is
    grouped, so [parse (to_pattern a)] is semantically [a]. *)
+let look_opener l =
+  match l.behind, l.negative with
+  | false, false -> "(?="
+  | false, true -> "(?!"
+  | true, false -> "(?<="
+  | true, true -> "(?<!"
+
 let to_pattern ast =
   let buf = Buffer.create 64 in
   let rec atomic = function
-    | Empty | Char _ | Class _ | Any | Group _ -> true
-    | Concat [ x ] | Alt [ x ] -> atomic x
-    | Concat _ | Alt _ | Repeat _ -> false
+    | Empty | Char _ | Class _ | Any | Group _ | Negate _ | Look _ -> true
+    | Concat [ x ] | Alt [ x ] | Inter [ x ] -> atomic x
+    | Concat _ | Alt _ | Repeat _ | Inter _ -> false
   in
   let rec go ~in_concat node =
     match node with
@@ -186,6 +235,25 @@ let to_pattern ast =
            go ~in_concat:false x)
         xs;
       if wrap then Buffer.add_char buf ')'
+    | Inter xs ->
+      (* '&' binds between '|' and concatenation; members are printed in
+         concatenation context so an Alt member parenthesises itself. *)
+      let wrap = in_concat in
+      if wrap then Buffer.add_char buf '(';
+      List.iteri
+        (fun k x ->
+           if k > 0 then Buffer.add_char buf '&';
+           go ~in_concat:true x)
+        xs;
+      if wrap then Buffer.add_char buf ')'
+    | Negate x ->
+      Buffer.add_string buf "(?~";
+      go ~in_concat:false x;
+      Buffer.add_char buf ')'
+    | Look (l, x) ->
+      Buffer.add_string buf (look_opener l);
+      go ~in_concat:false x;
+      Buffer.add_char buf ')'
     | Repeat (x, q) ->
       if atomic x then go ~in_concat:true x
       else begin
@@ -213,3 +281,6 @@ let rec pp ppf = function
   | Alt xs -> Fmt.pf ppf "Alt(@[%a@])" Fmt.(list ~sep:comma pp) xs
   | Repeat (x, q) -> Fmt.pf ppf "Repeat(%a, %a)" pp x pp_quant q
   | Group x -> Fmt.pf ppf "Group(%a)" pp x
+  | Inter xs -> Fmt.pf ppf "Inter(@[%a@])" Fmt.(list ~sep:comma pp) xs
+  | Negate x -> Fmt.pf ppf "Negate(%a)" pp x
+  | Look (l, x) -> Fmt.pf ppf "Look(%s, %a)" (look_opener l) pp x

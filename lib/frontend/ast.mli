@@ -12,6 +12,12 @@ type quant = {
   greedy : bool;
 }
 
+type look = {
+  behind : bool;
+  negative : bool;
+}
+(** Lookaround direction and polarity: [(?=r)] [(?!r)] [(?<=r)] [(?<!r)]. *)
+
 type t =
   | Empty
   | Char of char
@@ -21,6 +27,9 @@ type t =
   | Alt of t list
   | Repeat of t * quant
   | Group of t
+  | Inter of t list     (** [r&s]: both members must match the same span *)
+  | Negate of t         (** [(?~r)]: any span NOT matched exactly by [r] *)
+  | Look of look * t    (** zero-width assertion against the full input *)
 
 val quant : ?greedy:bool -> int -> int option -> quant
 (** Raises [Invalid_argument] on negative or inverted bounds. *)
@@ -51,9 +60,17 @@ val max_match_length : t -> int option
 (** Upper bound on match length in characters, [None] if unbounded. Sizes
     the multi-core overlap window. *)
 
+val has_extended : t -> bool
+(** True when the tree contains an extended operator (intersection,
+    complement or lookaround) — the backend-routing predicate. *)
+
+val look_opener : look -> string
+(** The pattern-syntax opener, e.g. ["(?<!"]. *)
+
 val to_pattern : t -> string
 (** Render back to pattern syntax such that re-parsing is semantically
-    equivalent. *)
+    equivalent (with [~extended:true] when the tree uses extended
+    operators; literal ['&'] is escaped so both dialects agree). *)
 
 val pp : t Fmt.t
 val pp_quant : quant Fmt.t

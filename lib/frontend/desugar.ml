@@ -67,12 +67,31 @@ let rec normalize (ast : Ast.t) : Ast.t =
           Ast.Repeat
             (inner, { Ast.qmin = total; qmax = Some total; greedy = q.Ast.greedy })
         | body -> Ast.Repeat (body, q)))
+  | Ast.Inter xs ->
+    (* Intersection is associative, so nested Inter flattens. Members
+       are NOT deduplicated or reordered here: the derivative engine
+       canonicalises behind hash-consing where it is semantics-safe. *)
+    let members =
+      List.concat_map
+        (fun x ->
+           match normalize x with Ast.Inter ys -> ys | y -> [ y ])
+        xs
+    in
+    (match members with
+     | [] -> Ast.Empty
+     | [ one ] -> one
+     | members -> Ast.Inter members)
+  | Ast.Negate x ->
+    (* No double-negation collapse: (?~(?~r)) equals r as a language but
+       carries longest-preference priority, which bare r need not. *)
+    Ast.Negate (normalize x)
+  | Ast.Look (l, x) -> Ast.Look (l, normalize x)
 
 (* Full front-end pipeline: parse then normalise. *)
-let pattern src : (Ast.t, string) result =
-  Result.map normalize (Parser.parse_result src)
+let pattern ?extended src : (Ast.t, string) result =
+  Result.map normalize (Parser.parse_result ?extended src)
 
-let pattern_exn src : Ast.t =
-  match pattern src with
+let pattern_exn ?extended src : Ast.t =
+  match pattern ?extended src with
   | Ok ast -> ast
   | Error msg -> invalid_arg ("Desugar.pattern: " ^ msg)

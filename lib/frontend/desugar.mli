@@ -7,7 +7,8 @@ val dot_class : Ast.charclass
 
 val normalize : Ast.t -> Ast.t
 
-val pattern : string -> (Ast.t, string) result
-(** Parse and normalise a pattern. *)
+val pattern : ?extended:bool -> string -> (Ast.t, string) result
+(** Parse and normalise a pattern ([~extended:true] enables the
+    intersection/complement/lookaround syntax). *)
 
-val pattern_exn : string -> Ast.t
+val pattern_exn : ?extended:bool -> string -> Ast.t

@@ -17,6 +17,13 @@ type token =
   | LPAR
   | RPAR
   | CLASS of Ast.charclass
+  (* Extended-dialect tokens, produced only under [tokenize ~extended]:
+     '&' (intersection), "(?~" (complement) and the four lookaround
+     openers. In the default dialect '&' stays a literal CHAR and "(?"
+     keeps its historical parse error. *)
+  | AMP
+  | NEG_OPEN
+  | LOOK_OPEN of Ast.look
 
 type error = {
   pos : int;
@@ -72,7 +79,7 @@ let read_escape src pos =
     | 's' -> (Esc_set (Charset.space, false), pos + 1)
     | 'S' -> (Esc_set (Charset.space, true), pos + 1)
     | '\\' | '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|'
-    | '^' | '$' | '-' | '/' ->
+    | '^' | '$' | '-' | '/' | '&' | '~' ->
       simple c
     | c -> fail pos (Printf.sprintf "unsupported escape \\%c" c)
   end
@@ -164,7 +171,7 @@ let shorthand_token set neg =
     { Ast.negated = neg;
       set = (if neg then set else set) }
 
-let tokenize src : (token * int) list =
+let tokenize ?(extended = false) src : (token * int) list =
   let n = String.length src in
   let rec go pos acc =
     if pos >= n then List.rev acc
@@ -176,6 +183,22 @@ let tokenize src : (token * int) list =
         | '+' -> (PLUS, pos + 1)
         | '?' -> (QUESTION, pos + 1)
         | '|' -> (ALTER, pos + 1)
+        | '&' when extended -> (AMP, pos + 1)
+        | '(' when extended && pos + 1 < n && src.[pos + 1] = '?' ->
+          (* "(?" group modifiers exist only in the extended dialect. *)
+          let look behind negative k =
+            (LOOK_OPEN { Ast.behind; negative }, pos + k)
+          in
+          if pos + 2 >= n then fail pos "unterminated group modifier"
+          else begin
+            match src.[pos + 2] with
+            | '~' -> (NEG_OPEN, pos + 3)
+            | '=' -> look false false 3
+            | '!' -> look false true 3
+            | '<' when pos + 3 < n && src.[pos + 3] = '=' -> look true false 4
+            | '<' when pos + 3 < n && src.[pos + 3] = '!' -> look true true 4
+            | c -> fail (pos + 2) (Printf.sprintf "unsupported group modifier '?%c'" c)
+          end
         | '(' -> (LPAR, pos + 1)
         | ')' -> (RPAR, pos + 1)
         | '[' ->
@@ -212,3 +235,6 @@ let pp_token ppf = function
   | RPAR -> Fmt.string ppf "RPAR"
   | CLASS { negated; set } ->
     Fmt.pf ppf "CLASS%s %a" (if negated then "^" else "") Charset.pp set
+  | AMP -> Fmt.string ppf "AMP"
+  | NEG_OPEN -> Fmt.string ppf "NEG_OPEN"
+  | LOOK_OPEN l -> Fmt.pf ppf "LOOK_OPEN %s" (Ast.look_opener l)

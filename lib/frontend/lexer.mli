@@ -13,6 +13,9 @@ type token =
   | LPAR
   | RPAR
   | CLASS of Ast.charclass
+  | AMP                        (** ['&'], extended dialect only *)
+  | NEG_OPEN                   (** ["(?~"], extended dialect only *)
+  | LOOK_OPEN of Ast.look      (** lookaround opener, extended dialect only *)
 
 type error = {
   pos : int;
@@ -23,8 +26,11 @@ exception Lex_error of error
 
 val error_message : error -> string
 
-val tokenize : string -> (token * int) list
-(** Tokens paired with their source offsets.
+val tokenize : ?extended:bool -> string -> (token * int) list
+(** Tokens paired with their source offsets. With [~extended:true] (the
+    default is [false]) ['&'] lexes as {!AMP} and ["(?~"] / ["(?="] /
+    ["(?!"] / ["(?<="] / ["(?<!"] as complement/lookaround openers;
+    otherwise the byte stream tokenizes exactly as before.
     @raise Lex_error on malformed input (unterminated class, bad escape,
     malformed brace quantifier, trailing backslash). *)
 

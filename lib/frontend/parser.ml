@@ -1,10 +1,18 @@
 (* Recursive-descent parser over the token stream (the paper's BISON
    stage). Grammar:
 
-     alternation   := concatenation ('|' concatenation)*
+     alternation   := intersection ('|' intersection)*
+     intersection  := concatenation ('&' concatenation)*
      concatenation := quantified*
      quantified    := atom (quantifier lazy-'?'?)?
      atom          := CHAR | DOT | CLASS | '(' alternation ')'
+                    | '(?~' alternation ')' | LOOK alternation ')'
+
+   The intersection level and the extended atoms only materialise when
+   the lexer ran with ~extended:true — the default token stream never
+   contains AMP / NEG_OPEN / LOOK_OPEN, so existing corpora parse
+   unchanged. '&' binds tighter than '|' and looser than concatenation
+   (RE#/SRM precedence).
 
    Stacked quantifiers (e.g. "a**") are rejected as in PCRE; a quantifier
    with nothing to its left is an error.
@@ -49,20 +57,21 @@ let quantifier_of_token = function
   | Lexer.QUESTION -> Some Ast.opt
   | Lexer.REPEAT (lo, hi) -> Some { Ast.qmin = lo; qmax = hi; greedy = true }
   | Lexer.CHAR _ | Lexer.DOT | Lexer.ALTER | Lexer.LPAR | Lexer.RPAR
-  | Lexer.CLASS _ ->
+  | Lexer.CLASS _ | Lexer.AMP | Lexer.NEG_OPEN | Lexer.LOOK_OPEN _ ->
     None
 
 let mk node left right = { Spanned.node; left; right }
 
 let rec parse_alternation st : Spanned.t =
-  let first = parse_concatenation st in
+  let first = parse_intersection st in
   let rec more acc =
     match peek st with
     | Some (Lexer.ALTER, _) ->
       advance st;
-      more (parse_concatenation st :: acc)
+      more (parse_intersection st :: acc)
     | Some ((Lexer.RPAR | Lexer.CHAR _ | Lexer.DOT | Lexer.STAR | Lexer.PLUS
-            | Lexer.QUESTION | Lexer.REPEAT _ | Lexer.LPAR | Lexer.CLASS _), _)
+            | Lexer.QUESTION | Lexer.REPEAT _ | Lexer.LPAR | Lexer.CLASS _
+            | Lexer.AMP | Lexer.NEG_OPEN | Lexer.LOOK_OPEN _), _)
     | None ->
       List.rev acc
   in
@@ -73,15 +82,32 @@ let rec parse_alternation st : Spanned.t =
     let right = (List.hd (List.rev branches)).Spanned.right in
     mk (Spanned.Alt branches) left right
 
+and parse_intersection st : Spanned.t =
+  let first = parse_concatenation st in
+  let rec more acc =
+    match peek st with
+    | Some (Lexer.AMP, _) ->
+      advance st;
+      more (parse_concatenation st :: acc)
+    | Some _ | None -> List.rev acc
+  in
+  match more [ first ] with
+  | [ one ] -> one
+  | members ->
+    let left = (List.hd members).Spanned.left in
+    let right = (List.hd (List.rev members)).Spanned.right in
+    mk (Spanned.Inter members) left right
+
 and parse_concatenation st : Spanned.t =
   let start = here st in
   let rec atoms acc =
     match peek st with
-    | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.CLASS _ | Lexer.LPAR), _) ->
+    | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.CLASS _ | Lexer.LPAR
+            | Lexer.NEG_OPEN | Lexer.LOOK_OPEN _), _) ->
       atoms (parse_quantified st :: acc)
     | Some ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _), pos) ->
       fail pos "quantifier with nothing to repeat"
-    | Some ((Lexer.ALTER | Lexer.RPAR), _) | None -> List.rev acc
+    | Some ((Lexer.ALTER | Lexer.RPAR | Lexer.AMP), _) | None -> List.rev acc
   in
   match atoms [] with
   | [] -> mk Spanned.Empty start start
@@ -108,7 +134,8 @@ and parse_quantified st : Spanned.t =
            (Ast.lazy_of q, stop)
          | Some ((Lexer.CHAR _ | Lexer.DOT | Lexer.STAR | Lexer.PLUS
                  | Lexer.REPEAT _ | Lexer.ALTER | Lexer.LPAR | Lexer.RPAR
-                 | Lexer.CLASS _), _)
+                 | Lexer.CLASS _ | Lexer.AMP | Lexer.NEG_OPEN
+                 | Lexer.LOOK_OPEN _), _)
          | None ->
            (q, stop)
        in
@@ -139,8 +166,24 @@ and parse_atom st : Spanned.t =
        advance st;
        mk (Spanned.Group inner) pos stop
      | _ :: _ | [] -> fail pos "unclosed group")
+  | (Lexer.NEG_OPEN, pos, _) :: _ ->
+    advance st;
+    let inner = parse_alternation st in
+    (match st.toks with
+     | (Lexer.RPAR, _, stop) :: _ ->
+       advance st;
+       mk (Spanned.Negate inner) pos stop
+     | _ :: _ | [] -> fail pos "unclosed complement group")
+  | (Lexer.LOOK_OPEN l, pos, _) :: _ ->
+    advance st;
+    let inner = parse_alternation st in
+    (match st.toks with
+     | (Lexer.RPAR, _, stop) :: _ ->
+       advance st;
+       mk (Spanned.Look (l, inner)) pos stop
+     | _ :: _ | [] -> fail pos "unclosed lookaround group")
   | ((Lexer.STAR | Lexer.PLUS | Lexer.QUESTION | Lexer.REPEAT _
-     | Lexer.ALTER | Lexer.RPAR), pos, _) :: _ ->
+     | Lexer.ALTER | Lexer.RPAR | Lexer.AMP), pos, _) :: _ ->
     fail pos "expected an atom"
   | [] -> fail st.src_len "expected an atom"
 
@@ -162,19 +205,19 @@ let parse_spanned_tokens src_len toks : Spanned.t =
   | Some (_, pos) -> fail pos "trailing input"
   | None -> ast
 
-let parse_spanned src : Spanned.t =
-  parse_spanned_tokens (String.length src) (Lexer.tokenize src)
+let parse_spanned ?extended src : Spanned.t =
+  parse_spanned_tokens (String.length src) (Lexer.tokenize ?extended src)
 
-let parse src : Ast.t = Spanned.strip (parse_spanned src)
+let parse ?extended src : Ast.t = Spanned.strip (parse_spanned ?extended src)
 
-let parse_result src : (Ast.t, string) result =
-  match parse src with
+let parse_result ?extended src : (Ast.t, string) result =
+  match parse ?extended src with
   | ast -> Ok ast
   | exception Lexer.Lex_error e -> Error (Lexer.error_message e)
   | exception Parse_error e -> Error (error_message e)
 
-let parse_spanned_result src : (Spanned.t, string) result =
-  match parse_spanned src with
+let parse_spanned_result ?extended src : (Spanned.t, string) result =
+  match parse_spanned ?extended src with
   | ast -> Ok ast
   | exception Lexer.Lex_error e -> Error (Lexer.error_message e)
   | exception Parse_error e -> Error (error_message e)

@@ -10,19 +10,22 @@ exception Parse_error of error
 
 val error_message : error -> string
 
-val parse : string -> Ast.t
-(** @raise Parse_error on syntax errors.
+val parse : ?extended:bool -> string -> Ast.t
+(** With [~extended:true], ['&'] intersections, ["(?~r)"] complements and
+    the four lookarounds parse into the extended AST nodes; the default
+    dialect is byte-for-byte the historical one.
+    @raise Parse_error on syntax errors.
     @raise Lexer.Lex_error on lexical errors. *)
 
-val parse_result : string -> (Ast.t, string) result
+val parse_result : ?extended:bool -> string -> (Ast.t, string) result
 (** Exception-free wrapper returning a rendered error message. *)
 
-val parse_spanned : string -> Spanned.t
+val parse_spanned : ?extended:bool -> string -> Spanned.t
 (** Like {!parse} but keeps byte spans on every node — the view the lint
     pass reports diagnostics against. [Spanned.strip (parse_spanned s)]
     equals [parse s].
     @raise Parse_error on syntax errors.
     @raise Lexer.Lex_error on lexical errors. *)
 
-val parse_spanned_result : string -> (Spanned.t, string) result
+val parse_spanned_result : ?extended:bool -> string -> (Spanned.t, string) result
 (** Exception-free wrapper around {!parse_spanned}. *)

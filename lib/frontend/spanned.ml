@@ -16,6 +16,9 @@ and node =
   | Alt of t list
   | Repeat of t * Ast.quant
   | Group of t
+  | Inter of t list
+  | Negate of t
+  | Look of Ast.look * t
 
 (* Inverse embedding for consumers that only have a bare AST (the
    analysis entry points are span-typed): every node carries the empty
@@ -32,6 +35,9 @@ let rec of_ast (a : Ast.t) : t =
   | Ast.Alt xs -> mk (Alt (List.map of_ast xs))
   | Ast.Repeat (x, q) -> mk (Repeat (of_ast x, q))
   | Ast.Group x -> mk (Group (of_ast x))
+  | Ast.Inter xs -> mk (Inter (List.map of_ast xs))
+  | Ast.Negate x -> mk (Negate (of_ast x))
+  | Ast.Look (l, x) -> mk (Look (l, of_ast x))
 
 let rec strip (s : t) : Ast.t =
   match s.node with
@@ -43,6 +49,9 @@ let rec strip (s : t) : Ast.t =
   | Alt xs -> Ast.Alt (List.map strip xs)
   | Repeat (x, q) -> Ast.Repeat (strip x, q)
   | Group x -> Ast.Group (strip x)
+  | Inter xs -> Ast.Inter (List.map strip xs)
+  | Negate x -> Ast.Negate (strip x)
+  | Look (l, x) -> Ast.Look (l, strip x)
 
 let span_text src (s : t) =
   let left = max 0 (min s.left (String.length src)) in
@@ -64,3 +73,7 @@ let rec pp ppf (s : t) =
   | Repeat (x, q) ->
     tag "rep" (fun ppf () -> Fmt.pf ppf "%a %a" pp x Ast.pp_quant q)
   | Group x -> tag "grp" (fun ppf () -> pp ppf x)
+  | Inter xs -> tag "and" (fun ppf () -> Fmt.(list ~sep:(any "&") pp) ppf xs)
+  | Negate x -> tag "neg" (fun ppf () -> pp ppf x)
+  | Look (l, x) ->
+    tag ("look" ^ Ast.look_opener l) (fun ppf () -> pp ppf x)

@@ -18,6 +18,9 @@ and node =
   | Alt of t list
   | Repeat of t * Ast.quant
   | Group of t
+  | Inter of t list
+  | Negate of t
+  | Look of Ast.look * t
 
 val strip : t -> Ast.t
 (** Erase spans. [strip (Parser.parse_spanned src) = Parser.parse src]. *)

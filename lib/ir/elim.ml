@@ -1,0 +1,162 @@
+(* Extended-operator elimination: decide, per pattern, whether the
+   speculative ISA can serve it after rewriting, or whether it needs
+   the derivative engine.
+
+   The rewrite is a bottom-up pass over the AST with a three-valued
+   result per subtree:
+
+     Dead      — the subtree matches nothing (e.g. [a&b]); no AST
+                 literal denotes the empty language, so a Dead subtree
+                 either erases an enclosing construct or forces the
+                 whole pattern onto the derivative backend.
+     Plain ast — an equivalent POSIX-ERE AST: same language AND same
+                 leftmost-first span preference, byte for byte.
+     Ext ast   — still carries extended operators (simplified where
+                 the rules below fired on children).
+
+   Priority-safe rules only. The ones that need justification:
+
+   - Dead Alt branches are dropped: a branch that can never match
+     contributes no leaf to the backtracking order.
+   - A lookaround whose body is LOOK-FREE and statically nullable is a
+     constant: positive holds everywhere (the empty window witnesses
+     it), negative never holds. The look-free requirement is essential
+     — static [Ast.nullable] treats nested looks as nullable, which is
+     only an approximation.
+   - A finite-language extended subtree (decided on the derivative
+     graph by {!Alveare_derivative.Enumerate}) becomes an alternation
+     of its strings, LONGEST-FIRST. On any fixed input the strings
+     matching at one position form a prefix chain, so longest-first
+     alternation order reproduces the prefer-continue (longest)
+     preference that intersection and complement carry; same-length
+     strings are mutually exclusive, so their relative order is
+     irrelevant.
+   - [Negate] of a Dead subtree is the universal language with
+     prefer-continue preference — exactly a greedy star over the full
+     byte class.
+
+   What is deliberately NOT attempted: GNFA-style state elimination of
+   infinite-language intersections/complements. It preserves language
+   but scrambles the leaf order, so its output would diverge from the
+   derivative oracle on preference. Those patterns stay [Ext]. *)
+
+open Alveare_frontend
+module Engine = Alveare_derivative.Engine
+module Enumerate = Alveare_derivative.Enumerate
+
+type result =
+  | Plain of Ast.t
+  | Extended of Ast.t
+  | Dead
+
+type value = VDead | VPlain of Ast.t | VExt of Ast.t
+
+let ast_of = function VPlain ast | VExt ast -> ast | VDead -> assert false
+
+let full_class : Ast.t =
+  Ast.Class { Ast.negated = false; set = Alveare_derivative.Regex.full_set }
+
+(* The universal language with prefer-continue (longest) preference:
+   a greedy unbounded star over every byte. *)
+let universal : Ast.t =
+  Ast.Repeat (full_class, { Ast.qmin = 0; qmax = None; greedy = true })
+
+let rec has_look = function
+  | Ast.Look _ -> true
+  | Ast.Empty | Ast.Char _ | Ast.Any | Ast.Class _ -> false
+  | Ast.Group x | Ast.Negate x | Ast.Repeat (x, _) -> has_look x
+  | Ast.Concat xs | Ast.Alt xs | Ast.Inter xs -> List.exists has_look xs
+
+(* Enumerate the (finite) language of an extended subtree and rebuild
+   it as a longest-first alternation of literals. *)
+let try_enumerate (ast : Ast.t) : value option =
+  match Enumerate.enumerate (Engine.of_ast ast) with
+  | None -> None
+  | Some [] -> Some VDead
+  | Some strings ->
+    let literal s =
+      if s = "" then Ast.Empty
+      else Ast.Concat (List.map (fun c -> Ast.Char c) (List.init (String.length s) (String.get s)))
+    in
+    (match strings with
+     | [ one ] -> Some (VPlain (literal one))
+     | many -> Some (VPlain (Ast.Alt (List.map literal many))))
+
+let rec go (ast : Ast.t) : value =
+  match ast with
+  | Ast.Empty | Ast.Char _ | Ast.Any | Ast.Class _ -> VPlain ast
+  | Ast.Group x ->
+    (match go x with
+     | VDead -> VDead
+     | VPlain x' -> VPlain (Ast.Group x')
+     | VExt x' -> VExt (Ast.Group x'))
+  | Ast.Concat xs ->
+    let vs = List.map go xs in
+    if List.exists (fun v -> v = VDead) vs then VDead
+    else
+      let asts = List.map ast_of vs in
+      if List.for_all (function VPlain _ -> true | _ -> false) vs then
+        VPlain (Ast.Concat asts)
+      else VExt (Ast.Concat asts)
+  | Ast.Alt xs ->
+    (* dropping never-matching branches is priority-safe *)
+    let vs = List.filter (fun v -> v <> VDead) (List.map go xs) in
+    (match vs with
+     | [] -> VDead
+     | vs ->
+       let asts = List.map ast_of vs in
+       let node = match asts with [ one ] -> one | many -> Ast.Alt many in
+       if List.for_all (function VPlain _ -> true | _ -> false) vs then
+         VPlain node
+       else VExt node)
+  | Ast.Repeat (x, q) ->
+    (match go x with
+     | VDead -> if q.Ast.qmin = 0 then VPlain Ast.Empty else VDead
+     | VPlain x' -> VPlain (Ast.Repeat (x', q))
+     | VExt x' -> VExt (Ast.Repeat (x', q)))
+  | Ast.Look (l, x) ->
+    (match go x with
+     | VDead ->
+       (* the body can never match any window: positive look never
+          holds, negative always does *)
+       if l.Ast.negative then VPlain Ast.Empty else VDead
+     | (VPlain body | VExt body) when (not (has_look body)) && Ast.nullable body ->
+       (* look-free nullable body: the empty window witnesses a match
+          at every position, so the predicate is constant *)
+       if l.Ast.negative then VDead else VPlain Ast.Empty
+     | VPlain body | VExt body -> VExt (Ast.Look (l, body)))
+  | Ast.Inter xs ->
+    let vs = List.map go xs in
+    if List.exists (fun v -> v = VDead) vs then VDead
+    else begin
+      let asts = List.map ast_of vs in
+      let node = match asts with [ one ] -> one | many -> Ast.Inter many in
+      match node with
+      | Ast.Inter _ ->
+        (match try_enumerate node with
+         | Some v -> v
+         | None -> VExt node)
+      | _ ->
+        (* single member: Inter wrappers carry prefer-continue
+           preference, so keep extended unless it is itself plain and
+           the wrapper came from the parser's flattening (the frontend
+           never produces Inter [x], so this is unreachable in
+           practice; stay conservative) *)
+        VExt (Ast.Inter [ node ])
+    end
+  | Ast.Negate x ->
+    (match go x with
+     | VDead -> VPlain universal
+     | VPlain body | VExt body ->
+       let node = Ast.Negate body in
+       (match try_enumerate node with
+        | Some v -> v
+        | None -> VExt node))
+
+let plainify (ast : Ast.t) : result =
+  if not (Ast.has_extended ast) then Plain ast
+  else
+    match go ast with
+    | VDead -> Dead
+    | VPlain ast' -> Plain ast'
+    | VExt ast' -> Extended ast'

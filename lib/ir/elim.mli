@@ -1,0 +1,30 @@
+(** Extended-operator elimination.
+
+    [plainify ast] decides how a (possibly extended) pattern can be
+    served:
+
+    - [Plain ast']: an equivalent POSIX-ERE AST — same language and the
+      same leftmost-first span preference — ready for the normal ISA
+      pipeline. Produced when the extended operators erase (constant
+      lookarounds, dead branches) or the extended subtrees have a
+      provably finite language (lowered to a longest-first alternation
+      of literals, which reproduces prefer-continue preference
+      exactly).
+    - [Extended ast']: extended operators remain (simplified where
+      possible); the pattern must be served by the derivative engine.
+    - [Dead]: the pattern matches nothing at all. No AST literal
+      denotes the empty language, so the caller routes this to the
+      derivative engine too (which reports no matches).
+
+    All rewrites are priority-safe: the output engine agrees with the
+    derivative oracle span for span, not just on language. *)
+
+open Alveare_frontend
+
+type result =
+  | Plain of Ast.t
+  | Extended of Ast.t
+  | Dead
+
+val plainify : Ast.t -> result
+(** Patterns without extended operators return [Plain] unchanged. *)

@@ -189,6 +189,11 @@ let lower ?(options = default_options) (ast : Ast.t) : Ir.t =
       (match walk parts [] [] with
        | [ one ] -> one
        | items -> Ir.Seq items)
+    | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+      (* Extended operators must be rewritten into the plain dialect
+         (Elim.plainify) or routed to the derivative backend before the
+         ISA lowering runs. *)
+      invalid_arg "Lower: extended operators cannot be lowered to the ISA"
   in
   let ast = Desugar.normalize ast in
   go (if options.optimize then Opt.optimize ast else ast)

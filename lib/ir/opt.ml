@@ -127,6 +127,10 @@ let rec est (node : Ast.t) : int * bool =
   | Ast.Repeat (x, _) ->
     let n, fusable = est x in
     (1 + n + (if fusable then 0 else 1), false)
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+    (* extended operators never reach the emitter; a size-proportional
+       guess keeps the rolling heuristics total *)
+    (Ast.size node, false)
 
 let size_estimate ast = fst (est ast)
 
@@ -145,6 +149,8 @@ let rec is_void = function
   | Ast.Alt xs -> List.for_all is_void xs
   | Ast.Repeat (x, q) -> q.Ast.qmin > 0 && is_void x
   | Ast.Group x -> is_void x
+  | Ast.Inter xs -> List.exists is_void xs
+  | Ast.Negate _ | Ast.Look _ -> false
 
 let dead_branch b =
   is_void b
@@ -199,7 +205,8 @@ let consumer_set = function
   | Ast.Char c -> Some (Charset.singleton c)
   | Ast.Class cls -> Some (Alveare_engine.Semantics.class_set cls)
   | Ast.Any -> Some (Alveare_engine.Semantics.class_set Desugar.dot_class)
-  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _ -> None
+  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ -> None
 
 (* Only ADJACENT consumer branches may merge (see header). Within an
    adjacent run the merge is exact — every member consumes one char into
@@ -233,7 +240,8 @@ let deterministic_head = function
        Some (x, (match rest with [] -> Ast.Empty | [ y ] -> y | ys -> Ast.Concat ys))
      | [] -> None)
   | (Ast.Char _ | Ast.Class _ | Ast.Any) as atom -> Some (atom, Ast.Empty)
-  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _ -> None
+  | Ast.Empty | Ast.Concat _ | Ast.Alt _ | Ast.Repeat _ | Ast.Group _
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ -> None
 
 (* Last element of a branch plus the leading remainder. Any node shape
    may be a shared tail (priority-safe, see header); a bare atom is its
@@ -250,7 +258,7 @@ let split_last = function
      | [] -> None)
   | (Ast.Char _ | Ast.Class _ | Ast.Any | Ast.Repeat _ | Ast.Alt _) as atom ->
     Some (Ast.Empty, atom)
-  | Ast.Empty | Ast.Group _ -> None
+  | Ast.Empty | Ast.Group _ | Ast.Inter _ | Ast.Negate _ | Ast.Look _ -> None
 
 (* Factor a shared deterministic head out of maximal runs of ADJACENT
    branches (adjacency keeps PCRE branch priority intact), recursing
@@ -477,6 +485,12 @@ let rec rewrite (node : Ast.t) : Ast.t =
       (match fuse_nest x q with
        | Some fusedrep -> fusedrep
        | None -> Ast.Repeat (x, q))
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+    (* opaque leaves: the span-preserving rules above are not licensed
+       to rewrite under exact-range (complement/lookaround) semantics,
+       and the compiler routes extended patterns away from this
+       optimiser anyway *)
+    node
 
 and rewrite_branches branches =
   let branches = dedup_branches branches in

@@ -69,6 +69,15 @@ let rec first_set = function
         if Ast.nullable x then go acc rest else acc
     in
     go Charset.empty xs
+  | Ast.Inter (x :: _) ->
+    (* any match of the intersection is a match of each member, so a
+       single member's first set already over-approximates *)
+    first_set x
+  | Ast.Inter [] -> Charset.empty
+  | Ast.Negate _ ->
+    (* complement matches are unconstrained in their first byte *)
+    Charset.complement ~alphabet_size:full_byte_universe Charset.empty
+  | Ast.Look _ -> Charset.empty  (* zero-width: no nonempty match *)
 
 (* ---- minimum match length -------------------------------------------- *)
 
@@ -83,6 +92,11 @@ let rec min_length = function
      | x :: rest ->
        List.fold_left (fun acc y -> min acc (min_length y)) (min_length x) rest)
   | Ast.Repeat (x, q) -> q.Ast.qmin * min_length x
+  | Ast.Inter xs ->
+    (* a match must satisfy every member, so the largest member bound
+       is still a lower bound *)
+    List.fold_left (fun acc x -> max acc (min_length x)) 0 xs
+  | Ast.Negate _ | Ast.Look _ -> 0
 
 (* A child with a fixed match width contributes an exact offset for the
    literals of the children after it. *)
@@ -173,6 +187,9 @@ let rec literal_seq = function
       let acc = go (exact_of [ "" ]) q.Ast.qmin in
       { acc with s_exact = acc.s_exact && q.Ast.qmax = Some q.Ast.qmin }
     end
+  | Ast.Inter _ | Ast.Negate _ | Ast.Look _ ->
+    (* extended operators carry no guaranteed literal prefix *)
+    useless
 
 (* A seq prunes offsets only if every covered match starts with at
    least one byte of literal. *)

@@ -15,6 +15,12 @@ module Cache = Alveare_exec.Cache
 
 let version = "alveare-server/1"
 
+(* Capability advertisement: the wire protocol is unchanged by the
+   extended dialect (patterns are strings either way), so clients
+   discover it from the Health version string. *)
+let advertised_version ~extended =
+  if extended then version ^ "+extended" else version
+
 type config = {
   cache : Compile.cache;
   scan_workers : int;
@@ -23,6 +29,7 @@ type config = {
   max_polynomial_degree : int option;
   max_input : int;
   dfa : bool;
+  extended : bool;
 }
 
 let default_config =
@@ -32,7 +39,8 @@ let default_config =
     lint_gate = true;
     max_polynomial_degree = None;
     max_input = 16 * 1024 * 1024;
-    dfa = true }
+    dfa = true;
+    extended = false }
 
 type t = {
   config : config;
@@ -149,7 +157,9 @@ let gate t ~id ~allow_risky (c : Compile.compiled) k =
       (rejection_message c.Compile.pattern why)
 
 let compile_pattern t ~id pattern k =
-  match Compile.cached ~cache:t.config.cache pattern with
+  match
+    Compile.cached ~cache:t.config.cache ~extended:t.config.extended pattern
+  with
   | Error e -> err t id Protocol.Parse_error (Compile.error_message e)
   | Ok c -> k c
 
@@ -184,6 +194,16 @@ let handle_scan t ~id ~pattern ~input ~allow_risky =
               let stats = Core.fresh_stats () in
               let fam = if t.config.dfa then c.Compile.dfa else None in
               let spans =
+                match c.Compile.backend with
+                | Compile.Derivative eng ->
+                  (* extended pattern served by the derivative engine:
+                     host execution, so no DSA cycle/attempt counters.
+                     The admission gate admitted it as a matter of
+                     policy — the engine is worst-case linear per
+                     start position, so there is no backtracking blowup
+                     for the gate to refuse. *)
+                  Alveare_derivative.Engine.find_all eng input
+                | Compile.Isa | Compile.Isa_lowered ->
                 if t.config.cores = 1 then
                   Core.find_all ~stats ~prefilter:c.Compile.prefilter
                     ~plan:c.Compile.plan ?dfa:fam c.Compile.program input
@@ -227,7 +247,7 @@ let handle_ruleset_scan t ~id ~rules ~input ~allow_risky =
   check_input t ~id input (fun () ->
       match
         Ruleset.compile ~cache:t.config.cache ~workers:t.config.scan_workers
-          rules
+          ~extended:t.config.extended rules
       with
       | Error errs ->
         err t id Protocol.Parse_error
@@ -303,7 +323,8 @@ let handle t ?deadline req =
     try
       match req with
       | Protocol.Health { id } ->
-        Protocol.Health_ok { id; version }
+        Protocol.Health_ok
+          { id; version = advertised_version ~extended:t.config.extended }
       | Protocol.Compile { id; pattern; allow_risky } ->
         handle_compile t ~id ~pattern ~allow_risky
       | Protocol.Scan { id; pattern; input; allow_risky; deadline_ms = _ } ->

@@ -32,11 +32,23 @@ type config = {
           ({!Alveare_arch.Dfa_overlay}); responses — spans and every
           stat — are bit-identical with it off, only host throughput
           changes *)
+  extended : bool;
+      (** accept the extended pattern dialect (intersection [&],
+          complement [(?~r)], lookarounds). Extended patterns the
+          mid-end cannot rewrite for the ISA are served by the
+          derivative engine; they pass the admission gate by policy —
+          the derivative engine is worst-case linear per start
+          position, so there is no backtracking blowup to refuse (their
+          precise analysis reports
+          [extended-operator-unanalyzed]/[Linear]). The wire protocol
+          is unchanged; capability is advertised via the [Health]
+          version suffix [+extended]. *)
 }
 
 val default_config : config
 (** Shared default cache, 1 worker, 1 core, gate on (exponential only,
-    [max_polynomial_degree = None]), 16 MiB input cap, overlay on. *)
+    [max_polynomial_degree = None]), 16 MiB input cap, overlay on,
+    extended dialect off. *)
 
 type t
 
@@ -65,3 +77,7 @@ val handle : t -> ?deadline:float -> Protocol.request -> Protocol.response
 
 val version : string
 (** Protocol/server version string reported by [Health]. *)
+
+val advertised_version : extended:bool -> string
+(** The [Health] version string for a given capability set: [version]
+    with the [+extended] suffix when the extended dialect is on. *)

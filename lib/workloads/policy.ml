@@ -1,0 +1,78 @@
+(* Policy-rule generator for the extended dialect: conjunctions of a
+   structural skeleton with content constraints (intersection), deny
+   rules (complement), and context guards (lookarounds) — the way
+   access-control and data-validation rule sets are written once the
+   dialect allows it.
+
+   Witness planting contract: [Sampler.sample] on an intersection draws
+   from the FIRST member only, so every family below puts its most
+   specific member first and chooses the remaining members to provably
+   contain member 1's sample distribution (character classes and length
+   windows checked per family). Complement members forbid characters
+   the first member can never produce. Lookarounds are self-satisfying:
+   the guarded context is part of the skeleton the sampler emits.
+   Bare complements never appear at top level (they are unsamplable).
+
+   Families deliberately span both execution backends: infinite-language
+   conjunctions and lookarounds are served by the derivative engine,
+   while finite conjunctions (member 1 a literal alternation contained
+   in member 2) are rewritten to plain literal alternations by the
+   mid-end and run on the ISA. *)
+
+let stem rng = Rng.pick rng [ "admin"; "root"; "guest"; "oracle" ]
+
+let proto rng = Rng.pick rng [ "ftp"; "ssh"; "mysql"; "smtp" ]
+
+let field rng = Rng.pick rng [ "user"; "sess"; "txn"; "key" ]
+
+let ext rng = Rng.pick rng [ "php"; "asp"; "cgi"; "jsp" ]
+
+let pattern rng =
+  match Rng.int rng 10 with
+  | 0 ->
+    (* credential probe: stem + digits, conjoined with an alphanumeric
+       length window. Stems are 4-6 chars and the digit run samples
+       2-4 long, so every witness lands inside [a-z0-9]{6,10}. *)
+    Printf.sprintf "(%s|%s)[0-9]{2,4}&[a-z0-9]{6,10}" (stem rng) (stem rng)
+  | 1 ->
+    (* deny rule: an alphabetic field that must not contain a digit —
+       member 1 cannot produce one, so witnesses always satisfy it *)
+    Printf.sprintf "[a-z]{%d,%d}&(?~.*[0-9].*)" (Rng.range rng 3 5)
+      (Rng.range rng 8 12)
+  | 2 ->
+    (* hex session id, deny anything outside the hex alphabet *)
+    Printf.sprintf "[0-9a-f]{%d,%d}&(?~.*[g-z].*)" (Rng.range rng 6 9)
+      (Rng.range rng 10 14)
+  | 3 ->
+    (* URI probe with a no-digit deny rule on the path token *)
+    Printf.sprintf "get /[a-z]{%d,%d}&(?~.*[0-9].*)" (Rng.range rng 3 5)
+      (Rng.range rng 8 10)
+  | 4 ->
+    (* self-satisfying lookahead: the guarded digit run follows *)
+    Printf.sprintf "%s(?=[0-9])[0-9]{3,6}" (field rng)
+  | 5 ->
+    (* negative lookahead at a token boundary: the continuation class
+       [n-z0-9] is disjoint from the guarded class [a-m] *)
+    Printf.sprintf "(%s|%s)(?![a-m])[n-z0-9]{2,5}" (proto rng) (proto rng)
+  | 6 ->
+    (* lookbehind into the run the skeleton just matched *)
+    Printf.sprintf "[a-f]{%d,%d}(?<=[a-f])[0-9]{2,4}" (Rng.range rng 2 4)
+      (Rng.range rng 5 7)
+  | 7 ->
+    (* negative lookbehind: the digit run cannot end in [a-f] *)
+    Printf.sprintf "[0-9]{2,4}(?<![a-f])[a-f]{2,4}"
+  | 8 ->
+    (* finite conjunction: versioned extensions, member 1 a strict
+       subset of member 2 — the mid-end rewrites this to a plain
+       literal alternation and it runs on the ISA *)
+    let e = ext rng in
+    let v = Rng.range rng 2 5 in
+    Printf.sprintf "(%s%d|%s%d)&(%s%d|%s%d|%s%d)" e v e (v + 1) e (v - 1) e v
+      e (v + 1)
+  | _ ->
+    (* finite conjunction: a literal filename against its alphabet *)
+    Printf.sprintf "%s\\.(%s|%s)&[a-z.]+" (field rng) (ext rng) (ext rng)
+
+let patterns rng n = List.init n (fun _ -> pattern rng)
+
+let background = Streams.lowercase_text

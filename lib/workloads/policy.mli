@@ -1,0 +1,10 @@
+(** Policy rules in the extended dialect: skeleton-and-constraint
+    conjunctions, complement deny rules and lookaround context guards.
+    Every family keeps its most specific member first so
+    {!Sampler.sample} (which draws intersection witnesses from member 1
+    and skips zero-width nodes) always produces a string matching the
+    whole rule. Parse with [~extended:true]. *)
+
+val pattern : Rng.t -> string
+val patterns : Rng.t -> int -> string list
+val background : Rng.t -> char

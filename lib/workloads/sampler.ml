@@ -44,6 +44,18 @@ let sample ?(spread = default_spread) rng (ast : Ast.t) : string =
       in
       let count = Rng.range rng q.Ast.qmin hi in
       for _ = 1 to count do go x done
+    | Ast.Inter (x :: _) ->
+      (* best effort: sample the first member. Callers planting
+         intersection witnesses must build members whose samples
+         satisfy the whole conjunction (the policy workload does). *)
+      go x
+    | Ast.Inter [] -> ()
+    | Ast.Look _ ->
+      (* zero-width: contributes nothing; the surrounding context must
+         make the predicate hold *)
+      ()
+    | Ast.Negate _ ->
+      invalid_arg "Sampler.sample: complement bodies are not samplable"
   in
   go ast;
   Buffer.contents buf

@@ -14,6 +14,7 @@ module Pike = Alveare_engine.Pike_vm
 module Nfa = Alveare_engine.Nfa
 module Dfa = Alveare_engine.Lazy_dfa
 module Counting = Alveare_engine.Counting
+module Engine = Alveare_derivative.Engine
 module S = Alveare_engine.Semantics
 
 type failure = {
@@ -39,6 +40,13 @@ let check_case ast input : failure list =
     let fail engine detail =
       failures := { engine; pattern; input; detail } :: !failures
     in
+    (* derivative engine: the Brzozowski-derivative semantic oracle
+       must agree span-for-span with the backtracking oracle (and hence
+       with every ISA engine below) on the POSIX-ERE fragment *)
+    let deriv = Engine.find_all (Engine.of_ast c.Compile.ast) input in
+    if deriv <> oracle then
+      fail "derivative"
+        (Fmt.str "deriv %s oracle %s" (show_spans deriv) (show_spans oracle));
     (* simulator: exact spans *)
     let sim = Core.find_all c.Compile.program input in
     if sim <> oracle then
@@ -191,6 +199,64 @@ let run_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed () : failure list =
          failures := f :: !failures;
          on_failure k f)
       (check_case ast input)
+  done;
+  List.rev !failures
+
+(* --- Extended dialect: lowering vs the derivative oracle ------------ *)
+
+(* One extended case = the mid-end elimination pipeline checked end to
+   end against the derivative engine run on the ORIGINAL ast. Whatever
+   backend [Compile.compile_ast] routes the pattern to — plain ISA
+   after a complete rewrite (Isa / Isa_lowered) or the derivative
+   engine itself — the reported spans must equal the oracle's, on both
+   the dense and the prefiltered scan. *)
+let check_extended_case ast input : failure list =
+  let ast = Alveare_frontend.Desugar.normalize ast in
+  let pattern = Alveare_frontend.Ast.to_pattern ast in
+  let oracle = Engine.find_all (Engine.of_ast ast) input in
+  match Compile.compile_ast ast with
+  | Error _ -> [] (* jump-field overflow on a lowered body: uncompilable *)
+  | Ok c ->
+    let failures = ref [] in
+    let fail engine detail =
+      failures := { engine; pattern; input; detail } :: !failures
+    in
+    (match c.Compile.backend with
+     | Compile.Derivative eng ->
+       let spans = Engine.find_all eng input in
+       if spans <> oracle then
+         fail "ext-derivative"
+           (Fmt.str "served %s oracle %s" (show_spans spans)
+              (show_spans oracle))
+     | Compile.Isa | Compile.Isa_lowered ->
+       let dense =
+         Core.find_all ~plan:c.Compile.plan c.Compile.program input
+       in
+       if dense <> oracle then
+         fail "ext-lowered"
+           (Fmt.str "lowered %s oracle %s" (show_spans dense)
+              (show_spans oracle));
+       let filtered =
+         Core.find_all ~plan:c.Compile.plan ~prefilter:c.Compile.prefilter
+           c.Compile.program input
+       in
+       if filtered <> oracle then
+         fail "ext-lowered+prefilter"
+           (Fmt.str "lowered %s oracle %s" (show_spans filtered)
+              (show_spans oracle)));
+    !failures
+
+let run_extended_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed ()
+    : failure list =
+  let rng = Alveare_workloads.Rng.create seed in
+  let failures = ref [] in
+  for k = 1 to count do
+    let ast, input = Gen_ast.random_extended_case rng in
+    List.iter
+      (fun f ->
+         failures := f :: !failures;
+         on_failure k f)
+      (check_extended_case ast input)
   done;
   List.rev !failures
 

@@ -91,6 +91,78 @@ let gen_ast_and_input : (Ast.t * string) QCheck2.Gen.t =
   in
   return (ast, input)
 
+(* --- Extended-dialect generators (intersection / complement /
+   lookarounds) ----------------------------------------------------------
+
+   Built on top of the plain generators: extended operators appear as a
+   thin layer over plain bodies, mirroring how policy rules are written
+   in practice (a structural skeleton intersected with constraints, or a
+   plain pattern guarded by a lookaround). Bodies stay plain so witness
+   planting via [Sampler.sample] keeps working — it samples the first
+   intersection member and skips zero-width nodes, and complement bodies
+   are never sampled (the witness generator wraps them in an
+   alternation whose other branch is plain). *)
+
+let gen_look : Ast.look QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* behind = bool in
+  let* negative = bool in
+  return { Ast.behind; negative }
+
+let rec gen_extended_sized n : Ast.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let plain m = gen_ast_sized (max 1 m) in
+  if n <= 2 then plain n
+  else
+    frequency
+      [ (3, plain n);
+        (2,
+         let* k = int_range 2 3 in
+         map (fun xs -> Ast.Inter xs)
+           (list_size (return k) (plain (n / k))));
+        (1, map (fun x -> Ast.Negate x) (plain (n / 2)));
+        (2,
+         let* look = gen_look in
+         let* body = plain (n / 2) in
+         let* tail = plain (n / 2) in
+         (* a lookaround next to consuming material, the common shape *)
+         return (Ast.Concat [ Ast.Look (look, body); tail ]));
+        (1,
+         let* k = int_range 2 3 in
+         map (fun xs -> Ast.Concat xs)
+           (list_size (return k) (gen_extended_sized (n / k))));
+        (1,
+         let* k = int_range 2 3 in
+         map (fun xs -> Ast.Alt xs)
+           (list_size (return k) (gen_extended_sized (n / k)))) ]
+
+let gen_extended_ast : Ast.t QCheck2.Gen.t =
+  QCheck2.Gen.(sized_size (int_range 2 12) gen_extended_sized)
+
+(* Witnesses for extended patterns are best effort: [Sampler.sample]
+   refuses complement bodies, so those cases fall back to background
+   noise — which still collides with the small alphabet often enough to
+   exercise accept paths. *)
+let gen_extended_input_with_witness (ast : Ast.t) : string QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* prefix = gen_input in
+  let* suffix = gen_input in
+  let* seed = int_bound 1_000_000 in
+  let rng = Alveare_workloads.Rng.create seed in
+  let witness =
+    try Alveare_workloads.Sampler.sample rng ast
+    with Invalid_argument _ -> ""
+  in
+  return (prefix ^ witness ^ suffix)
+
+let gen_extended_ast_and_input : (Ast.t * string) QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let* ast = gen_extended_ast in
+  let* input =
+    oneof [ gen_input; gen_extended_input_with_witness ast ]
+  in
+  return (ast, input)
+
 let print_ast ast = Alveare_frontend.Ast.to_pattern ast
 
 let print_ast_and_input (ast, input) =
@@ -141,4 +213,50 @@ let random_input rng ast =
 let random_case rng =
   let ast = Alveare_frontend.Desugar.normalize (random_ast rng 3) in
   let input = random_input rng ast in
+  (ast, input)
+
+(* Extended-dialect Rng twin of [random_ast]: plain bodies under a thin
+   layer of intersection / complement / lookaround nodes, same shapes as
+   the QCheck generator above. *)
+let rec random_extended_ast rng depth : Ast.t =
+  if depth <= 1 then random_ast rng depth
+  else begin
+    match Rng.int rng 10 with
+    | 0 | 1 ->
+      Ast.Inter
+        (List.init (Rng.range rng 2 3) (fun _ -> random_ast rng (depth - 1)))
+    | 2 -> Ast.Negate (random_ast rng (depth - 1))
+    | 3 | 4 ->
+      let look =
+        { Ast.behind = Rng.bool rng; negative = Rng.bool rng }
+      in
+      Ast.Concat
+        [ Ast.Look (look, random_ast rng (depth - 1));
+          random_ast rng (depth - 1) ]
+    | 5 | 6 ->
+      Ast.Concat
+        (List.init (Rng.range rng 2 3)
+           (fun _ -> random_extended_ast rng (depth - 1)))
+    | 7 ->
+      Ast.Alt
+        (List.init (Rng.range rng 2 3)
+           (fun _ -> random_extended_ast rng (depth - 1)))
+    | _ -> random_ast rng depth
+  end
+
+let random_extended_input rng ast =
+  let background () =
+    String.init (Rng.int rng 30) (fun _ -> Rng.char_of rng alphabet)
+  in
+  if Rng.bool rng then background ()
+  else
+    let witness =
+      try Alveare_workloads.Sampler.sample rng ast
+      with Invalid_argument _ -> ""
+    in
+    background () ^ witness ^ background ()
+
+let random_extended_case rng =
+  let ast = Alveare_frontend.Desugar.normalize (random_extended_ast rng 3) in
+  let input = random_extended_input rng ast in
   (ast, input)
