@@ -64,6 +64,7 @@ let outlier_slack = 2.0 (* any single timing >2x baseline fails *)
 let required_attempts_ratio = 2.0
 let required_plan_speedup = 2.0 (* plan executor vs legacy, same-run ratio *)
 let required_dfa_speedup = 2.0 (* lazy-DFA overlay vs plain plan, same-run ratio *)
+let required_onepass_speedup = 2.0 (* fused ruleset sweep vs per-rule, same-run *)
 let server_latency_slack = 2.0 (* server/... -ns entries: >2x baseline fails *)
 let server_throughput_slack = 0.5 (* throughput-rps below half baseline fails *)
 let analysis_ms_budget = 2.0 (* analysis geomean ms/rule, absolute ceiling *)
@@ -188,6 +189,21 @@ let () =
      fail "plan/dfa-speedup %.2fx below the %.1fx floor (overlay vs plan, \
            same run)"
        s required_dfa_speedup
+   | Some _ -> ());
+  (* One-pass fused ruleset gates: the identity flag
+     (ruleset/onepass-hits-identical — tagged hits, per-rule cycles AND
+     every aggregate counter; value checked by the suffix filter above)
+     must exist, and the same-run speedup of the fused sweep over the
+     600-rule per-rule scan must clear its floor. *)
+  (match List.assoc_opt "ruleset/onepass-hits-identical" fresh with
+   | None -> fail "no ruleset/onepass-hits-identical entry in %s" fresh_path
+   | Some _ -> () (* value gated with the other hits-identical flags *));
+  (match List.assoc_opt "ruleset/onepass-speedup" fresh with
+   | None -> fail "no ruleset/onepass-speedup entry in %s" fresh_path
+   | Some s when s < required_onepass_speedup ->
+     fail "ruleset/onepass-speedup %.2fx below the %.1fx floor (fused sweep \
+           vs per-rule, same run)"
+       s required_onepass_speedup
    | Some _ -> ());
   (* Optimiser gates: hits-identical is covered by the suffix filter
      above; the size reduction and the attempts delta are deterministic

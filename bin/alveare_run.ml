@@ -1,12 +1,15 @@
-(* Run a pattern or a compiled ALVEARE binary over data on the simulated
-   DSA, reporting matches, cycle counts and modelled wall-clock time.
+(* Run a pattern, a compiled ALVEARE binary, or a whole ruleset over
+   data on the simulated DSA, reporting matches, cycle counts and
+   modelled wall-clock time.
 
      alveare_run 'ab+c' --text 'xxabbbcxx'
      alveare_run --binary pattern.bin --file data.bin --cores 10
      alveare_run '([^A-Z])+' --file input.txt --quiet --stats
+     alveare_run --rules rules.txt --file traffic.bin --stats
 *)
 
 module Compile = Alveare_compiler.Compile
+module Ruleset = Alveare_compiler.Ruleset
 module Core = Alveare_arch.Core
 module Multicore = Alveare_multicore.Multicore
 module Fpga = Alveare_platform.Alveare_fpga
@@ -190,8 +193,73 @@ let run_derivative eng data ~quiet ~compare =
              derivative engine is the only engine for this one@.";
   0
 
-let run pattern binary text file cores quiet stats_flag trace_path compare
-    lint no_verify no_prefilter no_opt no_dfa extended engine =
+(* Ruleset mode: one pattern per line (blank lines and # comments
+   skipped), tagged by line number; the whole set scans the input in
+   one call — through the fused one-pass engine unless --no-onepass. *)
+let run_ruleset rules_path data ~cores ~quiet ~stats_flag ~no_prefilter
+    ~no_dfa ~no_onepass ~extended =
+  let specs =
+    read_file rules_path
+    |> String.split_on_char '\n'
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+    |> List.mapi (fun i p -> (Printf.sprintf "rule%d" (i + 1), p))
+  in
+  if specs = [] then begin
+    Fmt.epr "alveare_run: %s contains no rules@." rules_path;
+    1
+  end
+  else
+    match Ruleset.compile ~extended specs with
+    | Error errs ->
+      List.iter
+        (fun (e : Ruleset.compile_error) ->
+           Fmt.epr "alveare_run: %s (%S): %s@." e.Ruleset.failed_rule.Ruleset.tag
+             e.Ruleset.failed_rule.Ruleset.pattern e.Ruleset.reason)
+        errs;
+      1
+    | Ok rs ->
+      let report =
+        Ruleset.scan ~cores ~prefilter:(not no_prefilter) ~dfa:(not no_dfa)
+          ~onepass:(not no_onepass) rs data
+      in
+      if not quiet then
+        List.iter
+          (fun (h : Ruleset.hit) ->
+             let s = h.Ruleset.span in
+             let shown = min 40 (s.stop - s.start) in
+             Fmt.pr "%s %d-%d: %S%s@." h.Ruleset.hit_rule.Ruleset.tag s.start
+               s.stop
+               (String.sub data s.start shown)
+               (if s.stop - s.start > shown then "..." else ""))
+          report.Ruleset.hits;
+      Fmt.pr
+        "%d hit(s) from %d rule(s) in %d bytes on %d core(s)%s@."
+        (List.length report.Ruleset.hits)
+        (Ruleset.size rs) (String.length data) cores
+        (if no_onepass || no_prefilter || cores > 1 then ""
+         else " (fused one-pass sweep)");
+      Fmt.pr "wall cycles: %d (%.3f ms with dispatch)@."
+        report.Ruleset.total_wall_cycles
+        (report.Ruleset.seconds *. 1e3);
+      if stats_flag then begin
+        Fmt.pr "attempts %d, offsets %d (%d pruned), %d rule(s) prefiltered@."
+          report.Ruleset.total_attempts report.Ruleset.total_offsets_scanned
+          report.Ruleset.total_offsets_pruned report.Ruleset.prefiltered_rules;
+        List.iter
+          (fun (id, cycles) ->
+             match Ruleset.find_rule rs id with
+             | Some r ->
+               Fmt.pr "  %-8s %10d cycles  %s@." r.Ruleset.tag cycles
+                 r.Ruleset.pattern
+             | None -> ())
+          report.Ruleset.per_rule_cycles
+      end;
+      0
+
+let run pattern binary rules text file cores quiet stats_flag trace_path
+    compare lint no_verify no_prefilter no_opt no_dfa no_onepass extended
+    engine =
   let input =
     match text, file with
     | Some t, None -> Ok t
@@ -200,6 +268,23 @@ let run pattern binary text file cores quiet stats_flag trace_path compare
     | Some _, Some _ -> Error "give either --text or --file, not both"
     | None, None -> Error "give --text or --file input"
   in
+  match rules with
+  | Some rules_path ->
+    (match pattern, binary, input with
+     | None, None, Ok data ->
+       (try
+          run_ruleset rules_path data ~cores ~quiet ~stats_flag ~no_prefilter
+            ~no_dfa ~no_onepass ~extended
+        with Sys_error m ->
+          Fmt.epr "alveare_run: %s@." m;
+          1)
+     | _, _, Error m ->
+       Fmt.epr "alveare_run: %s@." m;
+       1
+     | _ ->
+       Fmt.epr "alveare_run: --rules excludes PATTERN and --binary@.";
+       1)
+  | None ->
   match
     load_program ~verify:(not no_verify) ~optimize:(not no_opt) ~lint
       ~extended pattern binary, input
@@ -301,6 +386,15 @@ let binary_arg =
   Arg.(value & opt (some string) None
        & info [ "binary" ] ~docv:"FILE" ~doc:"Run a compiled ALVEARE binary.")
 
+let rules_arg =
+  Arg.(value & opt (some string) None
+       & info [ "rules" ] ~docv:"FILE"
+           ~doc:"Scan a whole ruleset: one pattern per line (blank lines \
+                 and # comments skipped), every rule over the input in one \
+                 call. Single-core prefiltered scans run the fused one-pass \
+                 engine (one shared sweep for the whole set) unless \
+                 $(b,--no-onepass).")
+
 let text_arg =
   Arg.(value & opt (some string) None
        & info [ "text" ] ~docv:"STRING" ~doc:"Inline input data.")
@@ -363,6 +457,14 @@ let no_dfa_flag =
                  are bit-identical either way; only host simulation speed \
                  changes.")
 
+let no_onepass_flag =
+  Arg.(value & flag
+       & info [ "no-onepass" ]
+           ~doc:"With --rules: disable the fused one-pass engine and scan \
+                 one rule at a time. Hits, cycles and stats are \
+                 bit-identical either way — the ablation switch for \
+                 benchmarking the shared sweep.")
+
 let extended_flag =
   Arg.(value & flag
        & info [ "extended" ]
@@ -385,9 +487,9 @@ let cmd =
     (Cmd.info "alveare_run" ~version:"1.0"
        ~doc:"Match a pattern over data on the simulated ALVEARE DSA.")
     Term.(
-      const run $ pattern_arg $ binary_arg $ text_arg $ file_arg $ cores_arg
-      $ quiet_flag $ stats_flag $ trace_arg $ compare_flag $ lint_flag
-      $ no_verify_flag $ no_prefilter_flag $ no_opt_flag $ no_dfa_flag
-      $ extended_flag $ engine_arg)
+      const run $ pattern_arg $ binary_arg $ rules_arg $ text_arg $ file_arg
+      $ cores_arg $ quiet_flag $ stats_flag $ trace_arg $ compare_flag
+      $ lint_flag $ no_verify_flag $ no_prefilter_flag $ no_opt_flag
+      $ no_dfa_flag $ no_onepass_flag $ extended_flag $ engine_arg)
 
 let () = exit (Cmd.eval' cmd)

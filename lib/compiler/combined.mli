@@ -1,0 +1,68 @@
+(** Fused one-pass ruleset engine (single-pass multi-pattern scan).
+
+    Compiles a whole ruleset's scan-side machinery into one shared
+    sweep: the Aho-Corasick literal automaton and every non-covered
+    rule's first-set dispatch run over the input ONCE, dispatching into
+    per-rule attempt machines; rules that are backtracking-free over
+    their whole plan additionally execute as lazy-DFA overlay
+    {e product threads} — table-per-byte inside the shared sweep, with
+    per-rule acceptance tags. Spans and every per-rule stats counter
+    are bit-identical to the per-rule scan path ({!Ruleset.scan} with
+    [~onepass:false]); the [@onepasscheck] differential battery pins
+    this.
+
+    This module is the scan engine only: {!Ruleset} owns rule
+    metadata, classification inputs (the AC index), the post-sweep
+    candidate attempts, and the residual per-rule arms. *)
+
+type t
+(** The fused engine for one ruleset: per-rule classification, the
+    256-entry shared dispatch table merged from the rules' first
+    bitmaps, and the literal index. Built once at
+    {!Ruleset.compile} time; immutable and domain-shareable. *)
+
+val build :
+  rules:Compile.compiled array ->
+  ac:
+    (Alveare_prefilter.Ac.t * (int * int) array * bool array) option ->
+  t
+(** [build ~rules ~ac] classifies each rule and merges the dispatch
+    table. [ac] is the ruleset's literal index — the automaton, the
+    pattern-to-(rule, literal offset) references, and the per-rule
+    covered flags — or [None] when no rule has usable literals. *)
+
+(** Per-rule result of one fused sweep. *)
+type outcome =
+  | Scanned of Alveare_arch.Core.stats * Alveare_engine.Semantics.span list
+      (** scanned in-sweep (first-set dispatch, possibly as a product
+          thread): exactly the stats and spans the per-rule scan would
+          have produced *)
+  | Candidates of int array
+      (** AC-covered: sorted candidate start offsets, identical to the
+          per-rule bucketing; the caller attempts post-sweep *)
+  | Residual
+      (** untouched: anchored / nullable / no-first-set / derivative
+          rules stay on the caller's per-rule path *)
+
+val scan : t -> ?dfa:bool -> string -> outcome array
+(** One streaming pass over the input. [dfa] (default true) gates the
+    overlay sessions — with it off, first-set rules attempt on
+    {!Alveare_arch.Plan.run} and no product threads spawn, results
+    unchanged. Runs entirely on the calling domain. *)
+
+(** {1 Scan counters}
+
+    Process-wide monotone counters over all fused scans, exported as
+    [ruleset/*] server gauges. *)
+
+type counters = {
+  onepass_scans : int;        (** fused sweeps run *)
+  shared_pass_bytes : int;    (** input bytes swept *)
+  dispatch_candidates : int;  (** first-set dispatch deliveries *)
+  ac_candidates : int;        (** candidate bucket entries collected *)
+  product_rules : int;        (** rules eligible as product threads *)
+  product_threads : int;      (** product thread attempts spawned *)
+  product_states : int;       (** overlay states built during sweeps *)
+}
+
+val counters : unit -> counters

@@ -38,6 +38,7 @@ type index = {
 type t = {
   rules : compiled_rule array;
   index : index option;
+  fused : Combined.t;
 }
 
 type compile_error = {
@@ -82,6 +83,33 @@ let candidates_by_rule idx input n_rules =
       if start >= 0 then buckets.(rule_idx) <- start :: buckets.(rule_idx));
   Array.map (fun l -> Array.of_list (List.sort_uniq compare l)) buckets
 
+(* Slice-parallel AC bucketing (multi-core scans): each worker runs the
+   chunked automaton pass over one slice of reporting indices into
+   private buckets ({!Alveare_prefilter.Ac.find_iter_chunk} — the exact
+   sub-multiset of the full pass owned by that index range). Reporting
+   indices ascend across slices, so concatenating in slice order and
+   deduplicating reproduces [candidates_by_rule] exactly. *)
+let candidates_by_rule_sliced ?workers idx input n_rules ~slices =
+  let n = String.length input in
+  let slice = (n + slices - 1) / slices in
+  let chunked =
+    Alveare_exec.Pool.init ?workers slices (fun k ->
+        let lo = min n (k * slice) and hi = min n ((k + 1) * slice) in
+        let buckets = Array.make n_rules [] in
+        Alveare_prefilter.Ac.find_iter_chunk idx.ac input ~lo ~hi
+          (fun ~pat ~pos ->
+             let rule_idx, lit_offset = idx.refs.(pat) in
+             let start = pos - lit_offset in
+             if start >= 0 then
+               buckets.(rule_idx) <- start :: buckets.(rule_idx));
+        buckets)
+  in
+  Array.init n_rules (fun i ->
+      let l =
+        Array.fold_left (fun acc b -> List.rev_append b.(i) acc) [] chunked
+      in
+      Array.of_list (List.sort_uniq compare l))
+
 let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
     ?extended (specs : (string * string) list)
   : (t, compile_error list) result =
@@ -112,7 +140,13 @@ let compile ?(options = Alveare_ir.Lower.default_options) ?cache ?workers
       Array.of_list
         (List.filter_map (function Ok r -> Some r | Error _ -> None) results)
     in
-    Ok { rules; index = build_index rules }
+    let index = build_index rules in
+    let fused =
+      Combined.build
+        ~rules:(Array.map (fun r -> r.compiled) rules)
+        ~ac:(Option.map (fun i -> (i.ac, i.refs, i.covered)) index)
+    in
+    Ok { rules; index; fused }
 
 let compile_exn ?options ?cache ?workers ?extended specs =
   match compile ?options ?cache ?workers ?extended specs with
@@ -163,6 +197,68 @@ type report = {
   prefiltered_rules : int;       (* rules scanned via the AC candidate path *)
 }
 
+(* Covered rule at [cores > 1]: mirror [Multicore.run]'s slicing (same
+   regions, same ownership filter, same dedup, wall cycles = max over
+   cores), but attempt only at the rule's global candidate offsets
+   restricted to each core's region and rebased into region
+   coordinates. Any true match inside a region carries its literal
+   inside the region, so the global bucket contains its start — hits
+   equal the unfiltered multi-core scan. Runs sequentially: the caller
+   already fans rules out over the host pool. *)
+let scan_covered_multicore ~cores ~dfa (r : compiled_rule)
+    (cands : int array) (input : string) =
+  let n = String.length input in
+  let slice = (n + cores - 1) / cores in
+  let per_core =
+    Array.init cores (fun k ->
+        let slice_start = min n (k * slice) in
+        let slice_stop = min n ((k + 1) * slice) in
+        let region_stop = min n (slice_stop + r.overlap) in
+        let stats = Core.fresh_stats () in
+        let owned =
+          if slice_start >= region_stop && not (slice_start = n && k = 0)
+          then []
+          else begin
+            let region =
+              String.sub input slice_start (region_stop - slice_start)
+            in
+            let local =
+              Array.fold_right
+                (fun c acc ->
+                   if c >= slice_start && c < region_stop then
+                     (c - slice_start) :: acc
+                   else acc)
+                cands []
+              |> Array.of_list
+            in
+            Core.find_all_candidates ~stats ~candidates:local
+              ~plan:r.compiled.Compile.plan ?dfa
+              r.compiled.Compile.program region
+            |> List.filter_map (fun (s : Span.span) ->
+                let start = s.Span.start + slice_start in
+                let stop = s.Span.stop + slice_start in
+                if start < slice_stop || (start = n && slice_stop = n) then
+                  Some { Span.start; stop }
+                else None)
+          end
+        in
+        (owned, stats))
+  in
+  let matches =
+    Array.to_list per_core
+    |> List.concat_map fst
+    |> List.sort_uniq compare
+  in
+  let cycles =
+    Array.fold_left (fun acc (_, s) -> max acc s.Core.cycles) 0 per_core
+  in
+  let sum f = Array.fold_left (fun acc (_, s) -> acc + f s) 0 per_core in
+  ( r.rule, cycles, matches,
+    ( sum (fun s -> s.Core.attempts),
+      sum (fun s -> s.Core.offsets_scanned),
+      sum (fun s -> s.Core.offsets_pruned) ),
+    true )
+
 (* Scan the stream through every rule. Rules run one after another on the
    DSA (the instruction memory holds one compiled RE at a time, §6), so
    total time sums per-rule wall cycles plus one dispatch per rule — the
@@ -172,47 +268,58 @@ type report = {
    are identical to the sequential scan.
 
    With [prefilter] (the default) rules whose required literals are in
-   the Aho-Corasick index attempt only at candidate offsets from one
-   automaton pass over the stream (single-core scans only: candidates
-   are stream-global offsets); every other rule scans with its first-set
-   skip loop. Hits are identical to the unfiltered scan either way. *)
-let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) (t : t)
-    (input : string) : report =
+   the Aho-Corasick index attempt only at candidate offsets (one
+   automaton pass over the stream — sliced and merged across workers
+   when [cores > 1]); every other rule scans with its first-set skip
+   loop. Hits are identical to the unfiltered scan either way.
+
+   With [onepass] (the default) single-core prefiltered scans run the
+   fused {!Combined} engine: ONE shared sweep walks the AC automaton
+   and dispatches first-set candidates into per-rule machines (product
+   overlay threads where the whole plan is backtracking-free), instead
+   of one pass per rule. Hits, spans, per-rule cycles and every
+   counter are bit-identical to [~onepass:false]; only host scan speed
+   changes. Multi-core scans ignore the flag (slicing already shares
+   the AC pass). *)
+let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true)
+    ?(onepass = true) (t : t) (input : string) : report =
   let dfa_of (r : compiled_rule) =
     if dfa then r.compiled.Compile.dfa else None
   in
+  let n_rules = Array.length t.rules in
+  let fused =
+    if onepass && prefilter && cores = 1 then
+      Some (Combined.scan t.fused ~dfa input)
+    else None
+  in
   let candidates =
-    match t.index with
-    | Some idx when prefilter && cores = 1 ->
-      Some (idx, candidates_by_rule idx input (Array.length t.rules))
-    | Some _ | None -> None
+    match t.index, fused with
+    | Some idx, None when prefilter ->
+      if cores = 1 then Some (idx, candidates_by_rule idx input n_rules)
+      else
+        Some (idx, candidates_by_rule_sliced ?workers idx input n_rules
+                ~slices:cores)
+    | _ -> None
   in
   let per_rule_results =
     Alveare_exec.Pool.map ?workers
       (fun (i, r) ->
-         match r.compiled.Compile.backend with
-         | Compile.Derivative eng ->
-           (* extended rules the mid-end could not rewrite run on the
-              host derivative engine, outside the DSA cycle model:
-              they contribute hits but no modelled cycles or attempt
-              counters (they are never AC-covered — extended patterns
-              yield no usable literals) *)
-           ( r.rule, 0, Alveare_derivative.Engine.find_all eng input,
-             (0, 0, 0), false )
-         | Compile.Isa | Compile.Isa_lowered ->
-         (match candidates with
-         | Some (idx, cands) when idx.covered.(i) ->
-           let stats = Core.fresh_stats () in
-           let matches =
-             Core.find_all_candidates ~stats ~candidates:cands.(i)
-               ~plan:r.compiled.Compile.plan ?dfa:(dfa_of r)
-               r.compiled.Compile.program input
-           in
-           ( r.rule, stats.Core.cycles, matches,
-             (stats.Core.attempts, stats.Core.offsets_scanned,
-              stats.Core.offsets_pruned),
-             true )
-         | _ ->
+         let from_candidates cands =
+           if cores = 1 then begin
+             let stats = Core.fresh_stats () in
+             let matches =
+               Core.find_all_candidates ~stats ~candidates:cands
+                 ~plan:r.compiled.Compile.plan ?dfa:(dfa_of r)
+                 r.compiled.Compile.program input
+             in
+             ( r.rule, stats.Core.cycles, matches,
+               (stats.Core.attempts, stats.Core.offsets_scanned,
+                stats.Core.offsets_pruned),
+               true )
+           end
+           else scan_covered_multicore ~cores ~dfa:(dfa_of r) r cands input
+         in
+         let residual () =
            let config = Multicore.config ~cores ~overlap:r.overlap () in
            let pf =
              if prefilter then Some r.compiled.Compile.prefilter else None
@@ -230,7 +337,33 @@ let scan ?(cores = 1) ?workers ?(prefilter = true) ?(dfa = true) (t : t)
              ( sum (fun s -> s.Core.attempts),
                sum (fun s -> s.Core.offsets_scanned),
                sum (fun s -> s.Core.offsets_pruned) ),
-             false )))
+             false )
+         in
+         match r.compiled.Compile.backend with
+         | Compile.Derivative eng ->
+           (* extended rules the mid-end could not rewrite run on the
+              host derivative engine, outside the DSA cycle model:
+              they contribute hits but no modelled cycles or attempt
+              counters (they are never AC-covered — extended patterns
+              yield no usable literals) *)
+           ( r.rule, 0, Alveare_derivative.Engine.find_all eng input,
+             (0, 0, 0), false )
+         | Compile.Isa | Compile.Isa_lowered ->
+         (match fused with
+         | Some outcomes ->
+           (match outcomes.(i) with
+            | Combined.Scanned (stats, matches) ->
+              ( r.rule, stats.Core.cycles, matches,
+                (stats.Core.attempts, stats.Core.offsets_scanned,
+                 stats.Core.offsets_pruned),
+                false )
+            | Combined.Candidates cands -> from_candidates cands
+            | Combined.Residual -> residual ())
+         | None ->
+           (match candidates with
+            | Some (idx, cands) when idx.covered.(i) ->
+              from_candidates cands.(i)
+            | _ -> residual ())))
       (Array.mapi (fun i r -> (i, r)) t.rules)
   in
   let hits =

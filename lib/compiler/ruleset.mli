@@ -23,6 +23,11 @@ type index
 type t = {
   rules : compiled_rule array;
   index : index option;  (** [None] when no rule has usable literals *)
+  fused : Combined.t;
+      (** the one-pass engine over the same rules: classification,
+          shared first-set dispatch table, literal index (see
+          {!Combined}); built once here, used by prefiltered
+          single-core {!scan}s *)
 }
 
 type compile_error = {
@@ -84,7 +89,8 @@ type report = {
 }
 
 val scan :
-  ?cores:int -> ?workers:int -> ?prefilter:bool -> ?dfa:bool -> t -> string ->
+  ?cores:int -> ?workers:int -> ?prefilter:bool -> ?dfa:bool ->
+  ?onepass:bool -> t -> string ->
   report
 (** Rules run sequentially on the DSA (one compiled RE in instruction
     memory at a time); [cores] parallelises each rule over the stream on
@@ -95,15 +101,24 @@ val scan :
 
     [prefilter] (default [true]): rules covered by the literal {!index}
     attempt only at candidate offsets from one Aho-Corasick pass over
-    the stream (single-core scans; multi-core slicing falls back to the
-    per-slice first-set skip loop), and every other rule scans with its
-    first-set prefilter. Hits are identical with prefiltering on or
-    off — only attempts/cycles change.
+    the stream — sliced across workers and merged when [cores > 1] —
+    and every other rule scans with its first-set prefilter. Hits are
+    identical with prefiltering on or off — only attempts/cycles
+    change.
 
     [dfa] (default [true]): rules whose compilation carries a lazy-DFA
     overlay family execute their backtracking-free fragments on the
     transition table ({!Alveare_arch.Dfa_overlay}); hits, cycles and
     every stat are bit-identical with it on or off — only host
-    simulation speed changes. *)
+    simulation speed changes.
+
+    [onepass] (default [true]): prefiltered single-core scans run the
+    fused {!Combined} engine — one shared sweep walking the literal
+    automaton and the merged first-set dispatch table, with product
+    overlay threads for fully backtracking-free rules — instead of one
+    pass per rule. The report is bit-identical to [~onepass:false]
+    (the [@onepasscheck] battery pins this); only host scan speed
+    changes. Ignored when [cores > 1] (slicing already shares the AC
+    pass) or with [~prefilter:false]. *)
 
 val hits_for : report -> int -> hit list

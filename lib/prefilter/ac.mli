@@ -25,3 +25,39 @@ val find_iter : ?from:int -> t -> string -> (pat:int -> pos:int -> unit) -> unit
 
 val find_all : ?from:int -> t -> string -> (int * int) list
 (** [(pat, pos)] pairs, in the order {!find_iter} reports them. *)
+
+(** {2 Incremental driving}
+
+    The fused one-pass ruleset sweep interleaves the automaton walk
+    with per-rule dispatch, so the walk is exposed one byte at a
+    time. *)
+
+val root : int
+(** The start state. *)
+
+val step : t -> int -> char -> int
+(** One goto step (following failure links on miss): the state after
+    reading one more byte. Feeding a string byte-by-byte from {!root}
+    visits exactly the states {!find_iter} visits. *)
+
+val outputs : t -> int -> int array
+(** Pattern indices ending at this state (suffix outputs merged in).
+    Returns the internal array — do not mutate. An occurrence of
+    pattern [p] reported at input index [i] starts at
+    [i + 1 - pattern_length t p]. *)
+
+val pattern_length : t -> int -> int
+
+val max_pattern_length : t -> int
+(** Longest literal in the automaton (0 when empty). *)
+
+val find_iter_chunk :
+  t -> string -> lo:int -> hi:int -> (pat:int -> pos:int -> unit) -> unit
+(** Occurrences whose reporting index lies in [[lo, hi)): the exact
+    sub-multiset of a full {!find_iter} pass owned by that index range,
+    in the same order. Starts the automaton cold at
+    [lo - max_pattern_length + 1] (clamped), which suffices because no
+    occurrence spans more bytes. Chunks tiling [[0, length input)]
+    together reproduce the full pass, each occurrence exactly once —
+    the slice-parallel candidate bucketing of multicore ruleset
+    scans. *)

@@ -30,6 +30,7 @@ type config = {
   max_input : int;
   dfa : bool;
   extended : bool;
+  onepass : bool;
 }
 
 let default_config =
@@ -40,7 +41,8 @@ let default_config =
     max_polynomial_degree = None;
     max_input = 16 * 1024 * 1024;
     dfa = true;
-    extended = false }
+    extended = false;
+    onepass = true }
 
 type t = {
   config : config;
@@ -83,6 +85,26 @@ let create ?(config = default_config) metrics =
   Metrics.register_gauge metrics "dfa/bails" (dfa_stat (fun s -> s.D.bails));
   Metrics.register_gauge metrics "dfa/attempts"
     (dfa_stat (fun s -> s.D.dfa_attempts));
+  (* Fused one-pass ruleset scan counters, process-wide over every
+     combined sweep. *)
+  let onepass_stat f =
+    fun () -> Float.of_int (f (Alveare_compiler.Combined.counters ()))
+  in
+  let module C = Alveare_compiler.Combined in
+  Metrics.register_gauge metrics "ruleset/onepass-scans"
+    (onepass_stat (fun s -> s.C.onepass_scans));
+  Metrics.register_gauge metrics "ruleset/shared-pass-bytes"
+    (onepass_stat (fun s -> s.C.shared_pass_bytes));
+  Metrics.register_gauge metrics "ruleset/dispatch-candidates"
+    (onepass_stat (fun s -> s.C.dispatch_candidates));
+  Metrics.register_gauge metrics "ruleset/ac-candidates"
+    (onepass_stat (fun s -> s.C.ac_candidates));
+  Metrics.register_gauge metrics "ruleset/product-rules"
+    (onepass_stat (fun s -> s.C.product_rules));
+  Metrics.register_gauge metrics "ruleset/product-threads"
+    (onepass_stat (fun s -> s.C.product_threads));
+  Metrics.register_gauge metrics "ruleset/product-states"
+    (onepass_stat (fun s -> s.C.product_states));
   { config; metrics }
 
 let config t = t.config
@@ -279,7 +301,7 @@ let handle_ruleset_scan t ~id ~rules ~input ~allow_risky =
           let t0 = Unix.gettimeofday () in
           let report =
             Ruleset.scan ~cores:t.config.cores ~workers:t.config.scan_workers
-              ~dfa:t.config.dfa rs input
+              ~dfa:t.config.dfa ~onepass:t.config.onepass rs input
           in
           let s : Protocol.scan_stats =
             { attempts = report.Ruleset.total_attempts;

@@ -43,12 +43,18 @@ type config = {
           [extended-operator-unanalyzed]/[Linear]). The wire protocol
           is unchanged; capability is advertised via the [Health]
           version suffix [+extended]. *)
+  onepass : bool;
+      (** run prefiltered single-core ruleset scans on the fused
+          one-pass engine ({!Alveare_compiler.Combined}) — one shared
+          sweep for the whole ruleset instead of one pass per rule.
+          Responses are bit-identical with it off; only host scan
+          throughput changes. *)
 }
 
 val default_config : config
 (** Shared default cache, 1 worker, 1 core, gate on (exponential only,
     [max_polynomial_degree = None]), 16 MiB input cap, overlay on,
-    extended dialect off. *)
+    extended dialect off, one-pass ruleset scans on. *)
 
 type t
 
@@ -59,7 +65,12 @@ val create : ?config:config -> Metrics.t -> t
     lazy-DFA overlay cache gauges ([dfa/states-built],
     [dfa/transitions-built], [dfa/hits], [dfa/misses], [dfa/flushes],
     [dfa/bails], [dfa/attempts] — process-wide aggregates from
-    {!Alveare_arch.Dfa_overlay.global_stats}). *)
+    {!Alveare_arch.Dfa_overlay.global_stats}), plus the fused one-pass
+    ruleset scan gauges ([ruleset/onepass-scans],
+    [ruleset/shared-pass-bytes], [ruleset/dispatch-candidates],
+    [ruleset/ac-candidates], [ruleset/product-rules],
+    [ruleset/product-threads], [ruleset/product-states] — from
+    {!Alveare_compiler.Combined.counters}). *)
 
 val config : t -> config
 val metrics : t -> Metrics.t

@@ -350,6 +350,78 @@ let run_opt_corpus ?(on_failure = fun _ _ -> ()) ~count ~seed () : failure list 
   done;
   List.rev !failures
 
+(* --- One-pass fused ruleset scan vs the per-rule path ---------------- *)
+
+module Ruleset = Alveare_compiler.Ruleset
+
+(* The fused engine's contract ([Ruleset.scan ~onepass:true], PR 10):
+   for any ruleset, input and core count, the report is bit-identical
+   to the per-rule path's — tagged (rule, span) hits in the same
+   order, the same per-rule cycles, and the same aggregate attempt /
+   scanned / pruned / prefiltered counters. Checked with the overlay
+   on and off (the off path pins the instant-attempt machines), and
+   hits additionally against the unfiltered scan (ground truth). *)
+let check_onepass_case ?(cores = [ 1; 4 ]) (specs : (string * string) list)
+    (input : string) : failure list =
+  match Ruleset.compile specs with
+  | Error _ -> [] (* ill-formed rule: compile-error reporting, not scan *)
+  | Ok rs ->
+    let failures = ref [] in
+    let pattern = String.concat " | " (List.map snd specs) in
+    let fail engine detail =
+      failures := { engine; pattern; input; detail } :: !failures
+    in
+    let tagged (r : Ruleset.report) =
+      List.map
+        (fun (h : Ruleset.hit) ->
+           (h.Ruleset.hit_rule.Ruleset.id, h.Ruleset.span))
+        r.Ruleset.hits
+    in
+    let show_report (r : Ruleset.report) =
+      Fmt.str "wall=%d att=%d seen=%d pruned=%d pf=%d hits=[%s]"
+        r.Ruleset.total_wall_cycles r.Ruleset.total_attempts
+        r.Ruleset.total_offsets_scanned r.Ruleset.total_offsets_pruned
+        r.Ruleset.prefiltered_rules
+        (String.concat ";"
+           (List.map
+              (fun (id, (sp : S.span)) ->
+                 Fmt.str "%d:%d-%d" id sp.S.start sp.S.stop)
+              (tagged r)))
+    in
+    let counters (r : Ruleset.report) =
+      ( r.Ruleset.per_rule_cycles, r.Ruleset.total_wall_cycles,
+        r.Ruleset.total_attempts, r.Ruleset.total_offsets_scanned,
+        r.Ruleset.total_offsets_pruned, r.Ruleset.prefiltered_rules )
+    in
+    let identical name on off =
+      if tagged on <> tagged off then
+        fail name
+          (Fmt.str "hits diverge@.  onepass:  %s@.  per-rule: %s"
+             (show_report on) (show_report off));
+      if counters on <> counters off then
+        fail name
+          (Fmt.str "stats diverge@.  onepass:  %s@.  per-rule: %s"
+             (show_report on) (show_report off))
+    in
+    List.iter
+      (fun cores ->
+         let on = Ruleset.scan ~cores ~onepass:true rs input in
+         let off = Ruleset.scan ~cores ~onepass:false rs input in
+         identical (Fmt.str "onepass-c%d" cores) on off;
+         let on_nd = Ruleset.scan ~cores ~dfa:false ~onepass:true rs input in
+         let off_nd =
+           Ruleset.scan ~cores ~dfa:false ~onepass:false rs input
+         in
+         identical (Fmt.str "onepass-c%d-nodfa" cores) on_nd off_nd;
+         let dense = Ruleset.scan ~cores ~prefilter:false rs input in
+         if tagged on <> tagged dense then
+           fail
+             (Fmt.str "onepass-c%d-vs-dense" cores)
+             (Fmt.str "hits diverge@.  onepass: %s@.  dense:   %s"
+                (show_report on) (show_report dense)))
+      cores;
+    !failures
+
 (* Same contract over the three workload samplers: each generated rule
    is checked on a noise stream with a planted witness drawn from the
    rule's own language, so the comparison exercises both hit and miss
@@ -378,4 +450,43 @@ let run_opt_workloads ?(per_workload = 40) ~seed () : failure list =
        W.Protomata.patterns (W.Rng.create (seed + 12)) per_workload);
       (3, W.Streams.network,
        W.Snort.patterns (W.Rng.create (seed + 13)) per_workload) ];
+  List.rev !failures
+
+(* One-pass contract over the workload samplers: here the unit is a
+   whole RULESET per sampler, not one rule at a time — the fused sweep
+   only does interesting work (shared dispatch, overlapping literals,
+   concurrent product threads) when many rules scan the same stream.
+   Witnesses for a fifth of the rules are planted in the noise so the
+   sweep resolves real hits, not just misses. *)
+let run_onepass_workloads ?(per_workload = 30) ~seed () : failure list =
+  let module W = Alveare_workloads in
+  let failures = ref [] in
+  List.iter
+    (fun (wseed, background, patterns) ->
+       let rng = W.Rng.create (seed + wseed) in
+       let noise n = String.init n (fun _ -> background rng) in
+       let specs =
+         List.mapi (fun i p -> (Fmt.str "r%d" i, p)) patterns
+       in
+       let buf = Buffer.create 4096 in
+       List.iteri
+         (fun i p ->
+            Buffer.add_string buf (noise 40);
+            if i mod 5 = 0 then
+              match Alveare_frontend.Parser.parse_result p with
+              | Error _ -> ()
+              | Ok ast -> (
+                  try Buffer.add_string buf (W.Sampler.sample rng ast)
+                  with Invalid_argument _ -> ()))
+         patterns;
+       Buffer.add_string buf (noise 64);
+       let input = Buffer.contents buf in
+       failures :=
+         List.rev_append (check_onepass_case specs input) !failures)
+    [ (1, W.Streams.lowercase_text,
+       W.Powren.patterns (W.Rng.create (seed + 21)) per_workload);
+      (2, W.Streams.protein,
+       W.Protomata.patterns (W.Rng.create (seed + 22)) per_workload);
+      (3, W.Streams.network,
+       W.Snort.patterns (W.Rng.create (seed + 23)) per_workload) ];
   List.rev !failures

@@ -264,6 +264,29 @@ let test_ruleset_matches_direct () =
             check "hits identical to direct Ruleset.scan" true (hits = direct);
             check "attempts counted" true (stats.P.attempts > 0)
           | r -> fail_resp "ruleset scan" r);
+          (* the scan above ran on the fused one-pass engine; its
+             process-wide counters surface as ruleset/* gauges *)
+          (match ok (Client.stats c) with
+          | P.Stats_reply { entries; _ } ->
+            let value name =
+              match List.assoc_opt name entries with
+              | Some v -> v
+              | None -> Alcotest.failf "stats entry %S missing" name
+            in
+            check "onepass sweep counted" true
+              (value "ruleset/onepass-scans" >= 1.0);
+            check "shared pass swept the input" true
+              (value "ruleset/shared-pass-bytes"
+               >= Float.of_int (String.length input));
+            check "dispatch gauge present" true
+              (List.mem_assoc "ruleset/dispatch-candidates" entries);
+            check "ac gauge present" true
+              (List.mem_assoc "ruleset/ac-candidates" entries);
+            check "product gauges present" true
+              (List.mem_assoc "ruleset/product-rules" entries
+              && List.mem_assoc "ruleset/product-threads" entries
+              && List.mem_assoc "ruleset/product-states" entries)
+          | r -> fail_resp "stats" r);
           (* one bad rule poisons the batch with parse-error, not a crash *)
           match ok (Client.ruleset_scan c ~rules:[ ("good", "a"); ("bad", "(") ]
                       ~input:"a")
